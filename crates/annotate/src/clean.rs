@@ -1,0 +1,140 @@
+//! Feature-corpus cleaning.
+//!
+//! Real extraction pipelines emit occasional garbage (division blowups,
+//! silent tracks, single-frame shots). The cleaning pass repairs non-finite
+//! entries with the column mean and clips extreme outliers to
+//! `mean ± k·std`, reporting what it touched.
+
+use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a cleaning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanReport {
+    /// Non-finite entries replaced by the column mean.
+    pub repaired_non_finite: usize,
+    /// Entries clipped into the `mean ± k·std` envelope.
+    pub clipped_outliers: usize,
+    /// Vectors processed.
+    pub total_vectors: usize,
+}
+
+/// Cleans a corpus in place. `outlier_sigmas` is the clip envelope width
+/// `k` (≤ 0 disables clipping).
+pub fn clean_dataset(corpus: &mut [FeatureVector], outlier_sigmas: f64) -> CleanReport {
+    let mut report = CleanReport {
+        repaired_non_finite: 0,
+        clipped_outliers: 0,
+        total_vectors: corpus.len(),
+    };
+    if corpus.is_empty() {
+        return report;
+    }
+
+    // Column means/stds over finite entries.
+    let mut mean = [0.0f64; FEATURE_COUNT];
+    let mut m2 = [0.0f64; FEATURE_COUNT];
+    let mut count = [0u64; FEATURE_COUNT];
+    for v in corpus.iter() {
+        for (j, &x) in v.as_slice().iter().enumerate() {
+            if x.is_finite() {
+                count[j] += 1;
+                let d = x - mean[j];
+                mean[j] += d / count[j] as f64;
+                m2[j] += d * (x - mean[j]);
+            }
+        }
+    }
+    let std: Vec<f64> = (0..FEATURE_COUNT)
+        .map(|j| {
+            if count[j] < 2 {
+                0.0
+            } else {
+                (m2[j] / count[j] as f64).sqrt()
+            }
+        })
+        .collect();
+
+    for v in corpus.iter_mut() {
+        for j in 0..FEATURE_COUNT {
+            let x = v[j];
+            if !x.is_finite() {
+                v[j] = mean[j];
+                report.repaired_non_finite += 1;
+            } else if outlier_sigmas > 0.0 && std[j] > 0.0 {
+                let lo = mean[j] - outlier_sigmas * std[j];
+                let hi = mean[j] + outlier_sigmas * std[j];
+                if x < lo || x > hi {
+                    v[j] = x.clamp(lo, hi);
+                    report.clipped_outliers += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_features::FeatureId;
+
+    #[test]
+    fn empty_corpus_noop() {
+        let mut corpus: Vec<FeatureVector> = vec![];
+        let r = clean_dataset(&mut corpus, 3.0);
+        assert_eq!(r.total_vectors, 0);
+        assert_eq!(r.repaired_non_finite, 0);
+    }
+
+    #[test]
+    fn non_finite_replaced_by_column_mean() {
+        let mut a = FeatureVector::zeros();
+        let mut b = FeatureVector::zeros();
+        let mut c = FeatureVector::zeros();
+        a[FeatureId::VolumeMean] = 2.0;
+        b[FeatureId::VolumeMean] = 4.0;
+        c[FeatureId::VolumeMean] = f64::NAN;
+        let mut corpus = vec![a, b, c];
+        let r = clean_dataset(&mut corpus, 0.0);
+        assert_eq!(r.repaired_non_finite, 1);
+        assert_eq!(corpus[2][FeatureId::VolumeMean], 3.0);
+    }
+
+    #[test]
+    fn outliers_clipped_to_envelope() {
+        // 9 values at ~1.0 and one wild 100.0.
+        let mut corpus: Vec<FeatureVector> = (0..9)
+            .map(|i| {
+                let mut v = FeatureVector::zeros();
+                v[FeatureId::SfMean] = 1.0 + 0.01 * i as f64;
+                v
+            })
+            .collect();
+        let mut wild = FeatureVector::zeros();
+        wild[FeatureId::SfMean] = 100.0;
+        corpus.push(wild);
+        // A single extreme value inflates the column std (outlier masking),
+        // so a 2σ envelope is needed to catch it in this tiny corpus.
+        let r = clean_dataset(&mut corpus, 2.0);
+        assert!(r.clipped_outliers >= 1);
+        assert!(corpus[9][FeatureId::SfMean] < 100.0);
+        assert!(corpus[9][FeatureId::SfMean] > 1.0);
+    }
+
+    #[test]
+    fn clean_corpus_untouched() {
+        let mut corpus: Vec<FeatureVector> = (0..5)
+            .map(|i| {
+                let mut v = FeatureVector::zeros();
+                v[FeatureId::GrassRatio] = 0.1 * i as f64;
+                v
+            })
+            .collect();
+        let before = corpus.clone();
+        let r = clean_dataset(&mut corpus, 10.0);
+        assert_eq!(r.repaired_non_finite, 0);
+        assert_eq!(r.clipped_outliers, 0);
+        assert_eq!(corpus, before);
+    }
+}

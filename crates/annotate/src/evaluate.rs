@@ -1,0 +1,160 @@
+//! Annotation accuracy metrics.
+
+use hmmm_media::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall/F1 for one event class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// The event kind being scored.
+    pub kind: EventKind,
+    /// Correct predictions of the kind.
+    pub true_positives: usize,
+    /// Predictions of the kind where it was absent.
+    pub false_positives: usize,
+    /// Ground-truth occurrences the predictor missed.
+    pub false_negatives: usize,
+}
+
+impl ClassMetrics {
+    /// `tp / (tp + fp)`; `1.0` when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let d = self.true_positives + self.false_positives;
+        if d == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; `1.0` when the class never occurs.
+    pub fn recall(&self) -> f64 {
+        let d = self.true_positives + self.false_negatives;
+        if d == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores multi-label predictions against ground truth, one
+/// [`ClassMetrics`] per event kind (in [`EventKind::ALL`] order).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn evaluate_annotations(
+    predicted: &[Vec<EventKind>],
+    truth: &[Vec<EventKind>],
+) -> Vec<ClassMetrics> {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "prediction/truth length mismatch"
+    );
+    EventKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut tp = 0;
+            let mut fp = 0;
+            let mut fneg = 0;
+            for (p, t) in predicted.iter().zip(truth.iter()) {
+                let pred = p.contains(&kind);
+                let actual = t.contains(&kind);
+                match (pred, actual) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fneg += 1,
+                    (false, false) => {}
+                }
+            }
+            ClassMetrics {
+                kind,
+                true_positives: tp,
+                false_positives: fp,
+                false_negatives: fneg,
+            }
+        })
+        .collect()
+}
+
+/// Micro-averaged F1 across all classes (pools the counts).
+pub fn micro_f1(metrics: &[ClassMetrics]) -> f64 {
+    let tp: usize = metrics.iter().map(|m| m.true_positives).sum();
+    let fp: usize = metrics.iter().map(|m| m.false_positives).sum();
+    let fneg: usize = metrics.iter().map(|m| m.false_negatives).sum();
+    let pooled = ClassMetrics {
+        kind: EventKind::Goal, // irrelevant for pooled counts
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fneg,
+    };
+    pooled.f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = vec![vec![EventKind::Goal], vec![], vec![EventKind::Foul]];
+        let metrics = evaluate_annotations(&truth, &truth);
+        for m in &metrics {
+            assert_eq!(m.precision(), 1.0);
+            assert_eq!(m.recall(), 1.0);
+        }
+        assert_eq!(micro_f1(&metrics), 1.0);
+    }
+
+    #[test]
+    fn counts_are_per_class() {
+        let predicted = vec![vec![EventKind::Goal], vec![EventKind::Goal]];
+        let truth = vec![vec![EventKind::Goal], vec![EventKind::Foul]];
+        let metrics = evaluate_annotations(&predicted, &truth);
+        let goal = metrics
+            .iter()
+            .find(|m| m.kind == EventKind::Goal)
+            .unwrap();
+        assert_eq!(goal.true_positives, 1);
+        assert_eq!(goal.false_positives, 1);
+        assert_eq!(goal.false_negatives, 0);
+        let foul = metrics
+            .iter()
+            .find(|m| m.kind == EventKind::Foul)
+            .unwrap();
+        assert_eq!(foul.false_negatives, 1);
+        assert_eq!(foul.precision(), 1.0); // never predicted
+        assert_eq!(foul.recall(), 0.0);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        let m = ClassMetrics {
+            kind: EventKind::Goal,
+            true_positives: 6,
+            false_positives: 2,
+            false_negatives: 4,
+        };
+        // p = 0.75, r = 0.6 → f1 = 2*0.45/1.35 = 2/3.
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        evaluate_annotations(&[vec![]], &[]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # hmmm-annotate
+//!
+//! Data cleaning and decision-tree event mining — the "data cleaning" and
+//! "data mining for event detection" boxes of the HMMM paper's Figure-1
+//! pipeline.
+//!
+//! The paper cites its companion work (Chen et al., *A Decision Tree-based
+//! Multimodal Data Mining Framework for Soccer Goal Detection*, ICME 2004)
+//! as the mechanism that turns shot-level visual/audio features into semantic
+//! event annotations. This crate reproduces that substrate from scratch:
+//!
+//! * [`clean`] — NaN/∞ repair and outlier clipping over feature corpora.
+//! * [`tree`] — a CART-style binary decision tree on continuous features
+//!   with entropy gain, sample weights (for the ~4% positive-class
+//!   imbalance) and depth/leaf limits.
+//! * [`prune`] — reduced-error pruning against a holdout split.
+//! * [`annotator`] — [`annotator::EventAnnotator`]: one one-vs-rest tree per
+//!   [`hmmm_media::EventKind`], so multi-label shots ("free kick" + "goal")
+//!   come out naturally.
+//! * [`evaluate`] — per-class precision/recall/F1 for the pipeline
+//!   experiment (E8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotator;
+pub mod clean;
+pub mod evaluate;
+pub mod prune;
+pub mod tree;
+
+pub use annotator::{AnnotatorConfig, EventAnnotator};
+pub use clean::{clean_dataset, CleanReport};
+pub use evaluate::{evaluate_annotations, ClassMetrics};
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,174 @@
+//! Reduced-error pruning.
+//!
+//! Bottom-up: replace a split by a leaf whenever the replacement does not
+//! reduce accuracy on a holdout set. Simple, fast, and effective against the
+//! deep overfit trees that weighted training tends to grow.
+
+use crate::tree::{DecisionTree, Node};
+use hmmm_features::FeatureVector;
+
+/// Prunes `tree` in place against `holdout`; returns the number of splits
+/// collapsed. An empty holdout leaves the tree untouched.
+pub fn prune_reduced_error(tree: &mut DecisionTree, holdout: &[(FeatureVector, bool)]) -> usize {
+    if holdout.is_empty() {
+        return 0;
+    }
+    let idx: Vec<usize> = (0..holdout.len()).collect();
+    prune_node(tree.root_mut(), holdout, &idx)
+}
+
+/// Recursively prunes; returns collapsed-split count.
+fn prune_node(node: &mut Node, holdout: &[(FeatureVector, bool)], idx: &[usize]) -> usize {
+    let (feature, threshold) = match node {
+        Node::Leaf { .. } => return 0,
+        Node::Split {
+            feature, threshold, ..
+        } => (*feature, *threshold),
+    };
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+        .iter()
+        .partition(|&&i| holdout[i].0[feature] <= threshold);
+
+    let mut collapsed = 0;
+    if let Node::Split { left, right, .. } = node {
+        collapsed += prune_node(left, holdout, &left_idx);
+        collapsed += prune_node(right, holdout, &right_idx);
+    }
+
+    // Candidate leaf: majority/probability from the *training* masses stored
+    // in the subtree leaves.
+    let (pos_mass, total_mass) = subtree_mass(node);
+    let p_leaf = if total_mass > 0.0 {
+        pos_mass / total_mass
+    } else {
+        0.0
+    };
+
+    let split_errors = idx
+        .iter()
+        .filter(|&&i| predict_node(node, &holdout[i].0) != holdout[i].1)
+        .count();
+    let leaf_errors = idx
+        .iter()
+        .filter(|&&i| (p_leaf >= 0.5) != holdout[i].1)
+        .count();
+
+    if leaf_errors <= split_errors {
+        *node = Node::Leaf {
+            p_positive: p_leaf,
+            weight: total_mass,
+        };
+        collapsed += 1;
+    }
+    collapsed
+}
+
+fn subtree_mass(node: &Node) -> (f64, f64) {
+    match node {
+        Node::Leaf { p_positive, weight } => (p_positive * weight, *weight),
+        Node::Split { left, right, .. } => {
+            let (lp, lt) = subtree_mass(left);
+            let (rp, rt) = subtree_mass(right);
+            (lp + rp, lt + rt)
+        }
+    }
+}
+
+fn predict_node(node: &Node, v: &FeatureVector) -> bool {
+    match node {
+        Node::Leaf { p_positive, .. } => *p_positive >= 0.5,
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if v[*feature] <= *threshold {
+                predict_node(left, v)
+            } else {
+                predict_node(right, v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+    use hmmm_features::FeatureId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_dataset(seed: u64, n: usize) -> Vec<(FeatureVector, bool)> {
+        // True concept: volume > 0.5; 20% label noise tempts overfitting.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen_range(0.0..1.0);
+                let mut v = FeatureVector::zeros();
+                v[FeatureId::VolumeMean] = x;
+                // A noisy irrelevant feature the overfit tree can abuse.
+                v[FeatureId::SfStd] = rng.gen_range(0.0..1.0);
+                let label = if rng.gen_bool(0.2) { x <= 0.5 } else { x > 0.5 };
+                (v, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pruning_shrinks_overfit_tree_without_hurting_holdout() {
+        let train = noisy_dataset(1, 400);
+        let holdout = noisy_dataset(2, 200);
+        let cfg = TreeConfig {
+            max_depth: 12,
+            min_leaf_weight: 1.0,
+            min_gain: 1e-9,
+            max_candidates: 64,
+        };
+        let mut tree = DecisionTree::train(&train, 1.0, cfg).unwrap();
+        let before_leaves = tree.leaf_count();
+        let acc = |t: &DecisionTree, data: &[(FeatureVector, bool)]| {
+            data.iter().filter(|(v, y)| t.predict(v, 0.5) == *y).count() as f64
+                / data.len() as f64
+        };
+        let before_acc = acc(&tree, &holdout);
+        let collapsed = prune_reduced_error(&mut tree, &holdout);
+        assert!(collapsed > 0, "nothing pruned from an overfit tree");
+        assert!(tree.leaf_count() < before_leaves);
+        let after_acc = acc(&tree, &holdout);
+        assert!(
+            after_acc >= before_acc - 1e-9,
+            "pruning hurt holdout accuracy: {before_acc} -> {after_acc}"
+        );
+    }
+
+    #[test]
+    fn empty_holdout_is_noop() {
+        let train = noisy_dataset(3, 100);
+        let mut tree = DecisionTree::train(&train, 1.0, TreeConfig::default()).unwrap();
+        let before = tree.clone();
+        assert_eq!(prune_reduced_error(&mut tree, &[]), 0);
+        assert_eq!(tree, before);
+    }
+
+    #[test]
+    fn perfect_tree_on_clean_data_may_fully_collapse_only_if_harmless() {
+        // Clean separable data: pruning must not destroy a perfect tree.
+        let data: Vec<(FeatureVector, bool)> = (0..50)
+            .map(|i| {
+                let mut v = FeatureVector::zeros();
+                v[FeatureId::GrassRatio] = i as f64 / 50.0;
+                (v, i >= 25)
+            })
+            .collect();
+        let mut tree = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+        prune_reduced_error(&mut tree, &data);
+        let acc = data
+            .iter()
+            .filter(|(v, y)| tree.predict(v, 0.5) == *y)
+            .count();
+        assert_eq!(acc, data.len());
+    }
+}

@@ -1,0 +1,367 @@
+//! A CART-style decision tree over continuous shot features.
+//!
+//! Binary classification with sample weights: the event miner trains
+//! one-vs-rest detectors on heavily imbalanced data (~4% positives), so the
+//! minority class is up-weighted rather than oversampled.
+
+use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum weighted sample mass per leaf.
+    pub min_leaf_weight: f64,
+    /// Minimum entropy gain to accept a split.
+    pub min_gain: f64,
+    /// Maximum candidate thresholds evaluated per feature (quantiles).
+    pub max_candidates: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_leaf_weight: 2.0,
+            min_gain: 1e-4,
+            max_candidates: 24,
+        }
+    }
+}
+
+/// A trained binary decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    config: TreeConfig,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum Node {
+    Leaf {
+        /// P(positive) at this leaf (weighted).
+        p_positive: f64,
+        /// Weighted sample mass that reached the leaf in training.
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,  // feature value <= threshold
+        right: Box<Node>, // feature value > threshold
+    },
+}
+
+impl DecisionTree {
+    /// Trains a tree on `(features, is_positive)` samples.
+    ///
+    /// `positive_weight` is the weight multiplier for positive samples
+    /// (set it to `negatives/positives` to balance skewed data).
+    ///
+    /// Returns `None` when `samples` is empty.
+    pub fn train(
+        samples: &[(FeatureVector, bool)],
+        positive_weight: f64,
+        config: TreeConfig,
+    ) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let weighted: Vec<(FeatureVector, bool, f64)> = samples
+            .iter()
+            .map(|&(v, y)| (v, y, if y { positive_weight.max(1e-9) } else { 1.0 }))
+            .collect();
+        let idx: Vec<usize> = (0..weighted.len()).collect();
+        let root = build(&weighted, &idx, 0, &config);
+        Some(DecisionTree { root, config })
+    }
+
+    /// Probability that `v` is a positive example.
+    pub fn predict_proba(&self, v: &FeatureVector) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { p_positive, .. } => return *p_positive,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if v[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Hard decision at a probability threshold (0.5 is the natural choice
+    /// for weight-balanced training).
+    pub fn predict(&self, v: &FeatureVector, threshold: f64) -> bool {
+        self.predict_proba(v) >= threshold
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth (a single leaf is depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+
+    pub(crate) fn root_mut(&mut self) -> &mut Node {
+        &mut self.root
+    }
+}
+
+fn build(
+    data: &[(FeatureVector, bool, f64)],
+    idx: &[usize],
+    depth: usize,
+    cfg: &TreeConfig,
+) -> Node {
+    let (pos_w, total_w) = class_mass(data, idx);
+    let p_positive = if total_w > 0.0 { pos_w / total_w } else { 0.0 };
+    let leaf = Node::Leaf {
+        p_positive,
+        weight: total_w,
+    };
+
+    if depth >= cfg.max_depth || total_w < 2.0 * cfg.min_leaf_weight {
+        return leaf;
+    }
+    let parent_entropy = binary_entropy(p_positive);
+    if parent_entropy == 0.0 {
+        return leaf; // pure node
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut values: Vec<f64> = Vec::with_capacity(idx.len());
+    for feature in 0..FEATURE_COUNT {
+        values.clear();
+        values.extend(idx.iter().map(|&i| data[i].0[feature]));
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Quantile candidates: midpoints between consecutive distinct values.
+        let step = (values.len() - 1).div_ceil(cfg.max_candidates).max(1);
+        let mut k = 0;
+        while k + 1 < values.len() {
+            let threshold = 0.5 * (values[k] + values[k + 1]);
+            if let Some(gain) = split_gain(data, idx, feature, threshold, parent_entropy, cfg) {
+                if best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+            k += step;
+        }
+    }
+
+    match best {
+        Some((feature, threshold, gain)) if gain >= cfg.min_gain => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| data[i].0[feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(data, &left_idx, depth + 1, cfg)),
+                right: Box::new(build(data, &right_idx, depth + 1, cfg)),
+            }
+        }
+        _ => leaf,
+    }
+}
+
+fn class_mass(data: &[(FeatureVector, bool, f64)], idx: &[usize]) -> (f64, f64) {
+    let mut pos = 0.0;
+    let mut total = 0.0;
+    for &i in idx {
+        let (_, y, w) = data[i];
+        total += w;
+        if y {
+            pos += w;
+        }
+    }
+    (pos, total)
+}
+
+fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+fn split_gain(
+    data: &[(FeatureVector, bool, f64)],
+    idx: &[usize],
+    feature: usize,
+    threshold: f64,
+    parent_entropy: f64,
+    cfg: &TreeConfig,
+) -> Option<f64> {
+    let mut l_pos = 0.0;
+    let mut l_tot = 0.0;
+    let mut r_pos = 0.0;
+    let mut r_tot = 0.0;
+    for &i in idx {
+        let (v, y, w) = &data[i];
+        if v[feature] <= threshold {
+            l_tot += w;
+            if *y {
+                l_pos += w;
+            }
+        } else {
+            r_tot += w;
+            if *y {
+                r_pos += w;
+            }
+        }
+    }
+    if l_tot < cfg.min_leaf_weight || r_tot < cfg.min_leaf_weight {
+        return None;
+    }
+    let total = l_tot + r_tot;
+    let child_entropy = (l_tot / total) * binary_entropy(l_pos / l_tot)
+        + (r_tot / total) * binary_entropy(r_pos / r_tot);
+    Some(parent_entropy - child_entropy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_features::FeatureId;
+
+    fn sample(f: FeatureId, x: f64, y: bool) -> (FeatureVector, bool) {
+        let mut v = FeatureVector::zeros();
+        v[f] = x;
+        (v, y)
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        assert!(DecisionTree::train(&[], 1.0, TreeConfig::default()).is_none());
+    }
+
+    #[test]
+    fn learns_single_threshold() {
+        let data: Vec<_> = (0..20)
+            .map(|i| sample(FeatureId::VolumeMean, i as f64, i >= 10))
+            .collect();
+        let tree = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+        assert!(!tree.predict(&data[2].0, 0.5));
+        assert!(tree.predict(&data[17].0, 0.5));
+        // A single split suffices.
+        assert_eq!(tree.leaf_count(), 2);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn learns_interval_concept() {
+        // Positive iff 3 <= x <= 7: needs two splits.
+        let data: Vec<_> = (0..40)
+            .map(|i| {
+                let x = i as f64 * 0.25;
+                sample(FeatureId::SfMean, x, (3.0..=7.0).contains(&x))
+            })
+            .collect();
+        let tree = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+        let acc = data
+            .iter()
+            .filter(|(v, y)| tree.predict(v, 0.5) == *y)
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc >= 0.95, "accuracy {acc}");
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn learns_two_feature_conjunction() {
+        // Positive iff grass > 0.5 AND volume > 0.5.
+        let mut data = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let g = i as f64 / 10.0;
+                let vol = j as f64 / 10.0;
+                let mut v = FeatureVector::zeros();
+                v[FeatureId::GrassRatio] = g;
+                v[FeatureId::VolumeMean] = vol;
+                data.push((v, g > 0.5 && vol > 0.5));
+            }
+        }
+        let tree = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+        let acc = data
+            .iter()
+            .filter(|(v, y)| tree.predict(v, 0.5) == *y)
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn pure_node_stays_leaf() {
+        let data: Vec<_> = (0..10)
+            .map(|i| sample(FeatureId::SfStd, i as f64, true))
+            .collect();
+        let tree = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(tree.predict_proba(&data[0].0) > 0.99);
+    }
+
+    #[test]
+    fn positive_weighting_shifts_the_decision() {
+        // 1 positive among 20 negatives at the same feature region: with
+        // weight 1 the region is negative; with weight 40 it flips.
+        let mut data: Vec<_> = (0..20)
+            .map(|i| sample(FeatureId::EnergyMean, (i % 5) as f64 * 0.1, false))
+            .collect();
+        data.push(sample(FeatureId::EnergyMean, 0.2, true));
+        let cheap = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+        let probe = sample(FeatureId::EnergyMean, 0.2, true).0;
+        assert!(!cheap.predict(&probe, 0.5));
+        let weighted = DecisionTree::train(&data, 40.0, TreeConfig::default()).unwrap();
+        assert!(weighted.predict_proba(&probe) > cheap.predict_proba(&probe));
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let data: Vec<_> = (0..100)
+            .map(|i| sample(FeatureId::Sub1Mean, i as f64, i % 2 == 0))
+            .collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::train(&data, 1.0, cfg).unwrap();
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data: Vec<_> = (0..20)
+            .map(|i| sample(FeatureId::VolumeMean, i as f64, i >= 10))
+            .collect();
+        let tree = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, back);
+    }
+}

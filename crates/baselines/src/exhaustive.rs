@@ -1,0 +1,246 @@
+//! Brute-force content scan.
+
+use hmmm_core::sim::best_alternative;
+use hmmm_core::{CoreError, Hmmm, RankedPattern, RetrievalStats};
+use hmmm_query::CompiledPattern;
+use hmmm_storage::{Catalog, ShotId};
+use serde::{Deserialize, Serialize};
+
+/// Limits for the exhaustive scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExhaustiveConfig {
+    /// Hard cap on scored combinations per video (the scan aborts the
+    /// video's enumeration beyond it — brute force must stay finite).
+    pub max_combinations_per_video: u64,
+}
+
+impl Default for ExhaustiveConfig {
+    fn default() -> Self {
+        ExhaustiveConfig {
+            max_combinations_per_video: 5_000_000,
+        }
+    }
+}
+
+/// The brute-force retriever: enumerates every temporally ordered shot
+/// combination (subject to gap bounds) in every video and scores it with
+/// the same Eq. 12–15 weights as the HMMM traversal — the "no model, just
+/// search" upper bound on work.
+pub struct ExhaustiveRetriever<'a> {
+    model: &'a Hmmm,
+    catalog: &'a Catalog,
+    config: ExhaustiveConfig,
+}
+
+impl<'a> ExhaustiveRetriever<'a> {
+    /// Creates the retriever (model/catalog must match).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Inconsistent`] on shape mismatch.
+    pub fn new(
+        model: &'a Hmmm,
+        catalog: &'a Catalog,
+        config: ExhaustiveConfig,
+    ) -> Result<Self, CoreError> {
+        model.validate_against(catalog)?;
+        Ok(ExhaustiveRetriever {
+            model,
+            catalog,
+            config,
+        })
+    }
+
+    /// Scores all combinations; returns the top `limit` and work counters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadQuery`] for empty patterns.
+    pub fn retrieve(
+        &self,
+        pattern: &CompiledPattern,
+        limit: usize,
+    ) -> Result<(Vec<RankedPattern>, RetrievalStats), CoreError> {
+        if pattern.is_empty() {
+            return Err(CoreError::BadQuery("empty pattern".into()));
+        }
+        let mut stats = RetrievalStats::default();
+        let mut results: Vec<RankedPattern> = Vec::new();
+
+        for video in self.catalog.videos() {
+            stats.videos_visited += 1;
+            let base = video.shot_range.start;
+            let n = video.shot_count();
+            let local = &self.model.locals[video.id.index()];
+
+            // Pre-compute per-step sims for every shot (the dominant cost).
+            let step_sims: Vec<Vec<(usize, f64)>> = pattern
+                .steps
+                .iter()
+                .map(|step| {
+                    (0..n)
+                        .map(|s| {
+                            stats.sim_evaluations += 1;
+                            best_alternative(self.model, base + s, &step.alternatives)
+                                .unwrap_or((0, 0.0))
+                        })
+                        .collect()
+                })
+                .collect();
+
+            // Depth-first enumeration of ordered combinations.
+            let mut budget = self.config.max_combinations_per_video;
+            let mut stack: Vec<(usize, f64, f64, Vec<usize>, Vec<usize>, Vec<f64>)> = Vec::new();
+            for s in 0..n {
+                let (event, sim) = step_sims[0][s];
+                let w = local.pi1.get(s) * sim;
+                if w <= 0.0 {
+                    continue;
+                }
+                stack.push((1, w, w, vec![s], vec![event], vec![w]));
+            }
+            while let Some((depth, w, score, path, events, weights)) = stack.pop() {
+                if budget == 0 {
+                    break;
+                }
+                if depth == pattern.steps.len() {
+                    budget -= 1;
+                    stats.candidates_scored += 1;
+                    results.push(RankedPattern {
+                        video: video.id,
+                        shots: path.iter().map(|&s| ShotId(base + s)).collect(),
+                        events,
+                        score,
+                        weights,
+                    });
+                    keep_top(&mut results, limit.max(1) * 4);
+                    continue;
+                }
+                let step = &pattern.steps[depth];
+                let from = *path.last().expect("path non-empty");
+                for to in from..n {
+                    if let Some(gap) = step.max_gap {
+                        if to - from > gap {
+                            break;
+                        }
+                    }
+                    if to == from {
+                        continue; // combinations use distinct shots
+                    }
+                    stats.transitions_examined += 1;
+                    let a = local.a1.get(from, to);
+                    let (event, sim) = step_sims[depth][to];
+                    let w2 = w * a * sim;
+                    if w2 <= 0.0 {
+                        continue;
+                    }
+                    let mut p2 = path.clone();
+                    p2.push(to);
+                    let mut e2 = events.clone();
+                    e2.push(event);
+                    let mut ws2 = weights.clone();
+                    ws2.push(w2);
+                    stack.push((depth + 1, w2, score + w2, p2, e2, ws2));
+                }
+            }
+        }
+
+        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.truncate(limit);
+        Ok((results, stats))
+    }
+}
+
+/// Bounded insertion: keep the vector from growing without losing the top.
+fn keep_top(results: &mut Vec<RankedPattern>, cap: usize) {
+    if results.len() > cap * 2 {
+        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.truncate(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_core::{build_hmmm, BuildConfig, RetrievalConfig, Retriever};
+    use hmmm_features::{FeatureId, FeatureVector};
+    use hmmm_media::EventKind;
+    use hmmm_query::QueryTranslator;
+
+    fn feat(g: f64, v: f64) -> FeatureVector {
+        let mut f = FeatureVector::zeros();
+        f[FeatureId::GrassRatio] = g;
+        f[FeatureId::VolumeMean] = v;
+        f
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_video(
+            "m1",
+            vec![
+                (vec![EventKind::FreeKick], feat(0.7, 0.2)),
+                (vec![], feat(0.5, 0.5)),
+                (vec![EventKind::Goal], feat(0.8, 0.9)),
+                (vec![EventKind::Goal], feat(0.75, 0.95)),
+            ],
+        );
+        c
+    }
+
+    fn translator() -> QueryTranslator {
+        QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()))
+    }
+
+    #[test]
+    fn exhaustive_finds_global_optimum() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("free_kick -> goal").unwrap();
+        let ex = ExhaustiveRetriever::new(&model, &c, ExhaustiveConfig::default()).unwrap();
+        let (results, stats) = ex.retrieve(&pattern, 10).unwrap();
+        assert!(!results.is_empty());
+        assert!(stats.candidates_scored >= 2); // (0,2) and (0,3) at least
+        // HMMM traversal's best can never beat the exhaustive best.
+        let r = Retriever::new(&model, &c, RetrievalConfig::default()).unwrap();
+        let (hmmm_results, _) = r.retrieve(&pattern, 10).unwrap();
+        assert!(results[0].score >= hmmm_results[0].score - 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_respects_gap_bound() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("free_kick ->[1] goal").unwrap();
+        let ex = ExhaustiveRetriever::new(&model, &c, ExhaustiveConfig::default()).unwrap();
+        let (results, _) = ex.retrieve(&pattern, 10).unwrap();
+        for r in &results {
+            let a = c.shot(r.shots[0]).unwrap().index_in_video;
+            let b = c.shot(r.shots[1]).unwrap().index_in_video;
+            assert!(b - a <= 1);
+        }
+    }
+
+    #[test]
+    fn combination_budget_is_respected() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("goal").unwrap();
+        let tight = ExhaustiveConfig {
+            max_combinations_per_video: 1,
+        };
+        let ex = ExhaustiveRetriever::new(&model, &c, tight).unwrap();
+        let (_, stats) = ex.retrieve(&pattern, 10).unwrap();
+        assert!(stats.candidates_scored <= 1);
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let ex = ExhaustiveRetriever::new(&model, &c, ExhaustiveConfig::default()).unwrap();
+        assert!(ex
+            .retrieve(&CompiledPattern { steps: vec![] }, 5)
+            .is_err());
+    }
+}

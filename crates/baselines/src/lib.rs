@@ -1,0 +1,34 @@
+//! # hmmm-baselines
+//!
+//! Comparator retrieval systems for the HMMM evaluation.
+//!
+//! The paper claims HMMM "can assist in retrieving more accurate patterns
+//! quickly with lower computational costs" — a claim that needs opponents
+//! to be measurable. Three are provided, spanning the design space the
+//! related-work section surveys:
+//!
+//! * [`exhaustive`] — brute-force content scan: scores **every** ordered
+//!   shot combination per video with the same Eq. 12–15 weights the HMMM
+//!   traversal uses. Exact but exponential in pattern length; the cost
+//!   yardstick.
+//! * [`event_index`] — a ClassView-style inverted index (`event → shots`)
+//!   joined in temporal order. Exact over *annotated* shots; the classic
+//!   "hash tables per concept level" design of ref \[10\].
+//! * [`greedy`] — stateless nearest-feature matching with no temporal
+//!   model: what a pure QBE system would do. Fast and wrong often enough
+//!   to make the affinity model's contribution visible.
+//!
+//! All three reuse [`hmmm_core::RankedPattern`] and
+//! [`hmmm_core::RetrievalStats`], so the bench harness swaps engines
+//! freely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event_index;
+pub mod exhaustive;
+pub mod greedy;
+
+pub use event_index::EventIndexRetriever;
+pub use exhaustive::{ExhaustiveConfig, ExhaustiveRetriever};
+pub use greedy::GreedyRetriever;

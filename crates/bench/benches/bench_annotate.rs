@@ -1,0 +1,46 @@
+//! Criterion: decision-tree training and prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmmm_annotate::{DecisionTree, TreeConfig};
+use hmmm_features::{FeatureId, FeatureVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn dataset(n: usize, seed: u64) -> Vec<(FeatureVector, bool)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut v = FeatureVector::zeros();
+            for j in 0..20 {
+                v[j] = rng.gen_range(0.0..1.0);
+            }
+            let label = v[FeatureId::VolumeMean] > 0.6 && v[FeatureId::GrassRatio] > 0.4;
+            (v, label)
+        })
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_train");
+    group.sample_size(20);
+    for n in [200usize, 1000, 4000] {
+        let data = dataset(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| black_box(DecisionTree::train(black_box(d), 1.0, TreeConfig::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = dataset(2000, 2);
+    let tree = DecisionTree::train(&data, 1.0, TreeConfig::default()).unwrap();
+    let probe = data[17].0;
+    c.bench_function("tree_predict", |b| {
+        b.iter(|| black_box(tree.predict_proba(black_box(&probe))))
+    });
+}
+
+criterion_group!(benches, bench_train, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion: model construction and feedback-update costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmmm_bench::{standard_catalog, DataConfig};
+use hmmm_core::construct::a1_initial_from_counts;
+use hmmm_core::{
+    build_hmmm, BuildConfig, FeedbackConfig, FeedbackLog, PositivePattern,
+};
+use hmmm_media::EventKind;
+use hmmm_storage::{ShotId, VideoId};
+use std::hint::black_box;
+
+fn bench_a1_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_initial_from_counts");
+    for n in [50usize, 200, 1000] {
+        let ne: Vec<f64> = (0..n).map(|i| if i % 20 == 0 { 2.0 } else { 0.0 }).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ne, |b, ne| {
+            b.iter(|| black_box(a1_initial_from_counts(black_box(ne)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_hmmm");
+    group.sample_size(20);
+    for videos in [5usize, 20] {
+        let (_, catalog) = standard_catalog(DataConfig {
+            videos,
+            shots_per_video: 200,
+            event_rate: 0.06,
+            seed: 0xC0,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(videos * 200),
+            &catalog,
+            |b, cat| b.iter(|| black_box(build_hmmm(black_box(cat), &BuildConfig::default()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_feedback_apply(c: &mut Criterion) {
+    let (_, catalog) = standard_catalog(DataConfig {
+        videos: 10,
+        shots_per_video: 200,
+        event_rate: 0.08,
+        seed: 0xC1,
+    });
+    let model = build_hmmm(&catalog, &BuildConfig::default()).expect("non-empty");
+    // 50 synthetic positive patterns over annotated shots.
+    let goal_shots = catalog.shots_with_event(EventKind::Goal);
+    let patterns: Vec<PositivePattern> = goal_shots
+        .iter()
+        .take(50)
+        .enumerate()
+        .map(|(q, &shot)| PositivePattern {
+            query: q as u64,
+            video: catalog.video_of_shot(shot).unwrap_or(VideoId(0)),
+            shots: vec![ShotId(shot.index())],
+            events: vec![EventKind::Goal.index()],
+            access: 1.0,
+        })
+        .collect();
+
+    c.bench_function("feedback_apply_50_patterns", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            let mut log = FeedbackLog::new();
+            for p in &patterns {
+                log.record(p.clone()).unwrap();
+            }
+            black_box(log.apply(&mut m, &catalog, &FeedbackConfig::default()).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_a1_init, bench_build, bench_feedback_apply);
+criterion_main!(benches);

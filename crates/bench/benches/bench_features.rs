@@ -1,0 +1,74 @@
+//! Criterion: Table-1 feature extraction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmmm_features::{extract_shot, ExtractorConfig, FeatureVector, Normalizer};
+use hmmm_media::{
+    CameraSetup, EventKind, EventScript, RenderConfig, ScriptedShot, SyntheticVideo,
+};
+use std::hint::black_box;
+
+fn rendered(config: RenderConfig, frames: usize) -> hmmm_media::RenderedShot {
+    let script = EventScript::from_shots(vec![ScriptedShot {
+        camera: CameraSetup::Wide,
+        events: vec![EventKind::Goal],
+        frames,
+    }]);
+    SyntheticVideo::new(script, config, 7).render_shot(0).expect("in range")
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let cfg = ExtractorConfig::default();
+    let mut group = c.benchmark_group("extract_shot");
+    for (label, render) in [
+        ("small_32x24", RenderConfig::small()),
+        ("default_64x48", RenderConfig::default()),
+    ] {
+        let shot = rendered(render, 12);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &shot, |b, s| {
+            b.iter(|| black_box(extract_shot(black_box(&s.frames), black_box(&s.audio), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render_shot");
+    group.sample_size(40);
+    for (label, render) in [
+        ("small_32x24", RenderConfig::small()),
+        ("default_64x48", RenderConfig::default()),
+    ] {
+        let script = EventScript::from_shots(vec![ScriptedShot {
+            camera: CameraSetup::Wide,
+            events: vec![EventKind::Goal],
+            frames: 12,
+        }]);
+        let video = SyntheticVideo::new(script, render, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &video, |b, v| {
+            b.iter(|| black_box(v.render_shot(0).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let corpus: Vec<FeatureVector> = (0..10_000)
+        .map(|i| {
+            let mut v = FeatureVector::zeros();
+            for j in 0..20 {
+                v[j] = ((i * 31 + j * 17) % 100) as f64 / 100.0;
+            }
+            v
+        })
+        .collect();
+    c.bench_function("normalizer_fit_10k", |b| {
+        b.iter(|| black_box(Normalizer::fit(black_box(&corpus)).unwrap()))
+    });
+    let norm = Normalizer::fit(&corpus).unwrap();
+    c.bench_function("normalize_one", |b| {
+        b.iter(|| black_box(norm.normalize(black_box(&corpus[5]))))
+    });
+}
+
+criterion_group!(benches, bench_extract, bench_render, bench_normalize);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: query parsing, translation, and similarity scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmmm_bench::{standard_catalog, DataConfig};
+use hmmm_core::sim::{calibrated_similarity, similarity};
+use hmmm_core::{build_hmmm, BuildConfig};
+use hmmm_media::EventKind;
+use hmmm_query::{parse_pattern, QueryTranslator};
+use std::hint::black_box;
+
+const QUERY: &str = "foul ->[2] yellow_card|red_card ->[5] player_change -> goal";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_pattern", |b| {
+        b.iter(|| black_box(parse_pattern(black_box(QUERY)).unwrap()))
+    });
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    c.bench_function("compile_pattern", |b| {
+        b.iter(|| black_box(translator.compile(black_box(QUERY)).unwrap()))
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let (_, catalog) = standard_catalog(DataConfig {
+        videos: 4,
+        shots_per_video: 100,
+        event_rate: 0.15,
+        seed: 0xD1,
+    });
+    let model = build_hmmm(&catalog, &BuildConfig::default()).expect("non-empty");
+    let goal = EventKind::Goal.index();
+    c.bench_function("similarity_eq14", |b| {
+        b.iter(|| black_box(similarity(black_box(&model), black_box(7), goal)))
+    });
+    c.bench_function("calibrated_similarity", |b| {
+        b.iter(|| black_box(calibrated_similarity(black_box(&model), black_box(7), goal)))
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_similarity);
+criterion_main!(benches);

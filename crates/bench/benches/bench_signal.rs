@@ -1,0 +1,54 @@
+//! Criterion: DSP substrate (FFT, spectrum flux, histograms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmmm_signal::complex::Complex;
+use hmmm_signal::fft::fft_in_place;
+use hmmm_signal::{spectrum_flux, Histogram};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for pow in [8u32, 10, 12] {
+        let n = 1usize << pow;
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i as f64 * 0.37).sin()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
+            b.iter(|| {
+                let mut buf = s.clone();
+                fft_in_place(&mut buf).unwrap();
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flux(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..16_384).map(|i| (i as f64 * 0.11).sin()).collect();
+    c.bench_function("spectrum_flux_16k", |b| {
+        b.iter(|| black_box(spectrum_flux(black_box(&signal), 256, 128)))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..4096).map(|i| (i % 256) as f64).collect();
+    c.bench_function("histogram_build_4k", |b| {
+        b.iter(|| {
+            black_box(Histogram::from_samples(
+                black_box(samples.iter().copied()),
+                32,
+                0.0,
+                256.0,
+            ))
+        })
+    });
+    let h1 = Histogram::from_samples(samples.iter().copied(), 32, 0.0, 256.0);
+    let h2 = Histogram::from_samples(samples.iter().map(|x| x * 0.9), 32, 0.0, 256.0);
+    c.bench_function("histogram_chi_square", |b| {
+        b.iter(|| black_box(h1.chi_square_distance(black_box(&h2))))
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_flux, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 — the §4.2.1.1 worked example of the `A_1` initialization.
+//!
+//! The paper's only fully worked numeric artifact: a three-shot video
+//! annotated [Free Kick], [Free Kick, Goal], [Corner Kick] must produce
+//! `A1(1,2)=2/3, A1(1,3)=1/3, A1(2,2)=1/2, A1(2,3)=1/2, A1(3,3)=1`.
+
+use hmmm_core::construct::a1_initial_from_counts;
+
+fn main() {
+    println!("E2 / §4.2.1.1 worked example — A1 initialization\n");
+    println!("shots: s1=[free_kick]  s2=[free_kick, goal]  s3=[corner_kick]");
+    println!("NE:    NE(s1)=1, NE(s2)=2, NE(s3)=1\n");
+
+    let a1 = a1_initial_from_counts(&[1.0, 2.0, 1.0]).expect("non-empty");
+
+    println!("computed A1 (rows/cols are s1..s3):");
+    for i in 0..3 {
+        let row: Vec<String> = (0..3).map(|j| format!("{:.4}", a1.get(i, j))).collect();
+        println!("  [{}]", row.join(", "));
+    }
+
+    let expectations = [
+        ((0usize, 1usize), 2.0 / 3.0, "A1(1,2) = 2/3"),
+        ((0, 2), 1.0 / 3.0, "A1(1,3) = 1/3"),
+        ((1, 1), 0.5, "A1(2,2) = 1/2"),
+        ((1, 2), 0.5, "A1(2,3) = 1/2"),
+        ((2, 2), 1.0, "A1(3,3) = 1"),
+    ];
+    println!("\npaper value            computed     match");
+    println!("------------------------------------------");
+    let mut all_ok = true;
+    for ((i, j), expected, label) in expectations {
+        let got = a1.get(i, j);
+        let ok = (got - expected).abs() < 1e-12;
+        all_ok &= ok;
+        println!("{label:<22} {got:<12.6} {}", if ok { "✓" } else { "✗" });
+    }
+    println!(
+        "\nresult: {}",
+        if all_ok {
+            "EXACT reproduction of the paper's example"
+        } else {
+            "MISMATCH — investigate"
+        }
+    );
+    assert!(all_ok);
+}

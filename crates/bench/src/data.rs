@@ -1,0 +1,79 @@
+//! Shared dataset construction for experiments and benches.
+
+use hmmm_media::{ArchiveConfig, RenderConfig, SyntheticArchive};
+use hmmm_storage::Catalog;
+use hmmm_suite::{ingest_archive, AnnotationSource};
+
+/// Dataset parameters shared across experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataConfig {
+    /// Number of videos.
+    pub videos: usize,
+    /// Shots per video.
+    pub shots_per_video: usize,
+    /// Per-shot event probability.
+    pub event_rate: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DataConfig {
+    fn default() -> Self {
+        DataConfig {
+            videos: 8,
+            shots_per_video: 100,
+            event_rate: 0.08,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl DataConfig {
+    /// The paper's archive dimensions (54 videos, ≈11.5k shots, ≈4.4%
+    /// annotation rate).
+    pub fn paper_scale() -> Self {
+        DataConfig {
+            videos: 54,
+            shots_per_video: 214,
+            event_rate: 0.044,
+            seed: 2006,
+        }
+    }
+}
+
+/// Generates the archive and ingests it with ground-truth annotations
+/// (render → Table-1 features → catalog).
+pub fn standard_catalog(config: DataConfig) -> (SyntheticArchive, Catalog) {
+    let archive = SyntheticArchive::generate(ArchiveConfig {
+        videos: config.videos,
+        shots_per_video: config.shots_per_video,
+        event_rate: config.event_rate,
+        double_event_rate: 0.15,
+        render: RenderConfig::small(),
+        seed: config.seed,
+    });
+    let catalog = ingest_archive(&archive, AnnotationSource::GroundTruth);
+    (archive, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_is_consistent() {
+        let (archive, catalog) = standard_catalog(DataConfig {
+            videos: 2,
+            shots_per_video: 10,
+            ..DataConfig::default()
+        });
+        assert_eq!(catalog.shot_count(), archive.total_shots());
+        assert!(catalog.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let cfg = DataConfig::paper_scale();
+        assert_eq!(cfg.videos * cfg.shots_per_video, 11_556);
+    }
+}

@@ -1,0 +1,97 @@
+//! Retrieval-quality metrics against the ground-truth oracle.
+
+use hmmm_core::simulate::FeedbackSimulator;
+use hmmm_core::RankedPattern;
+use hmmm_query::CompiledPattern;
+use hmmm_storage::Catalog;
+
+/// Fraction of the top-`k` results that are truly relevant.
+/// Returns `None` when there are no results to judge.
+pub fn precision_at_k(
+    catalog: &Catalog,
+    pattern: &CompiledPattern,
+    results: &[RankedPattern],
+    k: usize,
+) -> Option<f64> {
+    let top = &results[..results.len().min(k)];
+    if top.is_empty() {
+        return None;
+    }
+    let relevant = top
+        .iter()
+        .filter(|r| FeedbackSimulator::is_relevant(catalog, pattern, r))
+        .count();
+    Some(relevant as f64 / top.len() as f64)
+}
+
+/// `1 / rank` of the first relevant result (`0.0` when none is relevant).
+pub fn mean_reciprocal_rank(
+    catalog: &Catalog,
+    pattern: &CompiledPattern,
+    results: &[RankedPattern],
+) -> f64 {
+    results
+        .iter()
+        .position(|r| FeedbackSimulator::is_relevant(catalog, pattern, r))
+        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+}
+
+/// Aggregated quality over a query set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QualityReport {
+    /// Mean precision@k over queries with at least one result.
+    pub precision: f64,
+    /// Mean reciprocal rank over all queries.
+    pub mrr: f64,
+    /// Queries that returned no result at all.
+    pub empty_queries: usize,
+    /// Queries evaluated.
+    pub queries: usize,
+}
+
+impl QualityReport {
+    /// Aggregates per-query `(precision_at_k, mrr)` observations.
+    pub fn aggregate(observations: &[(Option<f64>, f64)]) -> Self {
+        let queries = observations.len();
+        let empty_queries = observations.iter().filter(|(p, _)| p.is_none()).count();
+        let scored = queries - empty_queries;
+        let precision = if scored == 0 {
+            0.0
+        } else {
+            observations.iter().filter_map(|(p, _)| *p).sum::<f64>() / scored as f64
+        };
+        let mrr = if queries == 0 {
+            0.0
+        } else {
+            observations.iter().map(|(_, m)| m).sum::<f64>() / queries as f64
+        };
+        QualityReport {
+            precision,
+            mrr,
+            empty_queries,
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_handles_empty_queries() {
+        let obs = vec![(Some(1.0), 1.0), (None, 0.0), (Some(0.5), 0.5)];
+        let q = QualityReport::aggregate(&obs);
+        assert_eq!(q.queries, 3);
+        assert_eq!(q.empty_queries, 1);
+        assert!((q.precision - 0.75).abs() < 1e-12);
+        assert!((q.mrr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_of_nothing() {
+        let q = QualityReport::aggregate(&[]);
+        assert_eq!(q.queries, 0);
+        assert_eq!(q.precision, 0.0);
+    }
+}

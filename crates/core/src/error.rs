@@ -1,0 +1,66 @@
+//! Error type for HMMM construction and retrieval.
+
+use hmmm_matrix::MatrixError;
+use hmmm_storage::CatalogError;
+use std::fmt;
+
+/// Errors raised by the HMMM core.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The catalog is empty or missing required data.
+    Catalog(CatalogError),
+    /// Matrix construction/validation failed.
+    Matrix(MatrixError),
+    /// The model and catalog disagree (e.g. stale model after ingest).
+    Inconsistent(String),
+    /// A query referenced an event index outside the vocabulary.
+    BadQuery(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Catalog(e) => write!(f, "catalog error: {e}"),
+            CoreError::Matrix(e) => write!(f, "matrix error: {e}"),
+            CoreError::Inconsistent(s) => write!(f, "model/catalog mismatch: {s}"),
+            CoreError::BadQuery(s) => write!(f, "bad query: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Catalog(e) => Some(e),
+            CoreError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for CoreError {
+    fn from(e: CatalogError) -> Self {
+        CoreError::Catalog(e)
+    }
+}
+
+impl From<MatrixError> for CoreError {
+    fn from(e: MatrixError) -> Self {
+        CoreError::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = CatalogError::Empty.into();
+        assert!(e.to_string().contains("catalog"));
+        let e: CoreError = MatrixError::Empty.into();
+        assert!(e.to_string().contains("matrix"));
+        let e = CoreError::BadQuery("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Model persistence.
+//!
+//! The paper's MMDBMS keeps the trained matrices alongside the data so the
+//! (expensive, offline) learning survives restarts. Models serialize as
+//! JSON; loading re-validates against the catalog the caller pairs them
+//! with, so a stale model cannot silently serve a grown archive.
+
+use crate::error::CoreError;
+use crate::model::Hmmm;
+use hmmm_storage::Catalog;
+use std::path::Path;
+
+/// Saves a model as JSON.
+///
+/// # Errors
+///
+/// [`CoreError::Inconsistent`] wrapping I/O or serialization failures.
+pub fn save_model(model: &Hmmm, path: impl AsRef<Path>) -> Result<(), CoreError> {
+    let json = serde_json::to_vec(model)
+        .map_err(|e| CoreError::Inconsistent(format!("serialize: {e}")))?;
+    std::fs::write(path, json).map_err(|e| CoreError::Inconsistent(format!("write: {e}")))
+}
+
+/// Loads a model and validates it against `catalog`.
+///
+/// # Errors
+///
+/// [`CoreError::Inconsistent`] for I/O, parse, or shape-mismatch failures.
+pub fn load_model(path: impl AsRef<Path>, catalog: &Catalog) -> Result<Hmmm, CoreError> {
+    let data =
+        std::fs::read(path).map_err(|e| CoreError::Inconsistent(format!("read: {e}")))?;
+    let model: Hmmm = serde_json::from_slice(&data)
+        .map_err(|e| CoreError::Inconsistent(format!("parse: {e}")))?;
+    model.validate_against(catalog)?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_hmmm, BuildConfig};
+    use hmmm_features::FeatureVector;
+    use hmmm_media::EventKind;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_video(
+            "m",
+            vec![
+                (vec![EventKind::Goal], FeatureVector::from_array([0.3; 20])),
+                (vec![], FeatureVector::from_array([0.7; 20])),
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let dir = std::env::temp_dir().join("hmmm_model_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+        let back = load_model(&path, &c).unwrap();
+        assert_eq!(model, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_stale_model() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let dir = std::env::temp_dir().join("hmmm_model_io_stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+        // The archive grows; the stored model must be refused.
+        let mut grown = c.clone();
+        grown.add_video("new", vec![(vec![], FeatureVector::zeros())]);
+        assert!(matches!(
+            load_model(&path, &grown),
+            Err(CoreError::Inconsistent(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let c = catalog();
+        assert!(load_model("/nonexistent/model.json", &c).is_err());
+    }
+}

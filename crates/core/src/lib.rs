@@ -1,0 +1,55 @@
+//! # hmmm-core
+//!
+//! The Hierarchical Markov Model Mediator — the primary contribution of
+//! Zhao, Chen & Shyu, *Video Database Modeling and Temporal Pattern
+//! Retrieval using Hierarchical Markov Model Mediator* (ICDE 2006).
+//!
+//! An HMMM (Definition 1) is the 8-tuple `λ = (d, S, F, A, B, Π, P, L)`:
+//! `d` hierarchy levels of states `S_n` with feature sets `F_n`, per-level
+//! affinity matrices `A_n`, feature matrices `B_n` and initial-state
+//! distributions `Π_n`, plus cross-level feature-importance matrices
+//! `P_{n,n+1}` and link conditions `L_{n,n+1}`.
+//!
+//! The paper deploys a **two-level** instance over a soccer archive (§4.2):
+//! one *local* MMM per video over its shots (temporal affinity `A_1`,
+//! Table-1 features `B_1`, `Π_1`), and one *integrated* MMM over the videos
+//! (`A_2`, event counts `B_2`, `Π_2`), glued by the feature-importance
+//! matrix `P_{1,2}`, the per-event centroids `B_1'`, and the shot→video
+//! links `L_{1,2}`. This crate implements that instance end to end:
+//!
+//! * [`model`] — the [`model::Hmmm`] container and its invariants.
+//! * [`construct`] — §4.2 construction, including the closed-form `A_1`
+//!   initialization whose worked example (2/3, 1/3, 1/2, 1/2, 1) is a unit
+//!   test, `P_{1,2}` uniform init (Eq. 7) and dispersion learning
+//!   (Eqs. 8–10), and `B_1'` centroids (Eq. 11).
+//! * [`sim`] — the Eq.-14 shot/event similarity.
+//! * [`retrieve`] — the §5 nine-step retrieval: per-video lattice beam
+//!   traversal (Figure 3) with edge weights (Eqs. 12–13), pattern scores
+//!   (Eq. 15), `A_2`-guided video ordering, and cost accounting.
+//! * [`feedback`] — positive-pattern logging and the offline learning
+//!   updates (Eqs. 1–2, 4, 5–6, 8–10).
+//! * [`simulate`] — a ground-truth relevance oracle standing in for the
+//!   paper's human feedback (see DESIGN.md substitutions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod construct;
+pub mod error;
+pub mod feedback;
+pub mod io;
+pub mod model;
+pub mod retrieve;
+pub mod sim;
+pub mod simulate;
+
+pub use cluster::CategoryLevel;
+pub use construct::{build_hmmm, BuildConfig};
+pub use error::CoreError;
+pub use feedback::{FeedbackConfig, FeedbackLog, PositivePattern};
+pub use io::{load_model, save_model};
+pub use model::{Hmmm, LocalMmm, ModelSummary};
+pub use retrieve::{RankedPattern, RetrievalConfig, RetrievalStats, Retriever};
+pub use sim::similarity;
+pub use simulate::{FeedbackSimulator, OracleConfig};

@@ -1,0 +1,242 @@
+//! The two-level HMMM container.
+
+use crate::error::CoreError;
+use hmmm_features::{FeatureVector, Normalizer, FEATURE_COUNT};
+use hmmm_matrix::{ProbVector, StochasticMatrix};
+use hmmm_media::EventKind;
+use hmmm_storage::Catalog;
+use serde::{Deserialize, Serialize};
+
+/// The *local* MMM of one video (§4.2.1): its shots' temporal affinity
+/// matrix and initial-state distribution. Shot indices here are positions
+/// **within the video**; the catalog's `shot_range` maps them to global ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalMmm {
+    /// `A_1` — temporal relative-affinity matrix over the video's shots.
+    pub a1: StochasticMatrix,
+    /// `Π_1` — initial-state distribution over the video's shots.
+    pub pi1: ProbVector,
+}
+
+impl LocalMmm {
+    /// Number of shot states.
+    pub fn len(&self) -> usize {
+        self.pi1.len()
+    }
+
+    /// `true` if the video has no shots (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.pi1.is_empty()
+    }
+}
+
+/// A fully constructed two-level HMMM (Definition 1 with `d = 2`).
+///
+/// | Tuple element | Representation |
+/// |---|---|
+/// | `d` | 2 (see [`Hmmm::DEPTH`]) |
+/// | `S_1`, `S_2` | catalog shot ids / video ids |
+/// | `F_1`, `F_2` | Table-1 features / [`EventKind`] concepts |
+/// | `A_1` | per-video [`LocalMmm::a1`] (temporal) |
+/// | `A_2` | [`Hmmm::a2`] (co-access, non-temporal) |
+/// | `B_1` | [`Hmmm::b1`] (normalized features per shot) |
+/// | `B_2` | [`Hmmm::b2`] (event counts per video) |
+/// | `Π_1`, `Π_2` | [`LocalMmm::pi1`], [`Hmmm::pi2`] |
+/// | `P_{1,2}` | [`Hmmm::p12`] (event × feature importance) |
+/// | `B_1'` | [`Hmmm::b1_prime`] (per-event feature centroids, Eq. 11) |
+/// | `L_{1,2}` | the catalog's shot→video ranges (dense, implicit) |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hmmm {
+    /// One local MMM per video, indexed by `VideoId`.
+    pub locals: Vec<LocalMmm>,
+    /// `B_1`: normalized Table-1 features, indexed by global `ShotId`.
+    pub b1: Vec<FeatureVector>,
+    /// `A_2`: video-to-video relative affinity.
+    pub a2: StochasticMatrix,
+    /// `B_2`: per-video event counts (`B_2[video][event]`).
+    pub b2: Vec<[usize; EventKind::COUNT]>,
+    /// `Π_2`: initial video distribution.
+    pub pi2: ProbVector,
+    /// `P_{1,2}`: feature-importance weights, one stochastic row per event.
+    pub p12: StochasticMatrix,
+    /// `B_1'`: per-event feature centroids over normalized features.
+    pub b1_prime: Vec<FeatureVector>,
+    /// The Eq.-(3) normalizer fitted on the raw catalog features.
+    pub normalizer: Normalizer,
+}
+
+/// Human-readable summary of a model's dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSummary {
+    /// Hierarchy depth (`d`).
+    pub depth: usize,
+    /// Videos (`M`, level-2 states).
+    pub videos: usize,
+    /// Shots (`N`, level-1 states).
+    pub shots: usize,
+    /// Level-1 features (`K`).
+    pub features: usize,
+    /// Level-2 feature concepts (`C`, the events).
+    pub events: usize,
+}
+
+impl Hmmm {
+    /// The hierarchy depth of this deployment (`d` in Definition 1).
+    pub const DEPTH: usize = 2;
+
+    /// Dimension summary.
+    pub fn summary(&self) -> ModelSummary {
+        ModelSummary {
+            depth: Self::DEPTH,
+            videos: self.locals.len(),
+            shots: self.b1.len(),
+            features: FEATURE_COUNT,
+            events: EventKind::COUNT,
+        }
+    }
+
+    /// Number of videos (`M`).
+    pub fn video_count(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Number of shots (`N`).
+    pub fn shot_count(&self) -> usize {
+        self.b1.len()
+    }
+
+    /// Validates the model against the catalog it was built from: per-video
+    /// state counts, global feature rows, matrix dimensions, link ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Inconsistent`] naming the first mismatch.
+    pub fn validate_against(&self, catalog: &Catalog) -> Result<(), CoreError> {
+        if self.locals.len() != catalog.video_count() {
+            return Err(CoreError::Inconsistent(format!(
+                "{} local MMMs vs {} videos",
+                self.locals.len(),
+                catalog.video_count()
+            )));
+        }
+        if self.b1.len() != catalog.shot_count() {
+            return Err(CoreError::Inconsistent(format!(
+                "B1 has {} rows vs {} shots",
+                self.b1.len(),
+                catalog.shot_count()
+            )));
+        }
+        for (v, local) in catalog.videos().iter().zip(self.locals.iter()) {
+            if local.len() != v.shot_count() {
+                return Err(CoreError::Inconsistent(format!(
+                    "local MMM of {} has {} states vs {} shots",
+                    v.id,
+                    local.len(),
+                    v.shot_count()
+                )));
+            }
+            if local.a1.rows() != v.shot_count() || local.a1.cols() != v.shot_count() {
+                return Err(CoreError::Inconsistent(format!(
+                    "A1 of {} is {}x{}",
+                    v.id,
+                    local.a1.rows(),
+                    local.a1.cols()
+                )));
+            }
+        }
+        let m = catalog.video_count();
+        if self.a2.rows() != m || self.a2.cols() != m || self.pi2.len() != m {
+            return Err(CoreError::Inconsistent("A2/Π2 dimensions".into()));
+        }
+        if self.b2.len() != m {
+            return Err(CoreError::Inconsistent("B2 row count".into()));
+        }
+        if self.p12.rows() != EventKind::COUNT || self.p12.cols() != FEATURE_COUNT {
+            return Err(CoreError::Inconsistent("P12 dimensions".into()));
+        }
+        if self.b1_prime.len() != EventKind::COUNT {
+            return Err(CoreError::Inconsistent("B1' row count".into()));
+        }
+        for (i, f) in self.b1.iter().enumerate() {
+            if !f.is_finite() {
+                return Err(CoreError::Inconsistent(format!(
+                    "B1 row {i} is non-finite"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_hmmm, BuildConfig};
+    use hmmm_features::FeatureId;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let feat = |x: f64| {
+            let mut v = FeatureVector::zeros();
+            v[FeatureId::GrassRatio] = x;
+            v[FeatureId::VolumeMean] = 1.0 - x;
+            v
+        };
+        c.add_video(
+            "m1",
+            vec![
+                (vec![EventKind::FreeKick], feat(0.2)),
+                (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8)),
+                (vec![EventKind::CornerKick], feat(0.5)),
+            ],
+        );
+        c.add_video(
+            "m2",
+            vec![
+                (vec![EventKind::Goal], feat(0.9)),
+                (vec![], feat(0.1)),
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn summary_reports_dimensions() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let s = m.summary();
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.videos, 2);
+        assert_eq!(s.shots, 5);
+        assert_eq!(s.features, 20);
+        assert_eq!(s.events, 8);
+    }
+
+    #[test]
+    fn validate_against_accepts_own_catalog() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        assert!(m.validate_against(&c).is_ok());
+    }
+
+    #[test]
+    fn validate_against_detects_drift() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let mut c2 = c.clone();
+        c2.add_video("extra", vec![(vec![], FeatureVector::zeros())]);
+        assert!(matches!(
+            m.validate_against(&c2),
+            Err(CoreError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Hmmm = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,177 @@
+//! The Eq.-(14) shot/event similarity function.
+
+use crate::model::Hmmm;
+use hmmm_features::FEATURE_COUNT;
+
+/// Features whose centroid magnitude is below this are skipped: the paper
+/// restricts Eq. (14) to "the K non-zero features of the query sample", and
+/// the division by `B_1'(e_j, f_y)` is undefined at zero.
+pub const CENTROID_EPSILON: f64 = 1e-9;
+
+/// Eq. (14):
+/// `sim(s, e) = Σ_y P_{1,2}(e, f_y) · (1 − |B_1(s, f_y) − B_1'(e, f_y)|) / B_1'(e, f_y)`
+/// summed over the event's non-zero features.
+///
+/// Both inputs live in the normalized `[0, 1]` feature space, so each term
+/// is non-negative; features with tiny centroids are excluded rather than
+/// dividing by ~0. Returns `0.0` for an event with no feature support
+/// (no annotated examples).
+pub fn similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
+    let b1 = &model.b1[shot];
+    let centroid = &model.b1_prime[event];
+    let mut total = 0.0;
+    for y in 0..FEATURE_COUNT {
+        let c = centroid[y];
+        if c <= CENTROID_EPSILON {
+            continue;
+        }
+        let weight = model.p12.get(event, y);
+        let diff = (b1[y] - c).abs();
+        total += weight * (1.0 - diff) / c;
+    }
+    total
+}
+
+/// The Eq.-(14) score of an event's own centroid:
+/// `Σ_y P_{1,2}(e, f_y) / B_1'(e, f_y)` over non-zero features — the
+/// maximum attainable similarity for the event.
+pub fn self_similarity(model: &Hmmm, event: usize) -> f64 {
+    let centroid = &model.b1_prime[event];
+    let mut total = 0.0;
+    for y in 0..FEATURE_COUNT {
+        let c = centroid[y];
+        if c <= CENTROID_EPSILON {
+            continue;
+        }
+        total += model.p12.get(event, y) / c;
+    }
+    total
+}
+
+/// Eq. (14) rescaled so a perfect centroid match scores `1.0`.
+///
+/// The literal formula divides by `B_1'(e, f_y)`, which systematically
+/// inflates the scores of events with small centroids — harmless when
+/// ranking shots for a *fixed* event (it is a constant factor), but wrong
+/// when attributing one shot to the best of several alternative events.
+/// Calibration divides by [`self_similarity`], preserving within-event
+/// ordering exactly while making scores comparable across events. (The
+/// deviation is recorded in DESIGN.md; [`similarity`] stays literal.)
+pub fn calibrated_similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
+    let denom = self_similarity(model, event);
+    if denom <= 0.0 {
+        0.0
+    } else {
+        similarity(model, shot, event) / denom
+    }
+}
+
+/// Similarity of a shot against the best of several alternative events
+/// (MATN branch arcs), returning `(best_event, similarity)`. Uses the
+/// calibrated score so alternatives with small centroids do not dominate.
+/// Returns `None` for an empty alternative list.
+pub fn best_alternative(model: &Hmmm, shot: usize, events: &[usize]) -> Option<(usize, f64)> {
+    events
+        .iter()
+        .map(|&e| (e, calibrated_similarity(model, shot, e)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_hmmm, BuildConfig};
+    use hmmm_features::{FeatureId, FeatureVector};
+    use hmmm_media::EventKind;
+    use hmmm_storage::Catalog;
+
+    fn model() -> Hmmm {
+        let mut c = Catalog::new();
+        let feat = |g: f64, v: f64| {
+            let mut f = FeatureVector::zeros();
+            f[FeatureId::GrassRatio] = g;
+            f[FeatureId::VolumeMean] = v;
+            f
+        };
+        c.add_video(
+            "m",
+            vec![
+                (vec![EventKind::Goal], feat(0.8, 0.9)),
+                (vec![EventKind::Goal], feat(0.82, 0.95)),
+                (vec![EventKind::FreeKick], feat(0.3, 0.1)),
+                (vec![EventKind::FreeKick], feat(0.28, 0.12)),
+                (vec![], feat(0.5, 0.5)),
+            ],
+        );
+        build_hmmm(&c, &BuildConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn matching_shots_score_higher() {
+        let m = model();
+        let goal = EventKind::Goal.index();
+        // Shot 0 is a goal shot, shot 2 a free kick.
+        assert!(similarity(&m, 0, goal) > similarity(&m, 2, goal));
+        let fk = EventKind::FreeKick.index();
+        assert!(similarity(&m, 2, fk) > similarity(&m, 0, fk));
+    }
+
+    #[test]
+    fn similarity_is_non_negative() {
+        let m = model();
+        for shot in 0..m.shot_count() {
+            for event in 0..EventKind::COUNT {
+                assert!(similarity(&m, shot, event) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_event_scores_zero() {
+        let m = model();
+        let red = EventKind::RedCard.index();
+        for shot in 0..m.shot_count() {
+            assert_eq!(similarity(&m, shot, red), 0.0);
+        }
+    }
+
+    #[test]
+    fn best_alternative_picks_the_matching_event() {
+        let m = model();
+        let goal = EventKind::Goal.index();
+        let fk = EventKind::FreeKick.index();
+        // Shot 0 is a goal shot, shot 2 a free kick: calibration must
+        // attribute each to its own event despite centroid-scale bias.
+        let (best, score) = best_alternative(&m, 0, &[fk, goal]).unwrap();
+        assert_eq!(best, goal);
+        assert!(score > 0.0);
+        let (best, _) = best_alternative(&m, 2, &[fk, goal]).unwrap();
+        assert_eq!(best, fk);
+        assert!(best_alternative(&m, 0, &[]).is_none());
+    }
+
+    #[test]
+    fn calibrated_similarity_is_bounded_by_one_at_centroid() {
+        let m = model();
+        let goal = EventKind::Goal.index();
+        // A shot exactly at the centroid would score 1; real shots near it
+        // score close to (but never meaningfully above) 1.
+        for shot in 0..m.shot_count() {
+            let c = calibrated_similarity(&m, shot, goal);
+            assert!((0.0..=1.0 + 1e-9).contains(&c), "calibrated {c}");
+        }
+        // Literal and calibrated agree on within-event ordering.
+        let lit0 = similarity(&m, 0, goal);
+        let lit2 = similarity(&m, 2, goal);
+        let cal0 = calibrated_similarity(&m, 0, goal);
+        let cal2 = calibrated_similarity(&m, 2, goal);
+        assert_eq!(lit0 > lit2, cal0 > cal2);
+    }
+
+    #[test]
+    fn self_similarity_positive_for_seen_events() {
+        let m = model();
+        assert!(self_similarity(&m, EventKind::Goal.index()) > 0.0);
+        assert_eq!(self_similarity(&m, EventKind::RedCard.index()), 0.0);
+    }
+}

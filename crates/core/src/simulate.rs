@@ -1,0 +1,225 @@
+//! Simulated relevance feedback — the stand-in for the paper's human users.
+//!
+//! The paper gathers feedback through its GUI (Figure 5): users mark
+//! retrieved patterns "Positive". This reproduction has no humans, so the
+//! oracle judges a retrieved pattern against the catalog's ground-truth
+//! annotations: a candidate is relevant iff every step's shot is actually
+//! annotated with the matched event and the gap bounds hold. Configurable
+//! noise flips judgments to model imperfect users.
+
+use crate::retrieve::RankedPattern;
+use hmmm_media::EventKind;
+use hmmm_query::CompiledPattern;
+use hmmm_storage::Catalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Oracle behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Probability of flipping a judgment (simulated user error).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            noise: 0.0,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// The ground-truth relevance oracle.
+#[derive(Debug, Clone)]
+pub struct FeedbackSimulator {
+    config: OracleConfig,
+    rng: StdRng,
+}
+
+impl FeedbackSimulator {
+    /// Creates an oracle.
+    pub fn new(config: OracleConfig) -> Self {
+        FeedbackSimulator {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Noise-free relevance: does the candidate truly realize the pattern?
+    pub fn is_relevant(
+        catalog: &Catalog,
+        pattern: &CompiledPattern,
+        candidate: &RankedPattern,
+    ) -> bool {
+        if candidate.shots.len() != pattern.steps.len() {
+            return false;
+        }
+        let mut prev_index: Option<usize> = None;
+        for ((shot_id, step), &event) in candidate
+            .shots
+            .iter()
+            .zip(pattern.steps.iter())
+            .zip(candidate.events.iter())
+        {
+            let Some(shot) = catalog.shot(*shot_id) else {
+                return false;
+            };
+            // The matched event must be one of the step's alternatives and
+            // actually annotated on the shot.
+            if !step.alternatives.contains(&event) {
+                return false;
+            }
+            let Some(kind) = EventKind::from_index(event) else {
+                return false;
+            };
+            if !shot.events.contains(&kind) {
+                return false;
+            }
+            // Temporal order and gap bound (in within-video shot steps).
+            if let Some(prev) = prev_index {
+                if shot.index_in_video < prev {
+                    return false;
+                }
+                if let Some(gap) = step.max_gap {
+                    if shot.index_in_video - prev > gap {
+                        return false;
+                    }
+                }
+            }
+            prev_index = Some(shot.index_in_video);
+        }
+        true
+    }
+
+    /// Judges a candidate, possibly with noise.
+    pub fn judge(
+        &mut self,
+        catalog: &Catalog,
+        pattern: &CompiledPattern,
+        candidate: &RankedPattern,
+    ) -> bool {
+        let truth = Self::is_relevant(catalog, pattern, candidate);
+        if self.config.noise > 0.0 && self.rng.gen_bool(self.config.noise.clamp(0.0, 1.0)) {
+            !truth
+        } else {
+            truth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_features::{FeatureId, FeatureVector};
+    use hmmm_query::QueryTranslator;
+    use hmmm_storage::{ShotId, VideoId};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let feat = |x: f64| {
+            let mut v = FeatureVector::zeros();
+            v[FeatureId::GrassRatio] = x;
+            v
+        };
+        c.add_video(
+            "m",
+            vec![
+                (vec![EventKind::FreeKick], feat(0.2)),
+                (vec![], feat(0.4)),
+                (vec![EventKind::Goal], feat(0.6)),
+            ],
+        );
+        c
+    }
+
+    fn candidate(shots: Vec<usize>, events: Vec<usize>) -> RankedPattern {
+        RankedPattern {
+            video: VideoId(0),
+            shots: shots.into_iter().map(ShotId).collect(),
+            events,
+            score: 1.0,
+            weights: vec![1.0],
+        }
+    }
+
+    fn compiled(text: &str) -> CompiledPattern {
+        QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()))
+            .compile(text)
+            .unwrap()
+    }
+
+    #[test]
+    fn true_pattern_is_relevant() {
+        let c = catalog();
+        let p = compiled("free_kick -> goal");
+        let good = candidate(
+            vec![0, 2],
+            vec![EventKind::FreeKick.index(), EventKind::Goal.index()],
+        );
+        assert!(FeedbackSimulator::is_relevant(&c, &p, &good));
+    }
+
+    #[test]
+    fn wrong_annotation_is_irrelevant() {
+        let c = catalog();
+        let p = compiled("free_kick -> goal");
+        // Shot 1 has no goal annotation.
+        let bad = candidate(
+            vec![0, 1],
+            vec![EventKind::FreeKick.index(), EventKind::Goal.index()],
+        );
+        assert!(!FeedbackSimulator::is_relevant(&c, &p, &bad));
+    }
+
+    #[test]
+    fn gap_violation_is_irrelevant() {
+        let c = catalog();
+        let p = compiled("free_kick ->[1] goal");
+        let far = candidate(
+            vec![0, 2],
+            vec![EventKind::FreeKick.index(), EventKind::Goal.index()],
+        );
+        assert!(!FeedbackSimulator::is_relevant(&c, &p, &far));
+    }
+
+    #[test]
+    fn length_mismatch_is_irrelevant() {
+        let c = catalog();
+        let p = compiled("free_kick -> goal");
+        let short = candidate(vec![0], vec![EventKind::FreeKick.index()]);
+        assert!(!FeedbackSimulator::is_relevant(&c, &p, &short));
+    }
+
+    #[test]
+    fn event_not_in_alternatives_is_irrelevant() {
+        let c = catalog();
+        let p = compiled("free_kick -> goal");
+        // Claims corner_kick at step 1 — not an alternative.
+        let wrong = candidate(
+            vec![0, 2],
+            vec![EventKind::CornerKick.index(), EventKind::Goal.index()],
+        );
+        assert!(!FeedbackSimulator::is_relevant(&c, &p, &wrong));
+    }
+
+    #[test]
+    fn noise_flips_judgments() {
+        let c = catalog();
+        let p = compiled("free_kick -> goal");
+        let good = candidate(
+            vec![0, 2],
+            vec![EventKind::FreeKick.index(), EventKind::Goal.index()],
+        );
+        let mut always_wrong = FeedbackSimulator::new(OracleConfig {
+            noise: 1.0,
+            seed: 1,
+        });
+        assert!(!always_wrong.judge(&c, &p, &good));
+        let mut faithful = FeedbackSimulator::new(OracleConfig::default());
+        assert!(faithful.judge(&c, &p, &good));
+    }
+}

@@ -1,0 +1,99 @@
+//! The d=3 category extension end-to-end: clustering + category-filtered
+//! retrieval agrees with full-archive retrieval while visiting fewer
+//! videos.
+
+use hmmm_core::{
+    build_hmmm, BuildConfig, CategoryLevel, RetrievalConfig, Retriever,
+};
+use hmmm_features::{FeatureId, FeatureVector};
+use hmmm_media::EventKind;
+use hmmm_query::QueryTranslator;
+use hmmm_storage::Catalog;
+
+fn feat(g: f64, v: f64) -> FeatureVector {
+    let mut f = FeatureVector::zeros();
+    f[FeatureId::GrassRatio] = g;
+    f[FeatureId::VolumeMean] = v;
+    f
+}
+
+/// Six videos in two clear genres: "match" videos with goals/kicks and
+/// "discipline" videos with cards/fouls.
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..3 {
+        c.add_video(
+            format!("match-{i}"),
+            vec![
+                (vec![EventKind::FreeKick], feat(0.7, 0.2 + 0.01 * i as f64)),
+                (vec![EventKind::Goal], feat(0.8, 0.9)),
+                (vec![], feat(0.5, 0.4)),
+                (vec![EventKind::Goal], feat(0.75, 0.92)),
+            ],
+        );
+    }
+    for i in 0..3 {
+        c.add_video(
+            format!("discipline-{i}"),
+            vec![
+                (vec![EventKind::Foul], feat(0.4, 0.5 + 0.01 * i as f64)),
+                (vec![EventKind::YellowCard], feat(0.2, 0.3)),
+                (vec![EventKind::RedCard], feat(0.25, 0.35)),
+            ],
+        );
+    }
+    c
+}
+
+#[test]
+fn category_filter_matches_full_retrieval() {
+    let c = catalog();
+    let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+    let cats = CategoryLevel::build(&model, 2).unwrap();
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    let pattern = translator.compile("free_kick -> goal").unwrap();
+    let retriever = Retriever::new(&model, &c, RetrievalConfig::default()).unwrap();
+
+    let (full, full_stats) = retriever.retrieve(&pattern, 10).unwrap();
+    let eligible = cats.eligible_videos(&pattern.steps[0].alternatives);
+    let (filtered, filtered_stats) = retriever
+        .retrieve_within(&pattern, 10, Some(&eligible))
+        .unwrap();
+
+    // The goal category contains every free_kick video, so results agree…
+    assert_eq!(full.len(), filtered.len());
+    for (a, b) in full.iter().zip(filtered.iter()) {
+        assert_eq!(a.shots, b.shots);
+        assert!((a.score - b.score).abs() < 1e-12);
+    }
+    // …while the category pre-filter hands the retriever fewer videos to
+    // even consider (B2-skips move up to the category level).
+    assert!(eligible.len() < c.video_count());
+    assert!(filtered_stats.videos_skipped <= full_stats.videos_skipped);
+}
+
+#[test]
+fn retrieve_within_empty_subset_returns_nothing() {
+    let c = catalog();
+    let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    let pattern = translator.compile("goal").unwrap();
+    let retriever = Retriever::new(&model, &c, RetrievalConfig::default()).unwrap();
+    let (results, stats) = retriever.retrieve_within(&pattern, 5, Some(&[])).unwrap();
+    assert!(results.is_empty());
+    assert_eq!(stats.videos_visited, 0);
+}
+
+#[test]
+fn retrieve_within_ignores_out_of_range_ids() {
+    let c = catalog();
+    let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    let pattern = translator.compile("goal").unwrap();
+    let retriever = Retriever::new(&model, &c, RetrievalConfig::default()).unwrap();
+    let bogus = vec![hmmm_storage::VideoId(999), hmmm_storage::VideoId(0)];
+    let (results, _) = retriever.retrieve_within(&pattern, 5, Some(&bogus)).unwrap();
+    // Only video 0 is real; it has goals.
+    assert!(!results.is_empty());
+    assert!(results.iter().all(|r| r.video.index() == 0));
+}

@@ -1,0 +1,201 @@
+//! Property-based invariants of HMMM construction, retrieval, and feedback
+//! over randomly generated catalogs.
+
+use hmmm_core::{
+    build_hmmm, BuildConfig, FeedbackConfig, FeedbackLog, PositivePattern, RetrievalConfig,
+    Retriever,
+};
+use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use hmmm_media::EventKind;
+use hmmm_query::{CompiledPattern, CompiledStep};
+use hmmm_storage::{Catalog, ShotId, VideoId};
+use proptest::prelude::*;
+
+/// Random feature vector with entries in [0, 1].
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(0.0f64..1.0, FEATURE_COUNT)
+        .prop_map(|v| FeatureVector::from_slice(&v).expect("exact length"))
+}
+
+/// Random event list (0–2 events per shot, like the paper's archive).
+fn events() -> impl Strategy<Value = Vec<EventKind>> {
+    proptest::collection::vec(0usize..EventKind::COUNT, 0..3).prop_map(|idx| {
+        let mut out: Vec<EventKind> = idx
+            .into_iter()
+            .filter_map(EventKind::from_index)
+            .collect();
+        out.dedup();
+        out
+    })
+}
+
+/// Random catalog: 1–4 videos × 2–12 shots.
+fn catalog() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec(
+        proptest::collection::vec((events(), feature_vector()), 2..12),
+        1..4,
+    )
+    .prop_map(|videos| {
+        let mut c = Catalog::new();
+        for (i, shots) in videos.into_iter().enumerate() {
+            c.add_video(format!("v{i}"), shots);
+        }
+        c
+    })
+}
+
+/// Random single-step or two-step pattern over valid event indices.
+fn pattern() -> impl Strategy<Value = CompiledPattern> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..EventKind::COUNT, 1..3),
+            proptest::option::of(0usize..6),
+        ),
+        1..3,
+    )
+    .prop_map(|steps| CompiledPattern {
+        steps: steps
+            .into_iter()
+            .map(|(mut alternatives, max_gap)| {
+                alternatives.dedup();
+                CompiledStep {
+                    alternatives,
+                    max_gap,
+                }
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Construction always yields a model that validates against its
+    /// catalog, with row-stochastic A1/A2 and unit-mass Π1/Π2.
+    #[test]
+    fn construction_invariants(cat in catalog(), unann in 0.0f64..0.5) {
+        let cfg = BuildConfig { unannotated_weight: unann, ..BuildConfig::default() };
+        let model = build_hmmm(&cat, &cfg).unwrap();
+        prop_assert!(model.validate_against(&cat).is_ok());
+        for local in &model.locals {
+            for i in 0..local.len() {
+                let s: f64 = local.a1.row(i).iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-8, "A1 row {i} sums to {s}");
+            }
+            let mass: f64 = local.pi1.as_slice().iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-8);
+        }
+        for i in 0..model.video_count() {
+            let s: f64 = model.a2.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+        for e in 0..EventKind::COUNT {
+            let s: f64 = model.p12.row(e).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+    }
+
+    /// A1 is always upper-triangular (temporal): no backward transitions.
+    #[test]
+    fn a1_is_temporal(cat in catalog()) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        for local in &model.locals {
+            for i in 0..local.len() {
+                for j in 0..i {
+                    prop_assert_eq!(local.a1.get(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    /// Retrieval output is well-formed for any pattern: scores sorted
+    /// descending and finite, shots within one video, temporally ordered,
+    /// gap bounds respected.
+    #[test]
+    fn retrieval_output_well_formed(cat in catalog(), pat in pattern(), beam in 1usize..5) {
+        let model = build_hmmm(&cat, &BuildConfig { unannotated_weight: 0.2, ..BuildConfig::default() }).unwrap();
+        let cfg = RetrievalConfig { beam_width: beam, ..RetrievalConfig::default() };
+        let retriever = Retriever::new(&model, &cat, cfg).unwrap();
+        let (results, _) = retriever.retrieve(&pat, 20).unwrap();
+        for pair in results.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+        for r in &results {
+            prop_assert!(r.score.is_finite() && r.score >= 0.0);
+            prop_assert_eq!(r.shots.len(), pat.steps.len());
+            prop_assert_eq!(r.events.len(), pat.steps.len());
+            prop_assert!((r.score - r.weights.iter().sum::<f64>()).abs() < 1e-9);
+            let mut prev: Option<usize> = None;
+            for (shot_id, step) in r.shots.iter().zip(pat.steps.iter()) {
+                let shot = cat.shot(*shot_id).unwrap();
+                prop_assert_eq!(shot.video, r.video);
+                if let Some(p) = prev {
+                    prop_assert!(shot.index_in_video >= p);
+                    if let Some(gap) = step.max_gap {
+                        prop_assert!(shot.index_in_video - p <= gap);
+                    }
+                }
+                prev = Some(shot.index_in_video);
+            }
+        }
+    }
+
+    /// Feedback with arbitrary (valid) positive patterns preserves every
+    /// stochastic invariant and never errors.
+    #[test]
+    fn feedback_preserves_invariants(
+        cat in catalog(),
+        picks in proptest::collection::vec((0usize..4, proptest::collection::vec(0usize..12, 1..4), 0.1f64..5.0), 0..10),
+    ) {
+        let mut model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let mut log = FeedbackLog::new();
+        for (q, (v, shots, access)) in picks.into_iter().enumerate() {
+            let video = VideoId(v % cat.video_count());
+            let record = cat.video(video).unwrap();
+            let n = record.shot_count();
+            let mut locals: Vec<usize> = shots.into_iter().map(|s| s % n).collect();
+            locals.sort_unstable();
+            let pattern = PositivePattern {
+                query: q as u64,
+                video,
+                shots: locals.iter().map(|&s| ShotId(record.shot_range.start + s)).collect(),
+                events: locals.iter().map(|_| 0).collect(),
+                access,
+            };
+            log.record(pattern).unwrap();
+        }
+        log.apply(&mut model, &cat, &FeedbackConfig::default()).unwrap();
+        prop_assert!(model.validate_against(&cat).is_ok());
+        for local in &model.locals {
+            for i in 0..local.len() {
+                let s: f64 = local.a1.row(i).iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-8);
+            }
+        }
+        for i in 0..model.video_count() {
+            let s: f64 = model.a2.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+    }
+
+    /// Model serde round-trip is lossless for any catalog.
+    #[test]
+    fn model_serde_round_trip(cat in catalog()) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: hmmm_core::Hmmm = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(model, back);
+    }
+
+    /// Calibrated similarity is always within [0, 1]; literal Eq.-14 is
+    /// non-negative; both agree on within-event ordering.
+    #[test]
+    fn similarity_bounds(cat in catalog(), shot_sel in 0usize..100, event in 0usize..EventKind::COUNT) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let shot = shot_sel % model.shot_count();
+        let lit = hmmm_core::sim::similarity(&model, shot, event);
+        let cal = hmmm_core::sim::calibrated_similarity(&model, shot, event);
+        prop_assert!(lit >= 0.0);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&cal), "calibrated {cal}");
+    }
+}

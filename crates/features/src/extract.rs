@@ -1,0 +1,273 @@
+//! Shot-level feature extraction — every row of Table 1.
+
+use crate::feature_id::FeatureId;
+use crate::vector::FeatureVector;
+use hmmm_media::{AudioBuf, PixelBuf};
+use hmmm_signal::stats::{differences, low_rate, Stats};
+use hmmm_signal::{spectrum_flux, SubBands};
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtractorConfig {
+    /// Window (samples) for the short-time volume/energy series.
+    pub volume_window: usize,
+    /// FFT frame length for sub-band and spectrum-flux analysis.
+    pub flux_frame: usize,
+    /// Hop between FFT frames.
+    pub flux_hop: usize,
+    /// Squared RGB distance above which a pixel counts as "changed".
+    pub pixel_change_threshold_sqr: u32,
+    /// Bins of the per-frame luminance histogram.
+    pub histogram_bins: usize,
+    /// Number of spectral sub-bands (Table 1 references sub-bands 1 and 3,
+    /// so at least 3).
+    pub sub_bands: usize,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> Self {
+        ExtractorConfig {
+            volume_window: 256,
+            flux_frame: 256,
+            flux_hop: 128,
+            pixel_change_threshold_sqr: 900,
+            histogram_bins: 32,
+            sub_bands: 3,
+        }
+    }
+}
+
+/// Extracts the full 20-feature vector of one shot from its rendered media.
+///
+/// Degenerate inputs (no frames, empty audio) yield zero for the affected
+/// features rather than NaN — extraction must never poison the `B_1` matrix.
+pub fn extract_shot(frames: &[PixelBuf], audio: &AudioBuf, cfg: &ExtractorConfig) -> FeatureVector {
+    let mut v = FeatureVector::zeros();
+    extract_visual(frames, cfg, &mut v);
+    extract_audio(audio, cfg, &mut v);
+    debug_assert!(v.is_finite(), "extracted features must be finite");
+    v
+}
+
+fn extract_visual(frames: &[PixelBuf], cfg: &ExtractorConfig, v: &mut FeatureVector) {
+    if frames.is_empty() {
+        return;
+    }
+
+    let mut grass = Stats::new();
+    let mut bg_mean = Stats::new();
+    let mut bg_var = Stats::new();
+    for f in frames {
+        grass.push(f.grass_ratio());
+        let (m, var) = f.background_stats();
+        bg_mean.push(m);
+        bg_var.push(var);
+    }
+    v[FeatureId::GrassRatio] = grass.mean();
+    v[FeatureId::BackgroundMean] = bg_mean.mean();
+    v[FeatureId::BackgroundVar] = bg_var.mean();
+
+    let mut change = Stats::new();
+    let mut histo = Stats::new();
+    for pair in frames.windows(2) {
+        change.push(pair[0].changed_fraction(&pair[1], cfg.pixel_change_threshold_sqr));
+        let h0 = pair[0].luminance_histogram(cfg.histogram_bins);
+        let h1 = pair[1].luminance_histogram(cfg.histogram_bins);
+        histo.push(h0.l1_distance(&h1));
+    }
+    v[FeatureId::PixelChangePercent] = change.mean();
+    v[FeatureId::HistoChange] = histo.mean();
+}
+
+fn extract_audio(audio: &AudioBuf, cfg: &ExtractorConfig, v: &mut FeatureVector) {
+    let samples = audio.samples();
+    if samples.is_empty() || cfg.volume_window == 0 {
+        return;
+    }
+
+    // --- Volume family: short-time RMS series.
+    let volume = audio.volume_series(cfg.volume_window);
+    if !volume.is_empty() {
+        let vol_stats: Stats = volume.iter().copied().collect();
+        v[FeatureId::VolumeMean] = vol_stats.mean();
+        v[FeatureId::VolumeStd] = vol_stats.normalized_std();
+        v[FeatureId::VolumeRange] = vol_stats.normalized_range();
+        let diff_stats: Stats = differences(&volume).into_iter().collect();
+        // Normalized by the maximum volume, like volume_std (the series
+        // shares the same scale).
+        let max_vol = vol_stats.max();
+        v[FeatureId::VolumeStdd] = if max_vol > 0.0 {
+            diff_stats.population_std() / max_vol
+        } else {
+            0.0
+        };
+    }
+
+    // --- Energy family: short-time mean power (RMS²) series.
+    let energy: Vec<f64> = samples
+        .chunks_exact(cfg.volume_window)
+        .map(|w| w.iter().map(|s| s * s).sum::<f64>() / w.len() as f64)
+        .collect();
+    if !energy.is_empty() {
+        let e_stats: Stats = energy.iter().copied().collect();
+        v[FeatureId::EnergyMean] = e_stats.mean();
+        v[FeatureId::EnergyLowrate] = low_rate(&energy, 0.5);
+    }
+
+    // --- Sub-band family: per-FFT-frame band energies.
+    let splitter = SubBands::new(cfg.sub_bands.max(3));
+    let mut sub1 = Vec::new();
+    let mut sub3 = Vec::new();
+    for frame in hmmm_signal::window::frames(samples, cfg.flux_frame, cfg.flux_hop) {
+        let power = hmmm_signal::fft::power_spectrum(frame);
+        let bands = splitter.band_energies_from_power(&power);
+        sub1.push(bands[0]);
+        sub3.push(bands[2]);
+    }
+    if !sub1.is_empty() {
+        let s1: Stats = sub1.iter().copied().collect();
+        v[FeatureId::Sub1Mean] = s1.mean();
+        v[FeatureId::Sub1Std] = s1.population_std();
+        v[FeatureId::Sub1Lowrate] = low_rate(&sub1, 0.5);
+        let s3: Stats = sub3.iter().copied().collect();
+        v[FeatureId::Sub3Mean] = s3.mean();
+        v[FeatureId::Sub3Lowrate] = low_rate(&sub3, 0.5);
+    }
+
+    // --- Spectrum-flux family.
+    let flux = spectrum_flux(samples, cfg.flux_frame, cfg.flux_hop);
+    if !flux.is_empty() {
+        let f_stats: Stats = flux.iter().copied().collect();
+        v[FeatureId::SfMean] = f_stats.mean();
+        v[FeatureId::SfStd] = f_stats.normalized_std();
+        v[FeatureId::SfRange] = f_stats.normalized_range();
+        let fd_stats: Stats = differences(&flux).into_iter().collect();
+        let max_f = f_stats.max();
+        v[FeatureId::SfStdd] = if max_f > 0.0 {
+            fd_stats.population_std() / max_f
+        } else {
+            0.0
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_media::{CameraSetup, EventKind, EventScript, RenderConfig, ScriptedShot, SyntheticVideo};
+
+    fn render(camera: CameraSetup, events: Vec<EventKind>, seed: u64) -> FeatureVector {
+        let script = EventScript::from_shots(vec![ScriptedShot {
+            camera,
+            events,
+            frames: 12,
+        }]);
+        let video = SyntheticVideo::new(script, RenderConfig::default(), seed);
+        let shot = video.render_shot(0).unwrap();
+        extract_shot(&shot.frames, &shot.audio, &ExtractorConfig::default())
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero_vector() {
+        let audio = AudioBuf::silence(8000, 0);
+        let v = extract_shot(&[], &audio, &ExtractorConfig::default());
+        assert_eq!(v, FeatureVector::zeros());
+    }
+
+    #[test]
+    fn all_features_are_finite_on_real_shots() {
+        for (i, &camera) in CameraSetup::ALL.iter().enumerate() {
+            let v = render(camera, vec![], 100 + i as u64);
+            assert!(v.is_finite(), "{camera:?} produced non-finite features");
+        }
+    }
+
+    #[test]
+    fn grass_ratio_separates_wide_from_crowd() {
+        let wide = render(CameraSetup::Wide, vec![], 1);
+        let crowd = render(CameraSetup::Crowd, vec![], 2);
+        assert!(wide[FeatureId::GrassRatio] > 0.5);
+        assert!(crowd[FeatureId::GrassRatio] < 0.1);
+    }
+
+    #[test]
+    fn goal_raises_motion_and_volume() {
+        let goal = render(CameraSetup::Wide, vec![EventKind::Goal], 3);
+        let plain = render(CameraSetup::Wide, vec![], 4);
+        assert!(
+            goal[FeatureId::PixelChangePercent] > plain[FeatureId::PixelChangePercent],
+            "goal motion {} <= plain {}",
+            goal[FeatureId::PixelChangePercent],
+            plain[FeatureId::PixelChangePercent]
+        );
+        assert!(
+            goal[FeatureId::VolumeMean] > 1.5 * plain[FeatureId::VolumeMean],
+            "goal volume {} vs plain {}",
+            goal[FeatureId::VolumeMean],
+            plain[FeatureId::VolumeMean]
+        );
+    }
+
+    #[test]
+    fn whistle_raises_sub3_share() {
+        let foul = render(CameraSetup::Medium, vec![EventKind::Foul], 5);
+        let plain = render(CameraSetup::Medium, vec![], 6);
+        let foul_share = foul[FeatureId::Sub3Mean] / (foul[FeatureId::Sub1Mean] + 1e-12);
+        let plain_share = plain[FeatureId::Sub3Mean] / (plain[FeatureId::Sub1Mean] + 1e-12);
+        assert!(
+            foul_share > 2.0 * plain_share,
+            "foul sub3/sub1 {foul_share} vs plain {plain_share}"
+        );
+    }
+
+    #[test]
+    fn applause_raises_volume_stdd() {
+        let sub = render(CameraSetup::Medium, vec![EventKind::PlayerChange], 7);
+        let plain = render(CameraSetup::Medium, vec![], 8);
+        assert!(
+            sub[FeatureId::VolumeStdd] > 1.5 * plain[FeatureId::VolumeStdd],
+            "applause stdd {} vs plain {}",
+            sub[FeatureId::VolumeStdd],
+            plain[FeatureId::VolumeStdd]
+        );
+    }
+
+    #[test]
+    fn card_closeup_lowers_grass_and_motion() {
+        let card = render(CameraSetup::Closeup, vec![EventKind::YellowCard], 9);
+        let goal = render(CameraSetup::Wide, vec![EventKind::Goal], 10);
+        assert!(card[FeatureId::GrassRatio] < goal[FeatureId::GrassRatio]);
+        // Motion must be compared on the same camera (blob size dominates
+        // the change percentage across setups).
+        let card_wide = render(CameraSetup::Wide, vec![EventKind::YellowCard], 11);
+        assert!(card_wide[FeatureId::PixelChangePercent] < goal[FeatureId::PixelChangePercent]);
+    }
+
+    #[test]
+    fn ratio_features_are_fractions() {
+        let v = render(CameraSetup::Wide, vec![EventKind::Goal], 11);
+        for f in [
+            FeatureId::GrassRatio,
+            FeatureId::PixelChangePercent,
+            FeatureId::EnergyLowrate,
+            FeatureId::Sub1Lowrate,
+            FeatureId::Sub3Lowrate,
+            FeatureId::VolumeRange,
+            FeatureId::SfRange,
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v[f]),
+                "{f} = {} out of [0,1]",
+                v[f]
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let a = render(CameraSetup::Wide, vec![EventKind::Goal], 12);
+        let b = render(CameraSetup::Wide, vec![EventKind::Goal], 12);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,225 @@
+//! The canonical feature identifiers of Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 20 shot-level features (`F_1` in the paper's notation).
+///
+/// The enum order is the canonical column order of the `B_1` feature matrix;
+/// [`FeatureId::index`] gives that column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // each variant documented by its Table-1 description string
+pub enum FeatureId {
+    GrassRatio,
+    PixelChangePercent,
+    HistoChange,
+    BackgroundVar,
+    BackgroundMean,
+    VolumeMean,
+    VolumeStd,
+    VolumeStdd,
+    VolumeRange,
+    EnergyMean,
+    Sub1Mean,
+    Sub3Mean,
+    EnergyLowrate,
+    Sub1Lowrate,
+    Sub3Lowrate,
+    Sub1Std,
+    SfMean,
+    SfStd,
+    SfStdd,
+    SfRange,
+}
+
+impl FeatureId {
+    /// All features in canonical column order.
+    pub const ALL: [FeatureId; 20] = [
+        FeatureId::GrassRatio,
+        FeatureId::PixelChangePercent,
+        FeatureId::HistoChange,
+        FeatureId::BackgroundVar,
+        FeatureId::BackgroundMean,
+        FeatureId::VolumeMean,
+        FeatureId::VolumeStd,
+        FeatureId::VolumeStdd,
+        FeatureId::VolumeRange,
+        FeatureId::EnergyMean,
+        FeatureId::Sub1Mean,
+        FeatureId::Sub3Mean,
+        FeatureId::EnergyLowrate,
+        FeatureId::Sub1Lowrate,
+        FeatureId::Sub3Lowrate,
+        FeatureId::Sub1Std,
+        FeatureId::SfMean,
+        FeatureId::SfStd,
+        FeatureId::SfStdd,
+        FeatureId::SfRange,
+    ];
+
+    /// Column index in `B_1`.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("every feature is in ALL")
+    }
+
+    /// Feature for a column index.
+    pub fn from_index(i: usize) -> Option<FeatureId> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// `true` for the five visual features.
+    pub fn is_visual(self) -> bool {
+        matches!(
+            self,
+            FeatureId::GrassRatio
+                | FeatureId::PixelChangePercent
+                | FeatureId::HistoChange
+                | FeatureId::BackgroundVar
+                | FeatureId::BackgroundMean
+        )
+    }
+
+    /// Table-1 feature name (snake_case).
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureId::GrassRatio => "grass_ratio",
+            FeatureId::PixelChangePercent => "pixel_change_percent",
+            FeatureId::HistoChange => "histo_change",
+            FeatureId::BackgroundVar => "background_var",
+            FeatureId::BackgroundMean => "background_mean",
+            FeatureId::VolumeMean => "volume_mean",
+            FeatureId::VolumeStd => "volume_std",
+            FeatureId::VolumeStdd => "volume_stdd",
+            FeatureId::VolumeRange => "volume_range",
+            FeatureId::EnergyMean => "energy_mean",
+            FeatureId::Sub1Mean => "sub1_mean",
+            FeatureId::Sub3Mean => "sub3_mean",
+            FeatureId::EnergyLowrate => "energy_lowrate",
+            FeatureId::Sub1Lowrate => "sub1_lowrate",
+            FeatureId::Sub3Lowrate => "sub3_lowrate",
+            FeatureId::Sub1Std => "sub1_std",
+            FeatureId::SfMean => "sf_mean",
+            FeatureId::SfStd => "sf_std",
+            FeatureId::SfStdd => "sf_stdd",
+            FeatureId::SfRange => "sf_range",
+        }
+    }
+
+    /// Table-1 description of the feature.
+    pub fn description(self) -> &'static str {
+        match self {
+            FeatureId::GrassRatio => "Average percent of grass areas in a shot",
+            FeatureId::PixelChangePercent => {
+                "Average percent of the changed pixels between frames within a shot"
+            }
+            FeatureId::HistoChange => {
+                "Mean value of the histogram difference between frames within a shot"
+            }
+            FeatureId::BackgroundVar => "Mean value of the variance of background pixels",
+            FeatureId::BackgroundMean => "Mean value of the background pixels",
+            FeatureId::VolumeMean => "Mean value of the volume",
+            FeatureId::VolumeStd => {
+                "Standard deviation of the volume, normalized by the maximum volume"
+            }
+            FeatureId::VolumeStdd => "Standard deviation of the difference of the volume",
+            FeatureId::VolumeRange => {
+                "Dynamic range of the volume, defined as (max(v)-min(v))/max(v)"
+            }
+            FeatureId::EnergyMean => "Average RMS energy",
+            FeatureId::Sub1Mean => "Average RMS energy of the first sub-band",
+            FeatureId::Sub3Mean => "Average RMS energy of the third sub-band",
+            FeatureId::EnergyLowrate => {
+                "Percentage of samples with RMS power less than 0.5 times the mean RMS power"
+            }
+            FeatureId::Sub1Lowrate => {
+                "Percentage of samples with RMS power less than 0.5 times the mean RMS power of the first sub-band"
+            }
+            FeatureId::Sub3Lowrate => {
+                "Percentage of samples with RMS power less than 0.5 times the mean RMS power of the third sub-band"
+            }
+            FeatureId::Sub1Std => {
+                "Standard deviation of the mean RMS power of the first sub-band energy"
+            }
+            FeatureId::SfMean => "Mean value of the Spectrum Flux",
+            FeatureId::SfStd => {
+                "Standard deviation of the Spectrum Flux, normalized by the maximum Spectrum Flux"
+            }
+            FeatureId::SfStdd => {
+                "Standard deviation of the difference of the Spectrum Flux, normalized"
+            }
+            FeatureId::SfRange => "Dynamic range of the Spectrum Flux",
+        }
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for unknown feature names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFeature(pub String);
+
+impl fmt::Display for UnknownFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown feature name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownFeature {}
+
+impl FromStr for FeatureId {
+    type Err = UnknownFeature;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.trim().to_ascii_lowercase();
+        FeatureId::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == normalized)
+            .ok_or_else(|| UnknownFeature(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_features_five_visual() {
+        assert_eq!(FeatureId::ALL.len(), 20);
+        assert_eq!(FeatureId::ALL.iter().filter(|f| f.is_visual()).count(), 5);
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, &f) in FeatureId::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+            assert_eq!(FeatureId::from_index(i), Some(f));
+        }
+        assert_eq!(FeatureId::from_index(20), None);
+    }
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for &f in &FeatureId::ALL {
+            assert!(names.insert(f.name()), "duplicate name {}", f.name());
+            assert_eq!(f.name().parse::<FeatureId>().unwrap(), f);
+        }
+        assert!("bogus".parse::<FeatureId>().is_err());
+    }
+
+    #[test]
+    fn descriptions_are_non_empty() {
+        for &f in &FeatureId::ALL {
+            assert!(!f.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # hmmm-features
+//!
+//! Table-1 feature extraction for the HMMM video-database suite.
+//!
+//! The ICDE 2006 HMMM paper builds its shot-level MMM feature matrix `B_1`
+//! from **5 visual and 15 audio features** (Table 1). This crate implements
+//! every one of them over the synthetic media substrate:
+//!
+//! | Category | Features |
+//! |---|---|
+//! | Visual | `grass_ratio`, `pixel_change_percent`, `histo_change`, `background_var`, `background_mean` |
+//! | Volume | `volume_mean`*, `volume_std`, `volume_stdd`, `volume_range` |
+//! | Energy | `energy_mean`, `sub1_mean`, `sub3_mean`, `energy_lowrate`, `sub1_lowrate`, `sub3_lowrate`, `sub1_std` |
+//! | Spectrum flux | `sf_mean`, `sf_std`, `sf_stdd`, `sf_range` |
+//!
+//! *The scanned Table 1 is partially garbled and lists 14 legible audio
+//! rows; the paper states 15 audio features. `volume_mean` (the standard
+//! companion of `volume_std` in the audio-classification literature the
+//! feature set descends from) fills the gap; the substitution is recorded
+//! in DESIGN.md.
+//!
+//! [`FeatureVector`] is a fixed 20-dimensional vector indexed by
+//! [`FeatureId`]; [`extract::extract_shot`] computes it from rendered media;
+//! [`normalize`] implements the paper's Eq. (3) min–max normalization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod feature_id;
+pub mod normalize;
+pub mod vector;
+
+pub use extract::{extract_shot, ExtractorConfig};
+pub use feature_id::FeatureId;
+pub use normalize::{NormalizationParams, Normalizer};
+pub use vector::{FeatureVector, FEATURE_COUNT};

@@ -1,0 +1,109 @@
+//! Property tests for feature extraction and normalization.
+
+use hmmm_features::{
+    extract_shot, ExtractorConfig, FeatureId, FeatureVector, Normalizer, FEATURE_COUNT,
+};
+use hmmm_media::{AudioBuf, CameraSetup, EventScript, RenderConfig, ScriptedShot, SyntheticVideo};
+use proptest::prelude::*;
+
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(-100.0f64..100.0, FEATURE_COUNT)
+        .prop_map(|v| FeatureVector::from_slice(&v).expect("exact length"))
+}
+
+proptest! {
+    /// Normalization always lands in [0, 1] for training vectors AND any
+    /// other vector (clamped).
+    #[test]
+    fn normalization_into_unit_cube(
+        corpus in proptest::collection::vec(feature_vector(), 1..32),
+        probe in feature_vector(),
+    ) {
+        let n = Normalizer::fit(&corpus).unwrap();
+        for v in n.normalize_all(&corpus) {
+            for j in 0..FEATURE_COUNT {
+                prop_assert!((0.0..=1.0).contains(&v[j]), "train col {j} -> {}", v[j]);
+            }
+        }
+        let p = n.normalize(&probe);
+        for j in 0..FEATURE_COUNT {
+            prop_assert!((0.0..=1.0).contains(&p[j]));
+        }
+    }
+
+    /// Normalization is monotone per column: a larger raw value never maps
+    /// to a smaller normalized value.
+    #[test]
+    fn normalization_is_monotone(
+        corpus in proptest::collection::vec(feature_vector(), 2..16),
+        a in feature_vector(),
+        b in feature_vector(),
+    ) {
+        let n = Normalizer::fit(&corpus).unwrap();
+        let na = n.normalize(&a);
+        let nb = n.normalize(&b);
+        for j in 0..FEATURE_COUNT {
+            if a[j] <= b[j] {
+                prop_assert!(na[j] <= nb[j] + 1e-12);
+            }
+        }
+    }
+
+    /// mean_of stays inside the element-wise min/max envelope, std_of is
+    /// non-negative.
+    #[test]
+    fn mean_std_envelopes(vectors in proptest::collection::vec(feature_vector(), 1..16)) {
+        let mean = FeatureVector::mean_of(&vectors);
+        let std = FeatureVector::std_of(&vectors);
+        for j in 0..FEATURE_COUNT {
+            let lo = vectors.iter().map(|v| v[j]).fold(f64::INFINITY, f64::min);
+            let hi = vectors.iter().map(|v| v[j]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean[j] >= lo - 1e-9 && mean[j] <= hi + 1e-9);
+            prop_assert!(std[j] >= 0.0);
+            // Population std is bounded by half the range… no: bounded by
+            // the full range.
+            prop_assert!(std[j] <= (hi - lo) + 1e-9);
+        }
+    }
+
+    /// Extraction over arbitrary rendered shots is finite and fraction
+    /// features stay in [0, 1] — no matter the camera, events, or length.
+    #[test]
+    fn extraction_always_finite(
+        camera_idx in 0usize..4,
+        frames in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let camera = CameraSetup::ALL[camera_idx];
+        let script = EventScript::from_shots(vec![ScriptedShot {
+            camera,
+            events: vec![],
+            frames,
+        }]);
+        let video = SyntheticVideo::new(script, RenderConfig::small(), seed);
+        let shot = video.render_shot(0).unwrap();
+        let v = extract_shot(&shot.frames, &shot.audio, &ExtractorConfig::default());
+        prop_assert!(v.is_finite());
+        for f in [
+            FeatureId::GrassRatio,
+            FeatureId::PixelChangePercent,
+            FeatureId::EnergyLowrate,
+            FeatureId::Sub1Lowrate,
+            FeatureId::Sub3Lowrate,
+            FeatureId::VolumeRange,
+            FeatureId::SfRange,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v[f]), "{f} = {}", v[f]);
+        }
+    }
+
+    /// Extraction with degenerate audio (silence of arbitrary length) never
+    /// produces NaN.
+    #[test]
+    fn silent_audio_is_safe(len in 0usize..5000) {
+        let audio = AudioBuf::silence(8000, len);
+        let frames = vec![hmmm_media::PixelBuf::filled(16, 12, hmmm_media::Rgb::new(100, 100, 100))];
+        let v = extract_shot(&frames, &audio, &ExtractorConfig::default());
+        prop_assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,264 @@
+//! Affinity accumulation — the paper's `AF_1` / `AF_2` matrices.
+//!
+//! Equations (1) and (5) of the HMMM paper define affinity counts
+//! `aff(m, n) = Σ_k use(m,k) · use(n,k) · access(k)` over positive user
+//! patterns `R_k` with access frequencies `access(k)`. [`AffinityAccumulator`]
+//! implements exactly that accumulation, with the *temporal* restriction of
+//! Eq. (1) (`T_{s_m} ≤ T_{s_n}`, i.e. only forward pairs count) as an option.
+
+use crate::dense::{Matrix, ZeroRowPolicy};
+use crate::{MatrixError, StochasticMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Whether pair accumulation respects temporal ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairOrdering {
+    /// Count only ordered pairs `(m, n)` with `m ≤ n` in the access pattern
+    /// (shot-level `AF_1`, Eq. 1: shots can only co-occur forward in time).
+    TemporalForward,
+    /// Count both `(m, n)` and `(n, m)` (video-level `AF_2`, Eq. 5: videos
+    /// accessed together have no direction).
+    Symmetric,
+}
+
+/// Accumulates co-access counts into an `AF` matrix and converts it to a
+/// relative-affinity [`StochasticMatrix`] (`A`) on demand.
+///
+/// # Examples
+///
+/// ```
+/// use hmmm_matrix::accumulate::{AffinityAccumulator, PairOrdering};
+/// use hmmm_matrix::dense::ZeroRowPolicy;
+///
+/// let mut af = AffinityAccumulator::new(3, PairOrdering::TemporalForward);
+/// // Positive pattern touching states 0 and 2, accessed 4 times.
+/// af.record_pattern(&[0, 2], 4.0).unwrap();
+/// let a = af.to_stochastic(ZeroRowPolicy::SelfLoop).unwrap();
+/// assert!(a.get(0, 2) > 0.0);
+/// assert_eq!(a.get(2, 0), 0.0); // no backward transition
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffinityAccumulator {
+    counts: Matrix,
+    ordering: PairOrdering,
+    patterns_recorded: u64,
+    total_access: f64,
+}
+
+impl AffinityAccumulator {
+    /// Creates an accumulator over `n` states.
+    pub fn new(n: usize, ordering: PairOrdering) -> Self {
+        AffinityAccumulator {
+            counts: Matrix::zeros(n, n),
+            ordering,
+            patterns_recorded: 0,
+            total_access: 0.0,
+        }
+    }
+
+    /// Seeds the accumulator with a prior count matrix (e.g. the scaled
+    /// initial `A_1`, so feedback refines rather than replaces the prior —
+    /// Eq. (1) multiplies by `A_1(m,n)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `prior` is not
+    /// `n x n` for this accumulator.
+    pub fn with_prior(mut self, prior: &Matrix) -> Result<Self, MatrixError> {
+        self.counts.axpy(1.0, prior)?;
+        Ok(self)
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.rows()
+    }
+
+    /// `true` if the accumulator covers zero states.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.rows() == 0
+    }
+
+    /// Number of patterns recorded so far (drives the paper's
+    /// "update once feedbacks reach a threshold" policy).
+    #[inline]
+    pub fn patterns_recorded(&self) -> u64 {
+        self.patterns_recorded
+    }
+
+    /// Total access frequency mass recorded.
+    #[inline]
+    pub fn total_access(&self) -> f64 {
+        self.total_access
+    }
+
+    /// Records one positive pattern: `states` are the state indices touched
+    /// by the pattern **in temporal order**, `access` its access frequency
+    /// (`access(k)` in Eqs. 1/5).
+    ///
+    /// Every qualifying pair `(m, n)` — including `m == n`, matching the
+    /// paper's "occur at the same time" clause — gains `access` weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if any state index is out of
+    /// range, and [`MatrixError::InvalidProbability`] for a negative or
+    /// non-finite `access`.
+    pub fn record_pattern(&mut self, states: &[usize], access: f64) -> Result<(), MatrixError> {
+        if !access.is_finite() || access < 0.0 {
+            return Err(MatrixError::InvalidProbability {
+                row: 0,
+                col: 0,
+                value: access,
+            });
+        }
+        let n = self.len();
+        for &s in states {
+            if s >= n {
+                return Err(MatrixError::IndexOutOfBounds {
+                    index: (s, 0),
+                    shape: (n, n),
+                });
+            }
+        }
+        for (i, &m) in states.iter().enumerate() {
+            for &s_n in &states[i..] {
+                self.counts[(m, s_n)] += access;
+                if self.ordering == PairOrdering::Symmetric && m != s_n {
+                    self.counts[(s_n, m)] += access;
+                }
+            }
+        }
+        self.patterns_recorded += 1;
+        self.total_access += access;
+        Ok(())
+    }
+
+    /// Raw count matrix (`AF`).
+    #[inline]
+    pub fn counts(&self) -> &Matrix {
+        &self.counts
+    }
+
+    /// Per-state usage mass: how often each state participated in patterns.
+    /// This is the numerator of Eq. (4) — the `Π` re-estimation input.
+    pub fn state_usage(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.counts.row_sum(i)).collect()
+    }
+
+    /// Normalizes the counts into a relative-affinity stochastic matrix
+    /// (Eqs. 2 / 6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates normalization failures; see [`StochasticMatrix::normalize`].
+    pub fn to_stochastic(&self, policy: ZeroRowPolicy) -> Result<StochasticMatrix, MatrixError> {
+        StochasticMatrix::normalize(self.counts.clone(), policy)
+    }
+
+    /// Clears all recorded counts (start of a new training period).
+    pub fn reset(&mut self) {
+        self.counts.map_in_place(|_| 0.0);
+        self.patterns_recorded = 0;
+        self.total_access = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_forward_counts_only_forward_pairs() {
+        let mut af = AffinityAccumulator::new(3, PairOrdering::TemporalForward);
+        af.record_pattern(&[0, 2], 1.0).unwrap();
+        assert_eq!(af.counts()[(0, 2)], 1.0);
+        assert_eq!(af.counts()[(2, 0)], 0.0);
+        // Self pairs count too.
+        assert_eq!(af.counts()[(0, 0)], 1.0);
+        assert_eq!(af.counts()[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn symmetric_counts_both_directions() {
+        let mut af = AffinityAccumulator::new(3, PairOrdering::Symmetric);
+        af.record_pattern(&[1, 2], 3.0).unwrap();
+        assert_eq!(af.counts()[(1, 2)], 3.0);
+        assert_eq!(af.counts()[(2, 1)], 3.0);
+        assert_eq!(af.counts()[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn access_frequency_scales_counts() {
+        let mut af = AffinityAccumulator::new(2, PairOrdering::TemporalForward);
+        af.record_pattern(&[0, 1], 5.0).unwrap();
+        af.record_pattern(&[0, 1], 2.0).unwrap();
+        assert_eq!(af.counts()[(0, 1)], 7.0);
+        assert_eq!(af.patterns_recorded(), 2);
+        assert_eq!(af.total_access(), 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut af = AffinityAccumulator::new(2, PairOrdering::Symmetric);
+        assert!(matches!(
+            af.record_pattern(&[0, 5], 1.0),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            af.record_pattern(&[0], -1.0),
+            Err(MatrixError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            af.record_pattern(&[0], f64::NAN),
+            Err(MatrixError::InvalidProbability { .. })
+        ));
+        // Failed records must not mutate state.
+        assert_eq!(af.patterns_recorded(), 0);
+        assert_eq!(af.counts()[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn to_stochastic_normalizes_rows() {
+        let mut af = AffinityAccumulator::new(3, PairOrdering::TemporalForward);
+        af.record_pattern(&[0, 1], 1.0).unwrap();
+        af.record_pattern(&[0, 2], 1.0).unwrap();
+        let a = af.to_stochastic(ZeroRowPolicy::SelfLoop).unwrap();
+        // Row 0: self=2, to 1 = 1, to 2 = 1 → 0.5, 0.25, 0.25.
+        assert_eq!(a.row(0), &[0.5, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn prior_seeds_counts() {
+        let prior = Matrix::from_rows(&[vec![0.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        let af = AffinityAccumulator::new(2, PairOrdering::TemporalForward)
+            .with_prior(&prior)
+            .unwrap();
+        assert_eq!(af.counts()[(0, 1)], 2.0);
+        let bad = Matrix::zeros(3, 3);
+        assert!(AffinityAccumulator::new(2, PairOrdering::Symmetric)
+            .with_prior(&bad)
+            .is_err());
+    }
+
+    #[test]
+    fn state_usage_matches_row_sums() {
+        let mut af = AffinityAccumulator::new(3, PairOrdering::TemporalForward);
+        af.record_pattern(&[0, 1, 2], 1.0).unwrap();
+        let usage = af.state_usage();
+        assert_eq!(usage[0], 3.0); // (0,0),(0,1),(0,2)
+        assert_eq!(usage[2], 1.0); // (2,2)
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut af = AffinityAccumulator::new(2, PairOrdering::Symmetric);
+        af.record_pattern(&[0, 1], 2.0).unwrap();
+        af.reset();
+        assert_eq!(af.patterns_recorded(), 0);
+        assert_eq!(af.total_access(), 0.0);
+        assert_eq!(af.counts()[(0, 1)], 0.0);
+    }
+}

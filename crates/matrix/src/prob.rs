@@ -1,0 +1,217 @@
+//! Probability row vectors (the `Π_n` initial-state distributions).
+
+use crate::{MatrixError, STOCHASTIC_TOLERANCE};
+use serde::{Deserialize, Serialize};
+
+/// A discrete probability distribution over states: non-negative entries
+/// summing to one (within [`STOCHASTIC_TOLERANCE`]).
+///
+/// Models the HMMM initial-state matrices `Π_1` (shots, Eq. 4) and `Π_2`
+/// (videos, §4.2.2.3).
+///
+/// # Examples
+///
+/// ```
+/// use hmmm_matrix::ProbVector;
+///
+/// let pi = ProbVector::from_counts(&[2.0, 1.0, 1.0]).unwrap();
+/// assert_eq!(pi.get(0), 0.5);
+/// assert_eq!(pi.argmax(), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbVector(Vec<f64>);
+
+impl ProbVector {
+    /// Uniform distribution over `n` states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Empty`] when `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self, MatrixError> {
+        if n == 0 {
+            return Err(MatrixError::Empty);
+        }
+        Ok(ProbVector(vec![1.0 / n as f64; n]))
+    }
+
+    /// Builds a distribution by normalizing non-negative counts
+    /// (the paper's Eq. 4: occurrence fractions from training access data).
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::Empty`] for an empty slice.
+    /// * [`MatrixError::InvalidProbability`] for a negative or non-finite count.
+    /// * [`MatrixError::ZeroRow`] if all counts are zero.
+    pub fn from_counts(counts: &[f64]) -> Result<Self, MatrixError> {
+        if counts.is_empty() {
+            return Err(MatrixError::Empty);
+        }
+        let mut sum = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            if !c.is_finite() || c < 0.0 {
+                return Err(MatrixError::InvalidProbability {
+                    row: 0,
+                    col: i,
+                    value: c,
+                });
+            }
+            sum += c;
+        }
+        if sum <= 0.0 {
+            return Err(MatrixError::ZeroRow { row: 0 });
+        }
+        Ok(ProbVector(counts.iter().map(|c| c / sum).collect()))
+    }
+
+    /// Validates an already-normalized probability vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProbVector::from_counts`], plus
+    /// [`MatrixError::RowNotStochastic`] if the entries do not sum to one.
+    pub fn from_probabilities(probs: Vec<f64>) -> Result<Self, MatrixError> {
+        if probs.is_empty() {
+            return Err(MatrixError::Empty);
+        }
+        let mut sum = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(MatrixError::InvalidProbability {
+                    row: 0,
+                    col: i,
+                    value: p,
+                });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > STOCHASTIC_TOLERANCE {
+            return Err(MatrixError::RowNotStochastic { row: 0, sum });
+        }
+        Ok(ProbVector(probs))
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always `false`: constructors reject empty vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Probability of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Probabilities as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// State with the highest probability (ties to the smallest index).
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &p) in self.0.iter().enumerate() {
+            match best {
+                Some((_, bp)) if p <= bp => {}
+                _ => best = Some((i, p)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Indices sorted by descending probability (stable for ties).
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.0.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.0[b]
+                .partial_cmp(&self.0[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Shannon entropy in nats. Zero-probability states contribute nothing.
+    pub fn entropy(&self) -> f64 {
+        self.0
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let pi = ProbVector::uniform(4).unwrap();
+        assert_eq!(pi.len(), 4);
+        assert!((pi.as_slice().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(ProbVector::uniform(0).is_err());
+    }
+
+    #[test]
+    fn from_counts_normalizes() {
+        let pi = ProbVector::from_counts(&[3.0, 1.0]).unwrap();
+        assert_eq!(pi.get(0), 0.75);
+        assert_eq!(pi.get(1), 0.25);
+    }
+
+    #[test]
+    fn from_counts_rejects_bad_input() {
+        assert!(matches!(
+            ProbVector::from_counts(&[]),
+            Err(MatrixError::Empty)
+        ));
+        assert!(matches!(
+            ProbVector::from_counts(&[1.0, -1.0]),
+            Err(MatrixError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            ProbVector::from_counts(&[0.0, 0.0]),
+            Err(MatrixError::ZeroRow { .. })
+        ));
+        assert!(matches!(
+            ProbVector::from_counts(&[f64::NAN]),
+            Err(MatrixError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn from_probabilities_validates_sum() {
+        assert!(ProbVector::from_probabilities(vec![0.5, 0.5]).is_ok());
+        assert!(matches!(
+            ProbVector::from_probabilities(vec![0.5, 0.4]),
+            Err(MatrixError::RowNotStochastic { .. })
+        ));
+    }
+
+    #[test]
+    fn argmax_and_ranked() {
+        let pi = ProbVector::from_counts(&[1.0, 5.0, 2.0]).unwrap();
+        assert_eq!(pi.argmax(), Some(1));
+        assert_eq!(pi.ranked(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let uniform = ProbVector::uniform(8).unwrap();
+        assert!((uniform.entropy() - (8.0f64).ln()).abs() < 1e-12);
+        let point = ProbVector::from_counts(&[1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(point.entropy(), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Camera setups — the scene geometry behind each shot.
+//!
+//! A broadcast soccer feed cuts between a handful of camera configurations;
+//! shot boundaries are precisely those cuts. Each setup determines the gross
+//! visual statistics of its frames (how much grass is visible, how bright
+//! and busy the background is), which is what the visual features of
+//! Table 1 measure.
+
+use serde::{Deserialize, Serialize};
+
+/// A camera configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CameraSetup {
+    /// Main wide field camera: mostly grass.
+    Wide,
+    /// Midfield tracking camera: field plus stands.
+    Medium,
+    /// Player close-up: little grass, bright background.
+    Closeup,
+    /// Crowd / bench shot: almost no grass.
+    Crowd,
+}
+
+impl CameraSetup {
+    /// All setups in canonical order.
+    pub const ALL: [CameraSetup; 4] = [
+        CameraSetup::Wide,
+        CameraSetup::Medium,
+        CameraSetup::Closeup,
+        CameraSetup::Crowd,
+    ];
+
+    /// Nominal fraction of the frame covered by grass.
+    pub fn grass_fraction(self) -> f64 {
+        match self {
+            CameraSetup::Wide => 0.72,
+            CameraSetup::Medium => 0.45,
+            CameraSetup::Closeup => 0.18,
+            CameraSetup::Crowd => 0.03,
+        }
+    }
+
+    /// Nominal background (non-grass) brightness, `[0, 255]`.
+    pub fn background_brightness(self) -> f64 {
+        match self {
+            CameraSetup::Wide => 150.0,
+            CameraSetup::Medium => 130.0,
+            CameraSetup::Closeup => 180.0,
+            CameraSetup::Crowd => 95.0,
+        }
+    }
+
+    /// Nominal background texture noisiness (std dev of brightness).
+    pub fn background_noise(self) -> f64 {
+        match self {
+            CameraSetup::Wide => 12.0,
+            CameraSetup::Medium => 22.0,
+            CameraSetup::Closeup => 18.0,
+            CameraSetup::Crowd => 45.0,
+        }
+    }
+
+    /// Number of player blobs typically visible.
+    pub fn player_count(self) -> usize {
+        match self {
+            CameraSetup::Wide => 8,
+            CameraSetup::Medium => 4,
+            CameraSetup::Closeup => 1,
+            CameraSetup::Crowd => 0,
+        }
+    }
+
+    /// Player blob radius in pixels (for a 64-wide frame).
+    pub fn player_radius(self) -> usize {
+        match self {
+            CameraSetup::Wide => 1,
+            CameraSetup::Medium => 3,
+            CameraSetup::Closeup => 10,
+            CameraSetup::Crowd => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grass_fractions_are_ordered() {
+        assert!(CameraSetup::Wide.grass_fraction() > CameraSetup::Medium.grass_fraction());
+        assert!(CameraSetup::Medium.grass_fraction() > CameraSetup::Closeup.grass_fraction());
+        assert!(CameraSetup::Closeup.grass_fraction() > CameraSetup::Crowd.grass_fraction());
+    }
+
+    #[test]
+    fn fractions_are_valid() {
+        for &c in &CameraSetup::ALL {
+            assert!((0.0..=1.0).contains(&c.grass_fraction()));
+            assert!(c.background_brightness() >= 0.0 && c.background_brightness() <= 255.0);
+            assert!(c.background_noise() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn crowd_has_no_players() {
+        assert_eq!(CameraSetup::Crowd.player_count(), 0);
+        assert!(CameraSetup::Wide.player_count() > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The soccer event taxonomy of the paper (§3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Semantic soccer events, exactly the paper's §3 list plus the
+/// "player change" used in its example temporal query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A goal is scored.
+    Goal,
+    /// Corner kick.
+    CornerKick,
+    /// Free kick.
+    FreeKick,
+    /// Foul.
+    Foul,
+    /// Goal kick.
+    GoalKick,
+    /// Yellow card shown.
+    YellowCard,
+    /// Red card shown.
+    RedCard,
+    /// Player substitution ("player change" in the paper's query example).
+    PlayerChange,
+}
+
+impl EventKind {
+    /// All event kinds, in a stable canonical order. The position of a kind
+    /// in this slice is its canonical event index (`e_j` in the paper).
+    pub const ALL: [EventKind; 8] = [
+        EventKind::Goal,
+        EventKind::CornerKick,
+        EventKind::FreeKick,
+        EventKind::Foul,
+        EventKind::GoalKick,
+        EventKind::YellowCard,
+        EventKind::RedCard,
+        EventKind::PlayerChange,
+    ];
+
+    /// Number of event kinds (`C` in the paper).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Canonical index of this kind within [`EventKind::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is in ALL")
+    }
+
+    /// Kind for a canonical index.
+    pub fn from_index(i: usize) -> Option<EventKind> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Canonical snake_case name, used by the query language
+    /// (e.g. `"corner_kick"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Goal => "goal",
+            EventKind::CornerKick => "corner_kick",
+            EventKind::FreeKick => "free_kick",
+            EventKind::Foul => "foul",
+            EventKind::GoalKick => "goal_kick",
+            EventKind::YellowCard => "yellow_card",
+            EventKind::RedCard => "red_card",
+            EventKind::PlayerChange => "player_change",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown event name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEvent(pub String);
+
+impl fmt::Display for UnknownEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown event name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownEvent {}
+
+impl FromStr for EventKind {
+    type Err = UnknownEvent;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.trim().to_ascii_lowercase().replace([' ', '-'], "_");
+        EventKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == normalized)
+            .ok_or_else(|| UnknownEvent(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, &k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(EventKind::from_index(i), Some(k));
+        }
+        assert_eq!(EventKind::from_index(99), None);
+        assert_eq!(EventKind::COUNT, 8);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for &k in &EventKind::ALL {
+            assert_eq!(k.name().parse::<EventKind>().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn parse_is_forgiving() {
+        assert_eq!("Corner Kick".parse::<EventKind>().unwrap(), EventKind::CornerKick);
+        assert_eq!("free-kick".parse::<EventKind>().unwrap(), EventKind::FreeKick);
+        assert_eq!(" GOAL ".parse::<EventKind>().unwrap(), EventKind::Goal);
+        assert!("throw_in".parse::<EventKind>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(EventKind::YellowCard.to_string(), "yellow_card");
+    }
+}

@@ -1,0 +1,51 @@
+//! # hmmm-media
+//!
+//! Synthetic media substrate for the HMMM video-database suite.
+//!
+//! The ICDE 2006 HMMM paper evaluates on 54 real soccer broadcast videos
+//! (11,567 shots, 506 annotated events). Real footage is not available to
+//! this reproduction, so this crate synthesizes the closest equivalent that
+//! exercises the same downstream code paths:
+//!
+//! * **Real pixels** — [`pixel::PixelBuf`] frames rendered from a soccer
+//!   scene model (grass field, stands, player blobs, camera setups), so the
+//!   visual feature extractors of Table 1 (`grass_ratio`,
+//!   `pixel_change_percent`, `histo_change`, `background_var`,
+//!   `background_mean`) operate on actual image data.
+//! * **Real PCM audio** — [`audio::AudioBuf`] sample vectors mixing a crowd
+//!   noise floor, goal cheers, referee whistles and substitution applause,
+//!   so the fifteen audio features (volume, sub-band energies, spectrum
+//!   flux) measure genuine signals.
+//! * **Event scripts** — [`script::EventScript`] drives both renderers: a
+//!   domain Markov chain generates realistic soccer event sequences
+//!   (free kick → goal, corner kick → goal, foul → yellow card, …), which
+//!   double as retrieval ground truth.
+//! * **Deterministic lazy rendering** — [`video::SyntheticVideo`] renders
+//!   any shot on demand from `(video_seed, shot_index)`, so paper-scale
+//!   archives (tens of thousands of shots) never hold pixels for more than
+//!   one shot at a time.
+//!
+//! The event taxonomy ([`event::EventKind`]) is exactly the paper's §3 list:
+//! goal, corner kick, free kick, foul, goal kick, yellow card, red card,
+//! plus the "player change" used in the paper's example query.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audio;
+pub mod camera;
+pub mod dataset;
+pub mod event;
+pub mod pixel;
+pub mod script;
+pub mod synth;
+pub mod video;
+
+pub use audio::AudioBuf;
+pub use camera::CameraSetup;
+pub use dataset::{ArchiveConfig, SyntheticArchive};
+pub use event::EventKind;
+pub use pixel::{PixelBuf, Rgb};
+pub use script::{EventScript, ScriptConfig, ScriptedShot};
+pub use synth::RenderConfig;
+pub use video::{RenderedShot, SyntheticVideo};

@@ -1,0 +1,259 @@
+//! RGB pixel buffers — the synthetic "video frames".
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit RGB pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a pixel.
+    #[inline]
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Rec. 601 luminance in `[0, 255]`.
+    #[inline]
+    pub fn luminance(self) -> f64 {
+        0.299 * self.r as f64 + 0.587 * self.g as f64 + 0.114 * self.b as f64
+    }
+
+    /// Whether the pixel reads as "grass": green clearly dominates red and
+    /// blue. This is the pixel classifier behind the `grass_ratio` feature
+    /// (the paper's soccer-video pipeline does the same green-dominance
+    /// test on real frames).
+    #[inline]
+    pub fn is_grass(self) -> bool {
+        let (r, g, b) = (self.r as i16, self.g as i16, self.b as i16);
+        g > 60 && g - r > 20 && g - b > 20
+    }
+
+    /// Squared per-channel distance to another pixel.
+    #[inline]
+    pub fn dist_sqr(self, other: Rgb) -> u32 {
+        let dr = self.r as i32 - other.r as i32;
+        let dg = self.g as i32 - other.g as i32;
+        let db = self.b as i32 - other.b as i32;
+        (dr * dr + dg * dg + db * db) as u32
+    }
+}
+
+/// A width × height frame of RGB pixels, row-major.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PixelBuf {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl PixelBuf {
+    /// Creates a frame filled with `fill`.
+    pub fn filled(width: usize, height: usize, fill: Rgb) -> Self {
+        PixelBuf {
+            width,
+            height,
+            pixels: vec![fill; width * height],
+        }
+    }
+
+    /// Frame width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// `true` for a zero-area frame.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`; out-of-bounds writes are ignored (the
+    /// renderer draws blobs that may straddle frame edges).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, p: Rgb) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = p;
+        }
+    }
+
+    /// All pixels, row-major.
+    #[inline]
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Fraction of pixels classified as grass (see [`Rgb::is_grass`]).
+    pub fn grass_ratio(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let grass = self.pixels.iter().filter(|p| p.is_grass()).count();
+        grass as f64 / self.pixels.len() as f64
+    }
+
+    /// Fraction of pixels whose squared RGB distance to the corresponding
+    /// pixel of `other` exceeds `threshold_sqr`.
+    ///
+    /// This is the `pixel_change_percent` primitive: percent of changed
+    /// pixels between frames within a shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frame dimensions differ.
+    pub fn changed_fraction(&self, other: &PixelBuf, threshold_sqr: u32) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "frames must have equal dimensions"
+        );
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let changed = self
+            .pixels
+            .iter()
+            .zip(other.pixels.iter())
+            .filter(|(a, b)| a.dist_sqr(**b) > threshold_sqr)
+            .count();
+        changed as f64 / self.pixels.len() as f64
+    }
+
+    /// Luminance histogram with `bins` bins over `[0, 256)`.
+    pub fn luminance_histogram(&self, bins: usize) -> hmmm_signal::Histogram {
+        hmmm_signal::Histogram::from_samples(
+            self.pixels.iter().map(|p| p.luminance()),
+            bins,
+            0.0,
+            256.0,
+        )
+    }
+
+    /// Mean and population variance of the luminance of *non-grass*
+    /// ("background") pixels — the primitives behind `background_mean` and
+    /// `background_var`. Returns `(0.0, 0.0)` if every pixel is grass.
+    pub fn background_stats(&self) -> (f64, f64) {
+        let stats: hmmm_signal::Stats = self
+            .pixels
+            .iter()
+            .filter(|p| !p.is_grass())
+            .map(|p| p.luminance())
+            .collect();
+        (stats.mean(), stats.population_variance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRASS: Rgb = Rgb::new(40, 150, 45);
+    const SKY: Rgb = Rgb::new(120, 130, 200);
+
+    #[test]
+    fn luminance_extremes() {
+        assert_eq!(Rgb::new(0, 0, 0).luminance(), 0.0);
+        assert!((Rgb::new(255, 255, 255).luminance() - 255.0).abs() < 1e-9);
+        // Green weighs most.
+        assert!(Rgb::new(0, 200, 0).luminance() > Rgb::new(200, 0, 0).luminance());
+    }
+
+    #[test]
+    fn grass_classifier() {
+        assert!(GRASS.is_grass());
+        assert!(!SKY.is_grass());
+        assert!(!Rgb::new(200, 210, 190).is_grass()); // washed out, no dominance
+        assert!(!Rgb::new(10, 50, 10).is_grass()); // too dark
+    }
+
+    #[test]
+    fn grass_ratio_counts() {
+        let mut f = PixelBuf::filled(4, 2, SKY);
+        f.set(0, 0, GRASS);
+        f.set(1, 0, GRASS);
+        assert!((f.grass_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(PixelBuf::filled(0, 0, SKY).grass_ratio(), 0.0);
+    }
+
+    #[test]
+    fn set_out_of_bounds_is_ignored() {
+        let mut f = PixelBuf::filled(2, 2, SKY);
+        f.set(5, 5, GRASS);
+        assert_eq!(f.grass_ratio(), 0.0);
+    }
+
+    #[test]
+    fn changed_fraction_identical_frames() {
+        let f = PixelBuf::filled(8, 8, GRASS);
+        assert_eq!(f.changed_fraction(&f.clone(), 25), 0.0);
+    }
+
+    #[test]
+    fn changed_fraction_detects_changes() {
+        let a = PixelBuf::filled(2, 2, Rgb::new(0, 0, 0));
+        let mut b = a.clone();
+        b.set(0, 0, Rgb::new(255, 255, 255));
+        assert!((a.changed_fraction(&b, 25) - 0.25).abs() < 1e-12);
+        // Below-threshold noise does not count.
+        let mut c = a.clone();
+        c.set(0, 0, Rgb::new(2, 2, 2));
+        assert_eq!(a.changed_fraction(&c, 25), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn changed_fraction_dimension_mismatch() {
+        let a = PixelBuf::filled(2, 2, GRASS);
+        let b = PixelBuf::filled(3, 2, GRASS);
+        let _ = a.changed_fraction(&b, 25);
+    }
+
+    #[test]
+    fn luminance_histogram_mass() {
+        let f = PixelBuf::filled(4, 4, SKY);
+        let h = f.luminance_histogram(8);
+        assert_eq!(h.total(), 16.0);
+    }
+
+    #[test]
+    fn background_stats_exclude_grass() {
+        let mut f = PixelBuf::filled(2, 1, GRASS);
+        f.set(1, 0, Rgb::new(100, 100, 100));
+        let (mean, var) = f.background_stats();
+        assert!((mean - Rgb::new(100, 100, 100).luminance()).abs() < 1e-9);
+        assert_eq!(var, 0.0);
+        let all_grass = PixelBuf::filled(2, 2, GRASS);
+        assert_eq!(all_grass.background_stats(), (0.0, 0.0));
+    }
+}

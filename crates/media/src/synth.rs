@@ -1,0 +1,506 @@
+//! The soccer scene renderer: event scripts → pixels + PCM audio.
+//!
+//! The renderer's job is not to look pretty — it is to make the *statistics*
+//! of each shot depend on its camera setup and events the way real broadcast
+//! footage does, so that the Table-1 feature extractors and the decision-tree
+//! event miner operate on signals with genuine structure:
+//!
+//! * grass coverage tracks the camera setup (`grass_ratio`);
+//! * player motion and camera pans change pixels between frames
+//!   (`pixel_change_percent`, `histo_change`);
+//! * the stands/crowd region sets background brightness statistics
+//!   (`background_mean`, `background_var`);
+//! * goals trigger loud low-frequency crowd cheers (volume + `sub1` energy),
+//!   whistles are high-frequency tones (`sub3` energy), substitutions get
+//!   broadband applause (spectrum flux).
+
+use crate::audio::AudioBuf;
+use crate::event::EventKind;
+use crate::pixel::{PixelBuf, Rgb};
+use crate::script::ScriptedShot;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Rendering parameters shared by a whole archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenderConfig {
+    /// Frame width in pixels.
+    pub frame_width: usize,
+    /// Frame height in pixels.
+    pub frame_height: usize,
+    /// Audio sample rate in Hz.
+    pub sample_rate: u32,
+    /// Audio samples generated per video frame.
+    pub samples_per_frame: usize,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            frame_width: 64,
+            frame_height: 48,
+            sample_rate: 8000,
+            samples_per_frame: 640,
+        }
+    }
+}
+
+impl RenderConfig {
+    /// A reduced-cost profile for very large archives (paper-scale sweeps).
+    pub fn small() -> Self {
+        RenderConfig {
+            frame_width: 32,
+            frame_height: 24,
+            sample_rate: 8000,
+            samples_per_frame: 320,
+        }
+    }
+}
+
+/// Audio/visual intensity profile implied by a shot's events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ShotProfile {
+    /// Player speed multiplier (pixels per frame).
+    pub motion: f64,
+    /// Camera pan speed (pixels per frame).
+    pub pan: f64,
+    /// Crowd noise floor amplitude, `[0, 1]`.
+    pub crowd: f64,
+    /// Goal-cheer amplitude (loud, low-frequency-weighted).
+    pub cheer: f64,
+    /// Referee whistle amplitude (high-frequency tone bursts).
+    pub whistle: f64,
+    /// Applause amplitude (broadband bursts → high spectrum flux).
+    pub applause: f64,
+}
+
+impl ShotProfile {
+    fn neutral() -> Self {
+        ShotProfile {
+            motion: 1.0,
+            pan: 0.6,
+            crowd: 0.12,
+            cheer: 0.0,
+            whistle: 0.0,
+            applause: 0.0,
+        }
+    }
+
+    fn for_event(event: EventKind) -> Self {
+        use EventKind::*;
+        match event {
+            Goal => ShotProfile {
+                motion: 2.5,
+                pan: 2.0,
+                crowd: 0.25,
+                cheer: 0.8,
+                whistle: 0.15,
+                applause: 0.3,
+            },
+            CornerKick => ShotProfile {
+                motion: 1.2,
+                pan: 0.8,
+                crowd: 0.18,
+                cheer: 0.1,
+                whistle: 0.5,
+                applause: 0.0,
+            },
+            FreeKick => ShotProfile {
+                motion: 0.8,
+                pan: 0.4,
+                crowd: 0.15,
+                cheer: 0.05,
+                whistle: 0.6,
+                applause: 0.0,
+            },
+            Foul => ShotProfile {
+                motion: 1.5,
+                pan: 0.8,
+                crowd: 0.2,
+                cheer: 0.0,
+                whistle: 0.7,
+                applause: 0.0,
+            },
+            GoalKick => ShotProfile {
+                motion: 0.6,
+                pan: 1.0,
+                crowd: 0.12,
+                cheer: 0.0,
+                whistle: 0.3,
+                applause: 0.0,
+            },
+            YellowCard => ShotProfile {
+                motion: 0.5,
+                pan: 0.2,
+                crowd: 0.22,
+                cheer: 0.0,
+                whistle: 0.4,
+                applause: 0.1,
+            },
+            RedCard => ShotProfile {
+                motion: 0.6,
+                pan: 0.2,
+                crowd: 0.3,
+                cheer: 0.0,
+                whistle: 0.5,
+                applause: 0.2,
+            },
+            PlayerChange => ShotProfile {
+                motion: 0.4,
+                pan: 0.3,
+                crowd: 0.15,
+                cheer: 0.0,
+                whistle: 0.05,
+                applause: 0.6,
+            },
+        }
+    }
+
+    /// Combines the profiles of all events on a shot (component-wise max on
+    /// bursts, max on motion — a goal-from-free-kick shot both whistles and
+    /// erupts).
+    pub(crate) fn for_shot(shot: &ScriptedShot) -> Self {
+        let mut p = ShotProfile::neutral();
+        for &e in &shot.events {
+            let q = ShotProfile::for_event(e);
+            p.motion = p.motion.max(q.motion);
+            p.pan = p.pan.max(q.pan);
+            p.crowd = p.crowd.max(q.crowd);
+            p.cheer = p.cheer.max(q.cheer);
+            p.whistle = p.whistle.max(q.whistle);
+            p.applause = p.applause.max(q.applause);
+        }
+        p
+    }
+}
+
+/// Renders all frames of one shot.
+pub(crate) fn render_frames(
+    cfg: &RenderConfig,
+    shot: &ScriptedShot,
+    rng: &mut StdRng,
+) -> Vec<PixelBuf> {
+    let profile = ShotProfile::for_shot(shot);
+    let w = cfg.frame_width;
+    let h = cfg.frame_height;
+    let camera = shot.camera;
+
+    // Player blobs: fixed count for the camera, random start + velocity.
+    let n_players = camera.player_count();
+    let mut px: Vec<f64> = (0..n_players).map(|_| rng.gen_range(0.0..w as f64)).collect();
+    let mut py: Vec<f64> = (0..n_players)
+        .map(|_| rng.gen_range(h as f64 * (1.0 - camera.grass_fraction())..h as f64))
+        .collect();
+    let vels: Vec<(f64, f64)> = (0..n_players)
+        .map(|_| {
+            (
+                rng.gen_range(-1.0..1.0) * profile.motion,
+                rng.gen_range(-0.4..0.4) * profile.motion,
+            )
+        })
+        .collect();
+    let team_colors = [Rgb::new(210, 40, 40), Rgb::new(40, 60, 200)];
+
+    // Per-shot scene identity: each camera operation frames a slightly
+    // different slice of the stadium (lighting, pitch section, stripe
+    // width), so even cuts between two same-setup shots carry a visual
+    // signature a boundary detector can find — as they do in real footage.
+    let scene_grass_shift = rng.gen_range(-18.0..18.0);
+    let scene_bg_shift = rng.gen_range(-25.0..25.0);
+    let scene_stripe_w = rng.gen_range(4.0..9.0);
+    let scene_grass_frac =
+        (camera.grass_fraction() + rng.gen_range(-0.06..0.06)).clamp(0.0, 1.0);
+
+    let mut pan_offset = 0.0f64;
+    let mut frames = Vec::with_capacity(shot.frames);
+
+    for _ in 0..shot.frames {
+        let mut frame = PixelBuf::filled(w, h, Rgb::new(0, 0, 0));
+        let grass_rows = (scene_grass_frac * h as f64).round() as usize;
+        let horizon = h.saturating_sub(grass_rows);
+
+        // Stands / background above the horizon.
+        let bg_mean = camera.background_brightness() + scene_bg_shift;
+        let bg_noise = camera.background_noise();
+        for y in 0..horizon {
+            for x in 0..w {
+                let n = (rng.gen::<f64>() - 0.5) * 2.0 * bg_noise;
+                let v = (bg_mean + n).clamp(0.0, 255.0) as u8;
+                // Slight blue/red tint so the crowd is not pure gray.
+                let tint = ((x * 7 + y * 13) % 3) as u8 * 6;
+                frame.set(x, y, Rgb::new(v.saturating_add(tint), v, v.saturating_sub(tint / 2)));
+            }
+        }
+
+        // Grass with mowing stripes that pan horizontally.
+        for y in horizon..h {
+            for x in 0..w {
+                let stripe =
+                    (((x as f64 + pan_offset) / scene_stripe_w).floor() as i64).rem_euclid(2);
+                let base_g = scene_grass_shift + if stripe == 0 { 150.0 } else { 130.0 };
+                let n = (rng.gen::<f64>() - 0.5) * 14.0;
+                let g = (base_g + n).clamp(0.0, 255.0) as u8;
+                frame.set(x, y, Rgb::new(40, g, 45));
+            }
+        }
+
+        // Players.
+        let radius = camera.player_radius() as i64;
+        for (i, (&x, &y)) in px.iter().zip(py.iter()).enumerate() {
+            let color = team_colors[i % 2];
+            let (cx, cy) = (x as i64, y as i64);
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    if dx * dx + dy * dy <= radius * radius {
+                        let (fx, fy) = (cx + dx, cy + dy);
+                        if fx >= 0 && fy >= 0 {
+                            frame.set(fx as usize, fy as usize, color);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Advance motion state.
+        pan_offset += profile.pan;
+        for i in 0..n_players {
+            px[i] = (px[i] + vels[i].0).rem_euclid(w as f64);
+            py[i] = (py[i] + vels[i].1)
+                .clamp(h as f64 * (1.0 - camera.grass_fraction()), h as f64 - 1.0);
+        }
+
+        frames.push(frame);
+    }
+    frames
+}
+
+/// Renders the audio track of one shot.
+pub(crate) fn render_audio(cfg: &RenderConfig, shot: &ScriptedShot, rng: &mut StdRng) -> AudioBuf {
+    let profile = ShotProfile::for_shot(shot);
+    let len = shot.frames * cfg.samples_per_frame;
+    let fs = cfg.sample_rate as f64;
+    let mut audio = AudioBuf::silence(cfg.sample_rate, len);
+    if len == 0 {
+        return audio;
+    }
+    let samples = audio.samples_mut();
+
+    // 1. Crowd noise floor: low-pass filtered white noise (one-pole).
+    let mut lp = 0.0f64;
+    let alpha = 0.12; // heavy smoothing → low-frequency rumble
+    for s in samples.iter_mut() {
+        let white: f64 = rng.gen_range(-1.0..1.0);
+        lp += alpha * (white - lp);
+        *s += lp * profile.crowd * 3.0;
+    }
+
+    // 2. Goal cheer: a swelling, even deeper rumble over the middle half.
+    if profile.cheer > 0.0 {
+        let start = len / 4;
+        let end = len.min(start + len / 2);
+        let mut lp2 = 0.0f64;
+        for (i, s) in samples[start..end].iter_mut().enumerate() {
+            let t = i as f64 / (end - start) as f64;
+            let envelope = (std::f64::consts::PI * t).sin(); // swell and fade
+            let white: f64 = rng.gen_range(-1.0..1.0);
+            lp2 += 0.05 * (white - lp2);
+            *s += lp2 * profile.cheer * 8.0 * envelope;
+        }
+    }
+
+    // 3. Referee whistle: two high-frequency tone bursts.
+    if profile.whistle > 0.0 {
+        let tone_hz = 0.8 * fs / 2.0; // well inside the top third of the spectrum
+        let burst = (fs * 0.25) as usize; // 250 ms
+        for &burst_start in &[len / 8, len / 2] {
+            let end = len.min(burst_start + burst);
+            for (i, s) in samples[burst_start..end].iter_mut().enumerate() {
+                let t = i as f64 / fs;
+                *s += profile.whistle * 0.7 * (2.0 * std::f64::consts::PI * tone_hz * t).sin();
+            }
+        }
+    }
+
+    // 4. Applause: gated white noise. Alternating between flat white-noise
+    // bursts and the low-passed crowd floor swings the normalized spectrum
+    // shape back and forth → high spectrum flux.
+    if profile.applause > 0.0 {
+        let gate = (fs * 0.1) as usize; // 100 ms gates
+        let mut i = 0;
+        while i < len {
+            let end = len.min(i + gate);
+            if rng.gen_bool(0.5) {
+                for s in samples[i..end].iter_mut() {
+                    *s += profile.applause * 1.2 * rng.gen_range(-1.0..1.0);
+                }
+            }
+            i = end;
+        }
+    }
+
+    audio.clamp();
+    audio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::CameraSetup;
+    use crate::script::ScriptedShot;
+    use hmmm_signal::{band_energies, rms};
+    use rand::SeedableRng;
+
+    fn shot(camera: CameraSetup, events: Vec<EventKind>, frames: usize) -> ScriptedShot {
+        ScriptedShot {
+            camera,
+            events,
+            frames,
+        }
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn frame_count_and_shape() {
+        let cfg = RenderConfig::default();
+        let frames = render_frames(&cfg, &shot(CameraSetup::Wide, vec![], 5), &mut rng(1));
+        assert_eq!(frames.len(), 5);
+        assert_eq!(frames[0].width(), cfg.frame_width);
+        assert_eq!(frames[0].height(), cfg.frame_height);
+    }
+
+    #[test]
+    fn grass_ratio_tracks_camera() {
+        let cfg = RenderConfig::default();
+        let wide = render_frames(&cfg, &shot(CameraSetup::Wide, vec![], 3), &mut rng(2));
+        let crowd = render_frames(&cfg, &shot(CameraSetup::Crowd, vec![], 3), &mut rng(3));
+        let wide_ratio = wide[0].grass_ratio();
+        let crowd_ratio = crowd[0].grass_ratio();
+        assert!(
+            wide_ratio > 0.5,
+            "wide camera grass ratio too low: {wide_ratio}"
+        );
+        assert!(
+            crowd_ratio < 0.1,
+            "crowd camera grass ratio too high: {crowd_ratio}"
+        );
+    }
+
+    #[test]
+    fn goal_shots_move_more_than_card_shots() {
+        let cfg = RenderConfig::default();
+        let goal = render_frames(
+            &cfg,
+            &shot(CameraSetup::Wide, vec![EventKind::Goal], 8),
+            &mut rng(4),
+        );
+        let card = render_frames(
+            &cfg,
+            &shot(CameraSetup::Wide, vec![EventKind::YellowCard], 8),
+            &mut rng(5),
+        );
+        let change = |frames: &[PixelBuf]| {
+            frames
+                .windows(2)
+                .map(|w| w[0].changed_fraction(&w[1], 900))
+                .sum::<f64>()
+                / (frames.len() - 1) as f64
+        };
+        let goal_motion = change(&goal);
+        let card_motion = change(&card);
+        assert!(
+            goal_motion > card_motion,
+            "goal {goal_motion} vs card {card_motion}"
+        );
+    }
+
+    #[test]
+    fn audio_length_matches_frames() {
+        let cfg = RenderConfig::default();
+        let a = render_audio(&cfg, &shot(CameraSetup::Wide, vec![], 10), &mut rng(6));
+        assert_eq!(a.len(), 10 * cfg.samples_per_frame);
+        assert_eq!(a.sample_rate(), cfg.sample_rate);
+        assert!(a.samples().iter().all(|s| (-1.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn goal_audio_is_louder() {
+        let cfg = RenderConfig::default();
+        let goal = render_audio(
+            &cfg,
+            &shot(CameraSetup::Wide, vec![EventKind::Goal], 12),
+            &mut rng(7),
+        );
+        let quiet = render_audio(&cfg, &shot(CameraSetup::Wide, vec![], 12), &mut rng(8));
+        assert!(
+            rms(goal.samples()) > 1.5 * rms(quiet.samples()),
+            "goal rms {} vs plain rms {}",
+            rms(goal.samples()),
+            rms(quiet.samples())
+        );
+    }
+
+    #[test]
+    fn whistle_energy_lands_in_top_band() {
+        let cfg = RenderConfig::default();
+        let foul = render_audio(
+            &cfg,
+            &shot(CameraSetup::Medium, vec![EventKind::Foul], 12),
+            &mut rng(9),
+        );
+        let plain = render_audio(&cfg, &shot(CameraSetup::Medium, vec![], 12), &mut rng(10));
+        let foul_bands = band_energies(foul.samples(), 3);
+        let plain_bands = band_energies(plain.samples(), 3);
+        // Whistle is a high-frequency tone: top-band share must rise sharply.
+        let foul_share = foul_bands[2] / (foul_bands.iter().sum::<f64>() + 1e-12);
+        let plain_share = plain_bands[2] / (plain_bands.iter().sum::<f64>() + 1e-12);
+        assert!(
+            foul_share > 2.0 * plain_share,
+            "foul top-band share {foul_share} vs plain {plain_share}"
+        );
+    }
+
+    #[test]
+    fn applause_has_higher_volume_variability_than_plain_play() {
+        // Gated applause alternates loud/quiet every ~100 ms; the volume
+        // *difference* variability (Table 1's volume_stdd) must rise.
+        let cfg = RenderConfig::default();
+        let sub = render_audio(
+            &cfg,
+            &shot(CameraSetup::Medium, vec![EventKind::PlayerChange], 12),
+            &mut rng(11),
+        );
+        let plain = render_audio(&cfg, &shot(CameraSetup::Medium, vec![], 12), &mut rng(12));
+        let stdd = |a: &AudioBuf| {
+            let vols = a.volume_series(256);
+            let diffs = hmmm_signal::stats::differences(&vols);
+            diffs.iter().copied().collect::<hmmm_signal::Stats>().population_std()
+        };
+        let sub_stdd = stdd(&sub);
+        let plain_stdd = stdd(&plain);
+        assert!(
+            sub_stdd > 2.0 * plain_stdd,
+            "applause volume_stdd {sub_stdd} vs plain {plain_stdd}"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let cfg = RenderConfig::default();
+        let s = shot(CameraSetup::Wide, vec![EventKind::Goal], 4);
+        let a = render_frames(&cfg, &s, &mut rng(42));
+        let b = render_frames(&cfg, &s, &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_frame_shot_renders_empty() {
+        let cfg = RenderConfig::default();
+        let s = shot(CameraSetup::Wide, vec![], 0);
+        assert!(render_frames(&cfg, &s, &mut rng(1)).is_empty());
+        assert!(render_audio(&cfg, &s, &mut rng(1)).is_empty());
+    }
+}

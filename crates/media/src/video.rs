@@ -1,0 +1,210 @@
+//! Synthetic videos with deterministic, lazy shot rendering.
+
+use crate::audio::AudioBuf;
+use crate::pixel::PixelBuf;
+use crate::script::{EventScript, ScriptedShot};
+use crate::synth::{render_audio, render_frames, RenderConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The rendered media of a single shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedShot {
+    /// Video frames, in order.
+    pub frames: Vec<PixelBuf>,
+    /// The shot's audio track.
+    pub audio: AudioBuf,
+}
+
+/// A synthetic video: an event script plus a deterministic renderer.
+///
+/// Media is **never stored** — any shot can be re-rendered on demand from
+/// `(video_seed, shot_index)`, so a paper-scale archive (tens of thousands
+/// of shots) holds pixels for at most one shot at a time while features are
+/// extracted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticVideo {
+    script: EventScript,
+    config: RenderConfig,
+    seed: u64,
+}
+
+impl SyntheticVideo {
+    /// Wraps a script with rendering parameters and a seed.
+    pub fn new(script: EventScript, config: RenderConfig, seed: u64) -> Self {
+        SyntheticVideo {
+            script,
+            config,
+            seed,
+        }
+    }
+
+    /// The underlying ground-truth script.
+    #[inline]
+    pub fn script(&self) -> &EventScript {
+        &self.script
+    }
+
+    /// Rendering parameters.
+    #[inline]
+    pub fn config(&self) -> &RenderConfig {
+        &self.config
+    }
+
+    /// The video's render seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of shots.
+    #[inline]
+    pub fn shot_count(&self) -> usize {
+        self.script.len()
+    }
+
+    /// The scripted shot at `index`.
+    pub fn shot(&self, index: usize) -> Option<&ScriptedShot> {
+        self.script.shots().get(index)
+    }
+
+    /// Renders the media for shot `index`.
+    ///
+    /// Deterministic: the same `(seed, index)` always yields identical
+    /// frames and audio, independent of rendering order.
+    ///
+    /// Returns `None` for an out-of-range index.
+    pub fn render_shot(&self, index: usize) -> Option<RenderedShot> {
+        let shot = self.script.shots().get(index)?;
+        // Derive a per-shot RNG stream: mix the video seed and shot index
+        // through SplitMix64 so neighbouring shots decorrelate.
+        let shot_seed = splitmix64(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut vid_rng = StdRng::seed_from_u64(shot_seed);
+        let frames = render_frames(&self.config, shot, &mut vid_rng);
+        let mut aud_rng = StdRng::seed_from_u64(splitmix64(shot_seed ^ 0xA5A5_A5A5_A5A5_A5A5));
+        let audio = render_audio(&self.config, shot, &mut aud_rng);
+        Some(RenderedShot { frames, audio })
+    }
+
+    /// Iterates over all rendered shots (lazily, one at a time).
+    pub fn rendered_shots(&self) -> impl Iterator<Item = RenderedShot> + '_ {
+        (0..self.shot_count()).map(move |i| self.render_shot(i).expect("index in range"))
+    }
+
+    /// Renders the video as one continuous frame stream (all shots
+    /// concatenated) — the input the shot-boundary detector sees, with the
+    /// ground-truth cut positions recoverable from the script.
+    pub fn frame_stream(&self) -> impl Iterator<Item = PixelBuf> + '_ {
+        self.rendered_shots().flat_map(|s| s.frames.into_iter())
+    }
+
+    /// Ground-truth cut positions: frame indices at which a new shot starts
+    /// (excluding frame 0).
+    pub fn true_cuts(&self) -> Vec<usize> {
+        let mut cuts = Vec::new();
+        let mut pos = 0;
+        for (i, shot) in self.script.shots().iter().enumerate() {
+            if i > 0 {
+                cuts.push(pos);
+            }
+            pos += shot.frames;
+        }
+        cuts
+    }
+
+    /// Total frame count across all shots.
+    pub fn total_frames(&self) -> usize {
+        self.script.shots().iter().map(|s| s.frames).sum()
+    }
+}
+
+/// SplitMix64 — tiny, high-quality seed mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::CameraSetup;
+    use crate::event::EventKind;
+    use crate::script::{ScriptConfig, ScriptedShot};
+
+    fn small_video(seed: u64) -> SyntheticVideo {
+        let script = EventScript::generate(&ScriptConfig {
+            shots: 6,
+            event_rate: 0.5,
+            seed,
+            ..ScriptConfig::default()
+        });
+        SyntheticVideo::new(script, RenderConfig::small(), seed)
+    }
+
+    #[test]
+    fn render_shot_deterministic_and_order_independent() {
+        let v = small_video(7);
+        let a = v.render_shot(3).unwrap();
+        let _ = v.render_shot(0);
+        let b = v.render_shot(3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_shots_differ() {
+        let v = small_video(8);
+        let a = v.render_shot(0).unwrap();
+        let b = v.render_shot(1).unwrap();
+        assert_ne!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn out_of_range_shot_is_none() {
+        let v = small_video(9);
+        assert!(v.render_shot(999).is_none());
+    }
+
+    #[test]
+    fn frame_stream_concatenates_all_shots() {
+        let v = small_video(10);
+        let n: usize = v.frame_stream().count();
+        assert_eq!(n, v.total_frames());
+    }
+
+    #[test]
+    fn true_cuts_match_script() {
+        let script = EventScript::from_shots(vec![
+            ScriptedShot {
+                camera: CameraSetup::Wide,
+                events: vec![],
+                frames: 4,
+            },
+            ScriptedShot {
+                camera: CameraSetup::Crowd,
+                events: vec![EventKind::Goal],
+                frames: 3,
+            },
+            ScriptedShot {
+                camera: CameraSetup::Medium,
+                events: vec![],
+                frames: 5,
+            },
+        ]);
+        let v = SyntheticVideo::new(script, RenderConfig::small(), 1);
+        assert_eq!(v.true_cuts(), vec![4, 7]);
+        assert_eq!(v.total_frames(), 12);
+    }
+
+    #[test]
+    fn rendered_audio_and_frames_align() {
+        let v = small_video(11);
+        for (i, rs) in v.rendered_shots().enumerate() {
+            let expected = v.shot(i).unwrap().frames;
+            assert_eq!(rs.frames.len(), expected);
+            assert_eq!(rs.audio.len(), expected * v.config().samples_per_frame);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Parsed query representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of a temporal pattern: the event(s) expected at this position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStep {
+    /// Acceptable event names (≥ 1); alternatives mirror MATN branch arcs.
+    pub alternatives: Vec<String>,
+    /// Maximum shot gap to the previous step (`None` = unbounded, the
+    /// paper's "at some point in time"). Ignored on the first step.
+    pub max_gap: Option<usize>,
+}
+
+impl QueryStep {
+    /// A single-event step with unbounded gap.
+    pub fn event(name: impl Into<String>) -> Self {
+        QueryStep {
+            alternatives: vec![name.into()],
+            max_gap: None,
+        }
+    }
+
+    /// Sets the gap bound.
+    pub fn with_gap(mut self, gap: usize) -> Self {
+        self.max_gap = Some(gap);
+        self
+    }
+}
+
+/// A full temporal pattern query (`R = {e_1, …, e_C}` in §5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalPattern {
+    /// The ordered steps.
+    pub steps: Vec<QueryStep>,
+}
+
+impl TemporalPattern {
+    /// Builds a pattern from steps.
+    pub fn new(steps: Vec<QueryStep>) -> Self {
+        TemporalPattern { steps }
+    }
+
+    /// Number of steps (`C`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the pattern has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// All distinct event names referenced by the pattern.
+    pub fn event_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .steps
+            .iter()
+            .flat_map(|s| s.alternatives.iter().map(String::as_str))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+impl fmt::Display for TemporalPattern {
+    /// Canonical text form; re-parsing it yields an equal pattern.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                match step.max_gap {
+                    Some(g) => write!(f, " ->[{g}] ")?,
+                    None => write!(f, " -> ")?,
+                }
+            }
+            write!(f, "{}", step.alternatives.join("|"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_accessors() {
+        let p = TemporalPattern::new(vec![
+            QueryStep::event("goal"),
+            QueryStep::event("free_kick").with_gap(3),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.steps[1].max_gap, Some(3));
+    }
+
+    #[test]
+    fn event_names_deduplicated_sorted() {
+        let p = TemporalPattern::new(vec![
+            QueryStep {
+                alternatives: vec!["goal".into(), "corner_kick".into()],
+                max_gap: None,
+            },
+            QueryStep::event("goal"),
+        ]);
+        assert_eq!(p.event_names(), vec!["corner_kick", "goal"]);
+    }
+
+    #[test]
+    fn display_canonical_form() {
+        let p = TemporalPattern::new(vec![
+            QueryStep::event("goal"),
+            QueryStep {
+                alternatives: vec!["free_kick".into(), "corner_kick".into()],
+                max_gap: Some(2),
+            },
+            QueryStep::event("foul"),
+        ]);
+        assert_eq!(p.to_string(), "goal ->[2] free_kick|corner_kick -> foul");
+    }
+
+    #[test]
+    fn empty_pattern_displays_empty() {
+        assert_eq!(TemporalPattern::new(vec![]).to_string(), "");
+    }
+}

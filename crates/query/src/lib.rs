@@ -1,0 +1,44 @@
+//! # hmmm-query
+//!
+//! The temporal pattern query language — the paper's "graphical retrieval
+//! interface" and "query translator" components (§3, Figure 1), in textual
+//! form.
+//!
+//! A temporal pattern query is a sequence of event steps ordered by time
+//! (`T_{e_1} ≤ T_{e_2} ≤ … ≤ T_{e_C}`, §5). The language:
+//!
+//! ```text
+//! pattern  := step ( arrow step )*
+//! arrow    := '->' ( '[' number ']' )?      // optional max shot gap
+//! step     := event ( '|' event )*          // alternatives (MATN branch)
+//! event    := identifier                     // e.g. goal, corner_kick
+//! ```
+//!
+//! Examples (the second is the paper's §3 narrative query):
+//!
+//! ```text
+//! goal ->[3] free_kick
+//! free_kick -> goal -> corner_kick -> player_change -> goal
+//! corner_kick|free_kick -> goal
+//! ```
+//!
+//! * [`ast`] — the parsed [`ast::TemporalPattern`].
+//! * [`parse`] — hand-rolled lexer + recursive-descent parser with
+//!   position-carrying errors.
+//! * [`matn`] — the Multimedia Augmented Transition Network view of a
+//!   pattern (Figure 4's query model; ref \[5\]), with Graphviz export.
+//! * [`translate`] — the query translator: resolves event names against a
+//!   vocabulary into the dense indices the retrieval engine consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod matn;
+pub mod parse;
+pub mod translate;
+
+pub use ast::{QueryStep, TemporalPattern};
+pub use matn::Matn;
+pub use parse::{parse_pattern, ParseError};
+pub use translate::{CompiledPattern, CompiledStep, QueryTranslator, TranslateError};

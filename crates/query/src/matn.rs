@@ -1,0 +1,184 @@
+//! Multimedia Augmented Transition Network view of a pattern.
+//!
+//! The paper presents each temporal query as an MATN (Figure 4) — a chain of
+//! states `q_0 … q_C` whose arcs are labeled with the expected events;
+//! alternative events at one step become parallel arcs between the same
+//! state pair (ref \[5\], Chen & Kashyap's semantic presentation model).
+
+use crate::ast::TemporalPattern;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One MATN arc: `from --label--> to`, with an optional gap bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatnArc {
+    /// Source state index.
+    pub from: usize,
+    /// Target state index.
+    pub to: usize,
+    /// Event name on the arc.
+    pub label: String,
+    /// Gap bound inherited from the step (`None` = unbounded).
+    pub max_gap: Option<usize>,
+}
+
+/// An MATN: a linear chain of states with (possibly parallel) labeled arcs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matn {
+    states: usize,
+    arcs: Vec<MatnArc>,
+}
+
+impl Matn {
+    /// Builds the MATN of a pattern: `C + 1` states, one arc per
+    /// alternative per step.
+    pub fn from_pattern(pattern: &TemporalPattern) -> Self {
+        let mut arcs = Vec::new();
+        for (i, step) in pattern.steps.iter().enumerate() {
+            for alt in &step.alternatives {
+                arcs.push(MatnArc {
+                    from: i,
+                    to: i + 1,
+                    label: alt.clone(),
+                    max_gap: step.max_gap,
+                });
+            }
+        }
+        Matn {
+            states: pattern.len() + 1,
+            arcs,
+        }
+    }
+
+    /// Number of states (`C + 1`; a zero-step pattern has one state).
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[MatnArc] {
+        &self.arcs
+    }
+
+    /// Arcs leaving a state.
+    pub fn arcs_from(&self, state: usize) -> impl Iterator<Item = &MatnArc> {
+        self.arcs.iter().filter(move |a| a.from == state)
+    }
+
+    /// Start state (always 0).
+    pub fn start_state(&self) -> usize {
+        0
+    }
+
+    /// Accepting state (the last one).
+    pub fn accept_state(&self) -> usize {
+        self.states - 1
+    }
+
+    /// `true` if the event sequence walks the chain from start to accept.
+    pub fn accepts(&self, events: &[&str]) -> bool {
+        let mut state = self.start_state();
+        for &e in events {
+            match self.arcs_from(state).find(|a| a.label == e) {
+                Some(arc) => state = arc.to,
+                None => return false,
+            }
+        }
+        state == self.accept_state()
+    }
+
+    /// Graphviz DOT rendering (for documentation and the examples).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph matn {\n  rankdir=LR;\n");
+        for s in 0..self.states {
+            let shape = if s == self.accept_state() {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            out.push_str(&format!("  q{s} [shape={shape}];\n"));
+        }
+        for a in &self.arcs {
+            let label = match a.max_gap {
+                Some(g) => format!("{} (≤{g})", a.label),
+                None => a.label.clone(),
+            };
+            out.push_str(&format!("  q{} -> q{} [label=\"{label}\"];\n", a.from, a.to));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for Matn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(q0)")?;
+        for s in 0..self.states - 1 {
+            let labels: Vec<String> = self
+                .arcs_from(s)
+                .map(|a| a.label.clone())
+                .collect();
+            write!(f, " --{}--> (q{})", labels.join("|"), s + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+
+    #[test]
+    fn chain_structure() {
+        let p = parse_pattern("goal -> free_kick").unwrap();
+        let m = Matn::from_pattern(&p);
+        assert_eq!(m.state_count(), 3);
+        assert_eq!(m.arcs().len(), 2);
+        assert_eq!(m.start_state(), 0);
+        assert_eq!(m.accept_state(), 2);
+    }
+
+    #[test]
+    fn alternatives_become_parallel_arcs() {
+        let p = parse_pattern("corner_kick|free_kick -> goal").unwrap();
+        let m = Matn::from_pattern(&p);
+        assert_eq!(m.arcs_from(0).count(), 2);
+        assert_eq!(m.arcs_from(1).count(), 1);
+    }
+
+    #[test]
+    fn acceptance() {
+        let p = parse_pattern("corner_kick|free_kick -> goal").unwrap();
+        let m = Matn::from_pattern(&p);
+        assert!(m.accepts(&["corner_kick", "goal"]));
+        assert!(m.accepts(&["free_kick", "goal"]));
+        assert!(!m.accepts(&["goal", "goal"]));
+        assert!(!m.accepts(&["corner_kick"])); // stops before accept
+        assert!(!m.accepts(&["corner_kick", "goal", "goal"])); // overruns
+    }
+
+    #[test]
+    fn empty_pattern_single_state() {
+        let m = Matn::from_pattern(&TemporalPattern::new(vec![]));
+        assert_eq!(m.state_count(), 1);
+        assert!(m.accepts(&[]));
+    }
+
+    #[test]
+    fn dot_contains_all_states_and_arcs() {
+        let p = parse_pattern("goal ->[2] foul").unwrap();
+        let m = Matn::from_pattern(&p);
+        let dot = m.to_dot();
+        assert!(dot.contains("q0"));
+        assert!(dot.contains("q2 [shape=doublecircle]"));
+        assert!(dot.contains("label=\"foul (≤2)\""));
+    }
+
+    #[test]
+    fn display_form() {
+        let p = parse_pattern("goal -> free_kick|foul").unwrap();
+        let m = Matn::from_pattern(&p);
+        assert_eq!(m.to_string(), "(q0) --goal--> (q1) --free_kick|foul--> (q2)");
+    }
+}

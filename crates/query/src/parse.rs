@@ -1,0 +1,317 @@
+//! Lexer and recursive-descent parser for the pattern language.
+
+use crate::ast::{QueryStep, TemporalPattern};
+use std::fmt;
+
+/// A parse failure with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was noticed.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Arrow,
+    Pipe,
+    LBracket,
+    RBracket,
+    Number(usize),
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let bytes = self.input.as_bytes();
+        let mut tokens = Vec::new();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                b'-' => {
+                    if bytes.get(self.pos + 1) == Some(&b'>') {
+                        tokens.push((self.pos, Token::Arrow));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.err("expected '->'"));
+                    }
+                }
+                b'|' => {
+                    tokens.push((self.pos, Token::Pipe));
+                    self.pos += 1;
+                }
+                b'[' => {
+                    tokens.push((self.pos, Token::LBracket));
+                    self.pos += 1;
+                }
+                b']' => {
+                    tokens.push((self.pos, Token::RBracket));
+                    self.pos += 1;
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = &self.input[start..self.pos];
+                    let n: usize = text
+                        .parse()
+                        .map_err(|_| self.err(format!("number {text} out of range")))?;
+                    tokens.push((start, Token::Number(n)));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let start = self.pos;
+                    while self.pos < bytes.len()
+                        && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    tokens.push((start, Token::Ident(self.input[start..self.pos].to_string())));
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {:?}", other as char)));
+                }
+            }
+        }
+        Ok(tokens)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    cursor: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens
+            .get(self.cursor)
+            .map_or(self.input_len, |(p, _)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.cursor).map(|(_, t)| t.clone());
+        self.cursor += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                position: self.pos(),
+                message: format!("expected event name, found {other:?}"),
+            }),
+        }
+    }
+
+    /// step := ident ('|' ident)*
+    fn step(&mut self, max_gap: Option<usize>) -> Result<QueryStep, ParseError> {
+        let mut alternatives = vec![self.expect_ident()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.bump();
+            alternatives.push(self.expect_ident()?);
+        }
+        Ok(QueryStep {
+            alternatives,
+            max_gap,
+        })
+    }
+
+    /// arrow := '->' ('[' number ']')?
+    fn arrow_gap(&mut self) -> Result<Option<usize>, ParseError> {
+        match self.bump() {
+            Some(Token::Arrow) => {}
+            other => {
+                return Err(self.err(format!("expected '->', found {other:?}")));
+            }
+        }
+        if self.peek() == Some(&Token::LBracket) {
+            self.bump();
+            let gap = match self.bump() {
+                Some(Token::Number(n)) => n,
+                other => return Err(self.err(format!("expected gap number, found {other:?}"))),
+            };
+            match self.bump() {
+                Some(Token::RBracket) => {}
+                other => return Err(self.err(format!("expected ']', found {other:?}"))),
+            }
+            Ok(Some(gap))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn pattern(&mut self) -> Result<TemporalPattern, ParseError> {
+        let mut steps = vec![self.step(None)?];
+        while self.peek().is_some() {
+            let gap = self.arrow_gap()?;
+            steps.push(self.step(gap)?);
+        }
+        Ok(TemporalPattern::new(steps))
+    }
+}
+
+/// Parses a temporal pattern query.
+///
+/// # Errors
+///
+/// [`ParseError`] with the byte position of the first problem.
+///
+/// # Examples
+///
+/// ```
+/// use hmmm_query::parse_pattern;
+///
+/// let p = parse_pattern("free_kick -> goal ->[2] corner_kick").unwrap();
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.steps[2].max_gap, Some(2));
+/// ```
+pub fn parse_pattern(input: &str) -> Result<TemporalPattern, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    if tokens.is_empty() {
+        return Err(ParseError {
+            position: 0,
+            message: "empty query".into(),
+        });
+    }
+    let mut parser = Parser {
+        tokens,
+        cursor: 0,
+        input_len: input.len(),
+    };
+    parser.pattern()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_event() {
+        let p = parse_pattern("goal").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.steps[0].alternatives, vec!["goal"]);
+        assert_eq!(p.steps[0].max_gap, None);
+    }
+
+    #[test]
+    fn the_papers_narrative_query() {
+        // §3: free kick → goal, then corner kick, then player change, goal.
+        let p = parse_pattern("free_kick -> goal -> corner_kick -> player_change -> goal")
+            .unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.steps[4].alternatives, vec!["goal"]);
+    }
+
+    #[test]
+    fn gap_annotations() {
+        let p = parse_pattern("goal ->[3] free_kick ->[0] foul").unwrap();
+        assert_eq!(p.steps[1].max_gap, Some(3));
+        assert_eq!(p.steps[2].max_gap, Some(0));
+    }
+
+    #[test]
+    fn alternatives() {
+        let p = parse_pattern("corner_kick|free_kick|goal_kick -> goal").unwrap();
+        assert_eq!(
+            p.steps[0].alternatives,
+            vec!["corner_kick", "free_kick", "goal_kick"]
+        );
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_pattern("goal->free_kick").unwrap();
+        let b = parse_pattern("  goal  ->\n  free_kick ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_pattern("").unwrap_err();
+        assert_eq!(e.position, 0);
+
+        let e = parse_pattern("goal -> ").unwrap_err();
+        assert!(e.message.contains("expected event name"));
+
+        let e = parse_pattern("goal ->[x] foul").unwrap_err();
+        assert!(e.message.contains("gap number"));
+
+        let e = parse_pattern("goal @ foul").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+        assert_eq!(e.position, 5);
+
+        let e = parse_pattern("goal - foul").unwrap_err();
+        assert!(e.message.contains("'->'"));
+
+        let e = parse_pattern("goal ->[3 foul").unwrap_err();
+        assert!(e.message.contains("']'"));
+
+        let e = parse_pattern("goal | -> foul").unwrap_err();
+        assert!(e.message.contains("expected event name"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_pattern("goal foul").is_err());
+        assert!(parse_pattern("goal -> foul ]").is_err());
+    }
+
+    #[test]
+    fn huge_number_rejected() {
+        assert!(parse_pattern("goal ->[99999999999999999999999] foul").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for text in [
+            "goal",
+            "goal -> free_kick",
+            "goal ->[4] free_kick|corner_kick -> foul",
+            "free_kick -> goal -> corner_kick -> player_change -> goal",
+        ] {
+            let p = parse_pattern(text).unwrap();
+            let round = parse_pattern(&p.to_string()).unwrap();
+            assert_eq!(p, round, "round-trip failed for {text}");
+        }
+    }
+}

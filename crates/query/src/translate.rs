@@ -1,0 +1,226 @@
+//! The query translator: names → dense event indices.
+//!
+//! §3: "the query translator analyzes the user requirements and encodes the
+//! query to a set of expected events and their associated temporal
+//! patterns". The translator owns the event vocabulary (name ↔ index) and
+//! produces the [`CompiledPattern`] the retrieval engine consumes.
+
+use crate::ast::TemporalPattern;
+use crate::parse::{parse_pattern, ParseError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A translation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// An event name is not in the vocabulary.
+    UnknownEvent {
+        /// The offending name.
+        name: String,
+        /// The known vocabulary (sorted), for error messages.
+        known: Vec<String>,
+    },
+    /// The pattern has no steps.
+    EmptyPattern,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Parse(e) => write!(f, "{e}"),
+            TranslateError::UnknownEvent { name, known } => {
+                write!(f, "unknown event {name:?}; known events: {}", known.join(", "))
+            }
+            TranslateError::EmptyPattern => write!(f, "pattern has no steps"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<ParseError> for TranslateError {
+    fn from(e: ParseError) -> Self {
+        TranslateError::Parse(e)
+    }
+}
+
+/// One compiled step: acceptable event indices plus the gap bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledStep {
+    /// Acceptable event indices (into the translator's vocabulary).
+    pub alternatives: Vec<usize>,
+    /// Maximum shot gap to the previous step (`None` = unbounded).
+    pub max_gap: Option<usize>,
+}
+
+/// A fully resolved pattern, ready for retrieval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledPattern {
+    /// The ordered compiled steps.
+    pub steps: Vec<CompiledStep>,
+}
+
+impl CompiledPattern {
+    /// Number of steps (`C`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when there are no steps (never produced by the translator).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Resolves event names against a fixed vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTranslator {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl QueryTranslator {
+    /// Builds a translator from the vocabulary, in index order.
+    /// Duplicate names keep their first index.
+    pub fn new<S: Into<String>>(vocabulary: impl IntoIterator<Item = S>) -> Self {
+        let names: Vec<String> = vocabulary.into_iter().map(Into::into).collect();
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            index.entry(n.clone()).or_insert(i);
+        }
+        QueryTranslator { names, index }
+    }
+
+    /// The vocabulary, in index order.
+    pub fn vocabulary(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of an event name.
+    pub fn event_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of an event index.
+    pub fn event_name(&self, index: usize) -> Option<&str> {
+        self.names.get(index).map(String::as_str)
+    }
+
+    /// Translates a parsed pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`TranslateError::UnknownEvent`] for out-of-vocabulary names,
+    /// [`TranslateError::EmptyPattern`] for a stepless pattern.
+    pub fn translate(&self, pattern: &TemporalPattern) -> Result<CompiledPattern, TranslateError> {
+        if pattern.is_empty() {
+            return Err(TranslateError::EmptyPattern);
+        }
+        let steps = pattern
+            .steps
+            .iter()
+            .map(|step| {
+                let alternatives = step
+                    .alternatives
+                    .iter()
+                    .map(|name| {
+                        self.event_index(name).ok_or_else(|| {
+                            let mut known = self.names.clone();
+                            known.sort();
+                            TranslateError::UnknownEvent {
+                                name: name.clone(),
+                                known,
+                            }
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(CompiledStep {
+                    alternatives,
+                    max_gap: step.max_gap,
+                })
+            })
+            .collect::<Result<Vec<_>, TranslateError>>()?;
+        Ok(CompiledPattern { steps })
+    }
+
+    /// Parses and translates query text in one step.
+    ///
+    /// # Errors
+    ///
+    /// Parse or translation failures.
+    pub fn compile(&self, text: &str) -> Result<CompiledPattern, TranslateError> {
+        let pattern = parse_pattern(text)?;
+        self.translate(&pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn translator() -> QueryTranslator {
+        QueryTranslator::new(["goal", "corner_kick", "free_kick", "foul"])
+    }
+
+    #[test]
+    fn vocabulary_lookups() {
+        let t = translator();
+        assert_eq!(t.event_index("goal"), Some(0));
+        assert_eq!(t.event_index("foul"), Some(3));
+        assert_eq!(t.event_index("red_card"), None);
+        assert_eq!(t.event_name(1), Some("corner_kick"));
+        assert_eq!(t.event_name(9), None);
+        assert_eq!(t.vocabulary().len(), 4);
+    }
+
+    #[test]
+    fn compile_resolves_indices_and_gaps() {
+        let t = translator();
+        let c = t.compile("goal ->[2] free_kick|corner_kick").unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.steps[0].alternatives, vec![0]);
+        assert_eq!(c.steps[1].alternatives, vec![2, 1]);
+        assert_eq!(c.steps[1].max_gap, Some(2));
+    }
+
+    #[test]
+    fn unknown_event_reported_with_vocabulary() {
+        let t = translator();
+        let err = t.compile("goal -> throw_in").unwrap_err();
+        match err {
+            TranslateError::UnknownEvent { name, known } => {
+                assert_eq!(name, "throw_in");
+                assert!(known.contains(&"corner_kick".to_string()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let t = translator();
+        assert!(matches!(
+            t.compile("goal ->"),
+            Err(TranslateError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        let t = translator();
+        assert_eq!(
+            t.translate(&TemporalPattern::new(vec![])),
+            Err(TranslateError::EmptyPattern)
+        );
+    }
+
+    #[test]
+    fn duplicate_vocabulary_keeps_first() {
+        let t = QueryTranslator::new(["goal", "goal", "foul"]);
+        assert_eq!(t.event_index("goal"), Some(0));
+        assert_eq!(t.event_index("foul"), Some(2));
+    }
+}

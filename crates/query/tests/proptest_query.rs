@@ -1,0 +1,78 @@
+//! Property tests: the pattern language round-trips and the MATN agrees
+//! with the AST.
+
+use hmmm_query::{parse_pattern, Matn, QueryStep, TemporalPattern};
+use proptest::prelude::*;
+
+fn event_name() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "goal",
+        "corner_kick",
+        "free_kick",
+        "foul",
+        "goal_kick",
+        "yellow_card",
+        "red_card",
+        "player_change",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn step() -> impl Strategy<Value = QueryStep> {
+    (
+        proptest::collection::vec(event_name(), 1..4),
+        proptest::option::of(0usize..20),
+    )
+        .prop_map(|(alternatives, max_gap)| QueryStep {
+            alternatives,
+            max_gap,
+        })
+}
+
+fn pattern() -> impl Strategy<Value = TemporalPattern> {
+    proptest::collection::vec(step(), 1..6).prop_map(|mut steps| {
+        steps[0].max_gap = None; // gap on the first step is never printed
+        TemporalPattern::new(steps)
+    })
+}
+
+proptest! {
+    /// Display → parse is the identity on canonical patterns.
+    #[test]
+    fn display_parse_round_trip(p in pattern()) {
+        let text = p.to_string();
+        let parsed = parse_pattern(&text).unwrap();
+        prop_assert_eq!(p, parsed);
+    }
+
+    /// The MATN has C+1 states and one arc per alternative.
+    #[test]
+    fn matn_shape_matches_ast(p in pattern()) {
+        let m = Matn::from_pattern(&p);
+        prop_assert_eq!(m.state_count(), p.len() + 1);
+        let alt_count: usize = p.steps.iter().map(|s| s.alternatives.len()).sum();
+        prop_assert_eq!(m.arcs().len(), alt_count);
+    }
+
+    /// Any "first alternative" walk of the pattern is accepted by its MATN.
+    #[test]
+    fn matn_accepts_pattern_walks(p in pattern()) {
+        let m = Matn::from_pattern(&p);
+        let walk: Vec<&str> = p.steps.iter().map(|s| s.alternatives[0].as_str()).collect();
+        prop_assert!(m.accepts(&walk));
+    }
+
+    /// Truncated walks are never accepted (accept state not reached).
+    #[test]
+    fn matn_rejects_truncated_walks(p in pattern()) {
+        prop_assume!(p.len() >= 2);
+        let m = Matn::from_pattern(&p);
+        let walk: Vec<&str> = p
+            .steps
+            .iter()
+            .take(p.len() - 1)
+            .map(|s| s.alternatives[0].as_str())
+            .collect();
+        prop_assert!(!m.accepts(&walk));
+    }
+}

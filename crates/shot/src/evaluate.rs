@@ -1,0 +1,129 @@
+//! Boundary-detection accuracy metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall of detected cuts against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CutEvaluation {
+    /// Detected cuts matched to a true cut (within tolerance).
+    pub true_positives: usize,
+    /// Detected cuts with no matching true cut.
+    pub false_positives: usize,
+    /// True cuts no detection matched.
+    pub false_negatives: usize,
+}
+
+impl CutEvaluation {
+    /// `tp / (tp + fp)`; `1.0` when nothing was detected and nothing existed.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; `1.0` when there were no true cuts.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Matches detected cut positions against ground truth with a frame
+/// `tolerance`, greedily in stream order (each true cut may be claimed by at
+/// most one detection and vice versa). Both inputs must be sorted ascending.
+pub fn evaluate_cuts(detected: &[usize], truth: &[usize], tolerance: usize) -> CutEvaluation {
+    let mut tp = 0;
+    let mut di = 0;
+    let mut ti = 0;
+    while di < detected.len() && ti < truth.len() {
+        let d = detected[di] as i64;
+        let t = truth[ti] as i64;
+        if (d - t).unsigned_abs() as usize <= tolerance {
+            tp += 1;
+            di += 1;
+            ti += 1;
+        } else if d < t {
+            di += 1;
+        } else {
+            ti += 1;
+        }
+    }
+    CutEvaluation {
+        true_positives: tp,
+        false_positives: detected.len() - tp,
+        false_negatives: truth.len() - tp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let e = evaluate_cuts(&[5, 10, 20], &[5, 10, 20], 0);
+        assert_eq!(e.true_positives, 3);
+        assert_eq!(e.precision(), 1.0);
+        assert_eq!(e.recall(), 1.0);
+        assert_eq!(e.f1(), 1.0);
+    }
+
+    #[test]
+    fn tolerance_matches_near_misses() {
+        let e = evaluate_cuts(&[6, 11], &[5, 10], 1);
+        assert_eq!(e.true_positives, 2);
+        let strict = evaluate_cuts(&[6, 11], &[5, 10], 0);
+        assert_eq!(strict.true_positives, 0);
+        assert_eq!(strict.false_positives, 2);
+        assert_eq!(strict.false_negatives, 2);
+    }
+
+    #[test]
+    fn each_truth_claimed_once() {
+        // Two detections near one true cut: only one may match.
+        let e = evaluate_cuts(&[5, 6], &[5], 2);
+        assert_eq!(e.true_positives, 1);
+        assert_eq!(e.false_positives, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let e = evaluate_cuts(&[], &[], 2);
+        assert_eq!(e.precision(), 1.0);
+        assert_eq!(e.recall(), 1.0);
+        let miss = evaluate_cuts(&[], &[4], 2);
+        assert_eq!(miss.recall(), 0.0);
+        assert_eq!(miss.precision(), 1.0);
+        let noise = evaluate_cuts(&[4], &[], 2);
+        assert_eq!(noise.precision(), 0.0);
+        assert_eq!(noise.f1(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let e = evaluate_cuts(&[5, 30, 60], &[5, 40, 60], 3);
+        assert_eq!(e.true_positives, 2);
+        assert_eq!(e.false_positives, 1);
+        assert_eq!(e.false_negatives, 1);
+        assert!((e.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

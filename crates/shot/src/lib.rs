@@ -1,0 +1,32 @@
+//! # hmmm-shot
+//!
+//! Shot-boundary detection and segmentation — the first stage of the HMMM
+//! paper's Figure-1 pipeline ("video shot detection and segmentation
+//! algorithms").
+//!
+//! A *shot* is the continuous footage of one camera operation (§4.2.1).
+//! Broadcast video interleaves shots with hard cuts (and occasionally
+//! gradual transitions); this crate recovers those boundaries from the frame
+//! stream with the classic **twin-comparison** algorithm over luminance-
+//! histogram χ² distances:
+//!
+//! * a frame-pair distance above the **high** threshold declares a hard cut;
+//! * a pair above the **low** threshold opens a *candidate* gradual
+//!   transition whose distances accumulate; if the running total crosses the
+//!   high threshold the transition is confirmed, and it is abandoned when
+//!   consecutive pairs fall calm again.
+//!
+//! [`evaluate_cuts`] scores detected boundaries against ground truth with a
+//! frame tolerance — used by the pipeline experiment (E8) to report the
+//! detector's precision/recall on the synthetic archive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod evaluate;
+pub mod segment;
+
+pub use detect::{ShotBoundaryDetector, ShotDetectorConfig};
+pub use evaluate::{evaluate_cuts, CutEvaluation};
+pub use segment::{segment_frames, Shot};

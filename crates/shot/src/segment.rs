@@ -1,0 +1,104 @@
+//! Turning boundaries into shot segments.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A detected shot: a half-open frame range within one video.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shot {
+    /// Index of the first frame.
+    pub start: usize,
+    /// One past the last frame.
+    pub end: usize,
+}
+
+impl Shot {
+    /// The frame range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for a zero-length shot (never produced by segmentation).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Splits `total_frames` frames at the given cut positions into consecutive
+/// shots. Cuts must be strictly increasing, non-zero, and less than
+/// `total_frames`; out-of-spec cuts are ignored.
+///
+/// Returns an empty vector when `total_frames == 0`.
+pub fn segment_frames(cuts: &[usize], total_frames: usize) -> Vec<Shot> {
+    if total_frames == 0 {
+        return Vec::new();
+    }
+    let mut shots = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0;
+    for &cut in cuts {
+        if cut <= start || cut >= total_frames {
+            continue;
+        }
+        shots.push(Shot { start, end: cut });
+        start = cut;
+    }
+    shots.push(Shot {
+        start,
+        end: total_frames,
+    });
+    shots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cuts_single_shot() {
+        let shots = segment_frames(&[], 10);
+        assert_eq!(shots, vec![Shot { start: 0, end: 10 }]);
+        assert_eq!(shots[0].len(), 10);
+        assert!(!shots[0].is_empty());
+    }
+
+    #[test]
+    fn cuts_partition_the_stream() {
+        let shots = segment_frames(&[3, 7], 10);
+        assert_eq!(
+            shots,
+            vec![
+                Shot { start: 0, end: 3 },
+                Shot { start: 3, end: 7 },
+                Shot { start: 7, end: 10 },
+            ]
+        );
+        // Partition property: contiguous and covering.
+        let total: usize = shots.iter().map(Shot::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn bad_cuts_are_ignored() {
+        let shots = segment_frames(&[0, 3, 3, 2, 15], 10);
+        assert_eq!(
+            shots,
+            vec![Shot { start: 0, end: 3 }, Shot { start: 3, end: 10 }]
+        );
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(segment_frames(&[1, 2], 0).is_empty());
+    }
+
+    #[test]
+    fn range_accessor() {
+        let s = Shot { start: 2, end: 5 };
+        assert_eq!(s.range(), 2..5);
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end: detect shot boundaries in synthetic soccer video and score
+//! them against the script's ground-truth cuts.
+
+use hmmm_media::{EventScript, RenderConfig, ScriptConfig, SyntheticVideo};
+use hmmm_shot::{evaluate_cuts, segment_frames, ShotBoundaryDetector, ShotDetectorConfig};
+
+fn detect_on_video(seed: u64, shots: usize) -> (Vec<usize>, Vec<usize>, usize) {
+    let script = EventScript::generate(&ScriptConfig {
+        shots,
+        event_rate: 0.15,
+        seed,
+        ..ScriptConfig::default()
+    });
+    let video = SyntheticVideo::new(script, RenderConfig::default(), seed);
+    let truth = video.true_cuts();
+    let mut det = ShotBoundaryDetector::new(ShotDetectorConfig::default());
+    for frame in video.frame_stream() {
+        det.push(&frame);
+    }
+    (det.finish(), truth, video.total_frames())
+}
+
+#[test]
+fn detector_recovers_most_synthetic_cuts() {
+    let (detected, truth, _) = detect_on_video(77, 40);
+    let eval = evaluate_cuts(&detected, &truth, 1);
+    assert!(
+        eval.recall() > 0.8,
+        "recall {} too low (tp={} fn={})",
+        eval.recall(),
+        eval.true_positives,
+        eval.false_negatives
+    );
+    assert!(
+        eval.precision() > 0.8,
+        "precision {} too low (tp={} fp={})",
+        eval.precision(),
+        eval.true_positives,
+        eval.false_positives
+    );
+}
+
+#[test]
+fn segmentation_partitions_the_stream() {
+    let (detected, _, total) = detect_on_video(78, 25);
+    let shots = segment_frames(&detected, total);
+    assert!(!shots.is_empty());
+    assert_eq!(shots[0].start, 0);
+    assert_eq!(shots.last().unwrap().end, total);
+    for pair in shots.windows(2) {
+        assert_eq!(pair[0].end, pair[1].start);
+    }
+}
+
+#[test]
+fn detected_shot_count_is_in_the_right_ballpark() {
+    let (detected, truth, total) = detect_on_video(79, 30);
+    let shots = segment_frames(&detected, total);
+    let true_shots = truth.len() + 1;
+    assert!(
+        (shots.len() as f64) > 0.7 * true_shots as f64
+            && (shots.len() as f64) < 1.4 * true_shots as f64,
+        "detected {} shots vs {} true",
+        shots.len(),
+        true_shots
+    );
+}

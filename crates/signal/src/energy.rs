@@ -1,0 +1,149 @@
+//! RMS energy and sub-band energies.
+//!
+//! Table 1 of the HMMM paper uses the total RMS energy of an audio frame plus
+//! the RMS energies of frequency *sub-bands* (`sub1_mean`, `sub3_mean`, …).
+//! Following the audio-classification literature the paper's feature set
+//! descends from, the spectrum `[0, fs/2]` is split into octave-style bands;
+//! here a [`SubBands`] splitter divides the half-spectrum into equal-width
+//! bands and reports per-band RMS energy via Parseval's theorem.
+
+use crate::fft::power_spectrum;
+
+/// Root-mean-square energy of a sample frame. `0.0` for an empty frame.
+pub fn rms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = samples.iter().map(|s| s * s).sum();
+    (sum_sq / samples.len() as f64).sqrt()
+}
+
+/// A fixed partition of the half-spectrum into `count` equal bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubBands {
+    count: usize,
+}
+
+impl SubBands {
+    /// Creates a splitter with `count ≥ 1` bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "at least one band is required");
+        SubBands { count }
+    }
+
+    /// Number of bands.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Splits `spectrum` bins (power values) into per-band RMS energies.
+    ///
+    /// Band `b` covers bins `[b·n/count, (b+1)·n/count)`. Shorter spectra
+    /// than bands yield zero energy for the uncovered bands.
+    pub fn band_energies_from_power(&self, power: &[f64]) -> Vec<f64> {
+        let n = power.len();
+        let mut out = vec![0.0; self.count];
+        if n == 0 {
+            return out;
+        }
+        for (b, slot) in out.iter_mut().enumerate() {
+            let start = b * n / self.count;
+            let end = ((b + 1) * n / self.count).max(start);
+            let band = &power[start..end];
+            if !band.is_empty() {
+                let mean_power: f64 = band.iter().sum::<f64>() / band.len() as f64;
+                *slot = mean_power.sqrt();
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: RMS energies of `bands` equal-width sub-bands of `samples`.
+///
+/// The signal is transformed with an FFT (zero-padded to a power of two) and
+/// the non-redundant power spectrum is partitioned.
+pub fn band_energies(samples: &[f64], bands: usize) -> Vec<f64> {
+    let power = power_spectrum(samples);
+    SubBands::new(bands).band_energies_from_power(&power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_known_values() {
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(rms(&[3.0]), 3.0);
+        assert!((rms(&[1.0, -1.0, 1.0, -1.0]) - 1.0).abs() < 1e-12);
+        assert!((rms(&[0.0, 0.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn zero_bands_panics() {
+        SubBands::new(0);
+    }
+
+    #[test]
+    fn low_tone_energy_in_first_band() {
+        let n = 256;
+        // Bin-4 tone: low frequency relative to 129 spectrum bins.
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * 4.0 * t as f64 / n as f64).sin())
+            .collect();
+        let bands = band_energies(&signal, 3);
+        assert_eq!(bands.len(), 3);
+        assert!(
+            bands[0] > 10.0 * bands[1] && bands[0] > 10.0 * bands[2],
+            "low tone should dominate band 0: {bands:?}"
+        );
+    }
+
+    #[test]
+    fn high_tone_energy_in_last_band() {
+        let n = 256;
+        // Bin 120 of 129 → top band.
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * 120.0 * t as f64 / n as f64).sin())
+            .collect();
+        let bands = band_energies(&signal, 3);
+        assert!(
+            bands[2] > 10.0 * bands[0],
+            "high tone should dominate band 2: {bands:?}"
+        );
+    }
+
+    #[test]
+    fn empty_signal_zero_bands() {
+        let bands = band_energies(&[], 3);
+        assert_eq!(bands, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn band_partition_covers_all_bins() {
+        let power = vec![1.0; 10];
+        let sb = SubBands::new(3);
+        let e = sb.band_energies_from_power(&power);
+        // Every band sees only unit power, so every RMS is 1.
+        for v in e {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_bands_than_bins() {
+        let power = vec![4.0, 4.0];
+        let sb = SubBands::new(5);
+        let e = sb.band_energies_from_power(&power);
+        assert_eq!(e.len(), 5);
+        // Total non-zero energy must be preserved in some bands.
+        assert!(e.iter().any(|&v| v > 0.0));
+    }
+}

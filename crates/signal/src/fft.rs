@@ -1,0 +1,206 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::complex::Complex;
+
+/// Errors from the FFT entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The input length is not a power of two.
+    NotPowerOfTwo(usize),
+    /// The input is empty.
+    Empty,
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => write!(f, "FFT length {n} is not a power of two"),
+            FftError::Empty => write!(f, "FFT input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// In-place forward FFT.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] / [`FftError::Empty`] on bad lengths.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), FftError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the `1/N` scaling).
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] / [`FftError::Empty`] on bad lengths.
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), FftError> {
+    transform(buf, true)?;
+    let scale = 1.0 / buf.len() as f64;
+    for v in buf.iter_mut() {
+        *v = *v * scale;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), FftError> {
+    let n = buf.len();
+    if n == 0 {
+        return Err(FftError::Empty);
+    }
+    if !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo(n));
+    }
+    if n == 1 {
+        return Ok(());
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::from_real(1.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, returning the complex spectrum.
+///
+/// The input is zero-padded to the next power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = Vec::with_capacity(n);
+    buf.extend(signal.iter().map(|&x| Complex::from_real(x)));
+    buf.resize(n, Complex::ZERO);
+    fft_in_place(&mut buf).expect("length is a power of two by construction");
+    buf
+}
+
+/// Magnitude spectrum of a real signal: `|X_k|` for the first `N/2 + 1` bins
+/// (the non-redundant half for real input).
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spec = fft_real(signal);
+    let half = spec.len() / 2 + 1;
+    spec.into_iter().take(half).map(Complex::abs).collect()
+}
+
+/// Power spectrum (`|X_k|²`) of the non-redundant half.
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spec = fft_real(signal);
+    let half = spec.len() / 2 + 1;
+    spec.into_iter().take(half).map(Complex::norm_sqr).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let mut buf = vec![Complex::ZERO; 3];
+        assert_eq!(fft_in_place(&mut buf), Err(FftError::NotPowerOfTwo(3)));
+        let mut empty: Vec<Complex> = vec![];
+        assert_eq!(fft_in_place(&mut empty), Err(FftError::Empty));
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let mut buf = vec![Complex::from_real(1.0); 8];
+        fft_in_place(&mut buf).unwrap();
+        assert_close(buf[0].re, 8.0, 1e-12);
+        for b in &buf[1..] {
+            assert!(b.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        // cos(2π·2t/16) should put energy in bins 2 and 14.
+        let n = 16;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * 2.0 * t as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        assert_close(spec[2].abs(), n as f64 / 2.0, 1e-9);
+        assert_close(spec[14].abs(), n as f64 / 2.0, 1e-9);
+        for (k, b) in spec.iter().enumerate() {
+            if k != 2 && k != 14 {
+                assert!(b.abs() < 1e-9, "unexpected energy in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let signal: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut buf = signal.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in signal.iter().zip(buf.iter()) {
+            assert_close(a.re, b.re, 1e-10);
+            assert_close(a.im, b.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let signal: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert_close(time_energy, freq_energy, 1e-8);
+    }
+
+    #[test]
+    fn magnitude_spectrum_is_half_plus_one() {
+        let signal = vec![1.0; 16];
+        let mag = magnitude_spectrum(&signal);
+        assert_eq!(mag.len(), 9);
+        assert_close(mag[0], 16.0, 1e-12);
+    }
+
+    #[test]
+    fn zero_padding_to_power_of_two() {
+        let signal = vec![1.0; 10]; // pads to 16
+        let spec = fft_real(&signal);
+        assert_eq!(spec.len(), 16);
+    }
+
+    #[test]
+    fn empty_real_input_yields_empty() {
+        assert!(fft_real(&[]).is_empty());
+        assert!(magnitude_spectrum(&[]).is_empty());
+    }
+}

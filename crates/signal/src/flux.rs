@@ -1,0 +1,100 @@
+//! Spectrum flux — frame-to-frame spectral change.
+//!
+//! Table 1's `sf_mean`, `sf_std`, `sf_stdd`, `sf_range` features summarize
+//! the *Spectrum Flux* of a shot's audio track: the L2 distance between the
+//! magnitude spectra of consecutive analysis frames. Large flux indicates
+//! rapidly changing audio (crowd eruptions, whistles); quiet commentary has
+//! low flux.
+
+use crate::fft::magnitude_spectrum;
+use crate::window::{apply_window, frames, hann};
+
+/// Computes the spectrum-flux series of a signal.
+///
+/// The signal is cut into Hann-windowed frames of `frame_len` samples with
+/// `hop` advance; the flux at step `i` is the L2 norm of the difference of
+/// normalized magnitude spectra of frames `i` and `i+1`.
+///
+/// Returns an empty vector when the signal yields fewer than two frames.
+pub fn spectrum_flux(signal: &[f64], frame_len: usize, hop: usize) -> Vec<f64> {
+    let window = hann(frame_len);
+    let mut spectra: Vec<Vec<f64>> = Vec::new();
+    let mut scratch = vec![0.0; frame_len];
+    for frame in frames(signal, frame_len, hop) {
+        scratch.copy_from_slice(frame);
+        apply_window(&mut scratch, &window);
+        let mut mag = magnitude_spectrum(&scratch);
+        // Normalize each spectrum to unit L1 mass so flux measures *shape*
+        // change, not loudness change (loudness is captured by the volume
+        // features).
+        let mass: f64 = mag.iter().sum();
+        if mass > 0.0 {
+            for m in &mut mag {
+                *m /= mass;
+            }
+        }
+        spectra.push(mag);
+    }
+    if spectra.len() < 2 {
+        return Vec::new();
+    }
+    spectra
+        .windows(2)
+        .map(|pair| {
+            pair[0]
+                .iter()
+                .zip(pair[1].iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq_bins: f64, n: usize, frame: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * freq_bins * t as f64 / frame as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn stationary_tone_has_near_zero_flux() {
+        let signal = tone(8.0, 2048, 256);
+        let flux = spectrum_flux(&signal, 256, 128);
+        assert!(!flux.is_empty());
+        let max = flux.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 1e-6, "stationary flux should be ~0, got {max}");
+    }
+
+    #[test]
+    fn frequency_jump_spikes_flux() {
+        // First half low tone, second half high tone.
+        let mut signal = tone(4.0, 1024, 256);
+        signal.extend(tone(100.0, 1024, 256));
+        let flux = spectrum_flux(&signal, 256, 256);
+        // The transition frame pair must dominate.
+        let (argmax, max) = flux
+            .iter()
+            .enumerate()
+            .fold((0, 0.0), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+        assert!(max > 0.01, "jump flux too small: {max}");
+        // Transition occurs around frame index 1024/256 - 1 = 3.
+        assert!((2..=4).contains(&argmax), "argmax {argmax} not at boundary");
+    }
+
+    #[test]
+    fn short_signal_yields_empty() {
+        assert!(spectrum_flux(&[1.0; 100], 256, 128).is_empty());
+        assert!(spectrum_flux(&[], 256, 128).is_empty());
+    }
+
+    #[test]
+    fn silence_has_zero_flux() {
+        let flux = spectrum_flux(&vec![0.0; 1024], 256, 128);
+        assert!(flux.iter().all(|&f| f == 0.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # hmmm-signal
+//!
+//! Signal-processing substrate for the HMMM video-database suite.
+//!
+//! The HMMM paper's Table 1 derives fifteen audio features from PCM audio
+//! (RMS energy, sub-band energies, spectrum flux, volume dynamics) and five
+//! visual features from frame statistics (histogram differences, background
+//! statistics). Real systems lean on DSP libraries for this; per the
+//! reproduction ground rules everything here is built from scratch:
+//!
+//! * [`fft`] — an iterative radix-2 FFT over [`complex::Complex`].
+//! * [`window`] — Hann analysis window.
+//! * [`energy`] — RMS energy and FFT-mask sub-band energy extraction.
+//! * [`flux`] — spectrum flux between consecutive analysis frames.
+//! * [`stats`] — Welford online mean/variance, min/max summaries.
+//! * [`histogram`] — fixed-bin histograms with χ² and L1 distances
+//!   (the shot-boundary detector's frame-difference metric).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod energy;
+pub mod fft;
+pub mod flux;
+pub mod histogram;
+pub mod stats;
+pub mod window;
+
+pub use complex::Complex;
+pub use energy::{band_energies, rms, SubBands};
+pub use flux::spectrum_flux;
+pub use histogram::Histogram;
+pub use stats::Stats;

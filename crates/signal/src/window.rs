@@ -1,0 +1,109 @@
+//! Analysis windows for short-time spectral features.
+
+/// Hann window of length `n`.
+///
+/// Returns an empty vector for `n == 0`, a single `1.0` for `n == 1`.
+pub fn hann(n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![1.0],
+        _ => (0..n)
+            .map(|i| {
+                let x = std::f64::consts::PI * i as f64 / (n - 1) as f64;
+                x.sin().powi(2)
+            })
+            .collect(),
+    }
+}
+
+/// Applies a window to a signal in place (`signal[i] *= window[i]`).
+///
+/// # Panics
+///
+/// Panics if lengths differ — windows must be sized for the frame.
+pub fn apply_window(signal: &mut [f64], window: &[f64]) {
+    assert_eq!(
+        signal.len(),
+        window.len(),
+        "window length must equal frame length"
+    );
+    for (s, w) in signal.iter_mut().zip(window.iter()) {
+        *s *= w;
+    }
+}
+
+/// Splits a signal into consecutive frames of `frame_len` samples advancing
+/// by `hop` samples, discarding a final partial frame.
+///
+/// Returns an empty iterator if the signal is shorter than one frame or if
+/// `hop == 0`.
+pub fn frames(signal: &[f64], frame_len: usize, hop: usize) -> impl Iterator<Item = &[f64]> {
+    let upper = if frame_len == 0 || hop == 0 || signal.len() < frame_len {
+        0
+    } else {
+        (signal.len() - frame_len) / hop + 1
+    };
+    (0..upper).map(move |i| &signal[i * hop..i * hop + frame_len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hann_endpoints_and_peak() {
+        let w = hann(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+        // Symmetry.
+        for i in 0..9 {
+            assert!((w[i] - w[8 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hann_degenerate_lengths() {
+        assert!(hann(0).is_empty());
+        assert_eq!(hann(1), vec![1.0]);
+    }
+
+    #[test]
+    fn apply_window_multiplies() {
+        let mut s = vec![2.0, 2.0, 2.0];
+        apply_window(&mut s, &[0.0, 0.5, 1.0]);
+        assert_eq!(s, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn apply_window_length_mismatch_panics() {
+        let mut s = vec![1.0; 3];
+        apply_window(&mut s, &[1.0; 4]);
+    }
+
+    #[test]
+    fn frames_non_overlapping() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let fs: Vec<&[f64]> = frames(&s, 4, 4).collect();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(fs[1], &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn frames_overlapping() {
+        let s: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let fs: Vec<&[f64]> = frames(&s, 4, 2).collect();
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[2], &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn frames_degenerate() {
+        let s = vec![1.0, 2.0];
+        assert_eq!(frames(&s, 4, 2).count(), 0);
+        assert_eq!(frames(&s, 2, 0).count(), 0);
+        assert_eq!(frames(&s, 0, 1).count(), 0);
+    }
+}

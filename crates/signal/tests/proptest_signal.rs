@@ -1,0 +1,122 @@
+//! Property-based tests for the DSP substrate.
+
+use hmmm_signal::complex::Complex;
+use hmmm_signal::fft::{fft_in_place, ifft_in_place, power_spectrum};
+use hmmm_signal::stats::{differences, low_rate, Stats};
+use hmmm_signal::{rms, Histogram};
+use proptest::prelude::*;
+
+fn signal(len_pow: std::ops::Range<u32>) -> impl Strategy<Value = Vec<f64>> {
+    len_pow.prop_flat_map(|p| proptest::collection::vec(-100.0f64..100.0, 1usize << p))
+}
+
+proptest! {
+    /// FFT followed by IFFT recovers the signal.
+    #[test]
+    fn fft_round_trip(sig in signal(1..9)) {
+        let original: Vec<Complex> = sig.iter().map(|&x| Complex::from_real(x)).collect();
+        let mut buf = original.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in original.iter().zip(buf.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!(b.im.abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: time-domain energy equals spectrum energy / N.
+    #[test]
+    fn parseval_holds(sig in signal(2..9)) {
+        let n = sig.len().next_power_of_two() as f64;
+        let time: f64 = sig.iter().map(|x| x * x).sum();
+        let mut buf: Vec<Complex> = sig.iter().map(|&x| Complex::from_real(x)).collect();
+        buf.resize(n as usize, Complex::ZERO);
+        fft_in_place(&mut buf).unwrap();
+        let freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() < 1e-5 * (1.0 + time));
+    }
+
+    /// FFT is linear: FFT(a·x) = a·FFT(x).
+    #[test]
+    fn fft_is_homogeneous(sig in signal(2..7), alpha in -10.0f64..10.0) {
+        let mut x: Vec<Complex> = sig.iter().map(|&v| Complex::from_real(v)).collect();
+        let mut ax: Vec<Complex> = sig.iter().map(|&v| Complex::from_real(alpha * v)).collect();
+        fft_in_place(&mut x).unwrap();
+        fft_in_place(&mut ax).unwrap();
+        for (a, b) in x.iter().zip(ax.iter()) {
+            prop_assert!((a.re * alpha - b.re).abs() < 1e-6 * (1.0 + a.re.abs() * alpha.abs()));
+            prop_assert!((a.im * alpha - b.im).abs() < 1e-6 * (1.0 + a.im.abs() * alpha.abs()));
+        }
+    }
+
+    /// RMS is non-negative and bounded by the max absolute sample.
+    #[test]
+    fn rms_bounds(sig in proptest::collection::vec(-100.0f64..100.0, 1..256)) {
+        let r = rms(&sig);
+        let max_abs = sig.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= max_abs + 1e-9);
+    }
+
+    /// Welford stats match the two-pass formulas.
+    #[test]
+    fn welford_matches_two_pass(sig in proptest::collection::vec(-50.0f64..50.0, 2..200)) {
+        let s: Stats = sig.iter().copied().collect();
+        let mean = sig.iter().sum::<f64>() / sig.len() as f64;
+        let var = sig.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / sig.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-9);
+        prop_assert!((s.population_variance() - var).abs() < 1e-7);
+    }
+
+    /// Stats::merge is associative with sequential pushes for any split point.
+    #[test]
+    fn merge_any_split(sig in proptest::collection::vec(-50.0f64..50.0, 2..100), split_frac in 0.0f64..1.0) {
+        let split = ((sig.len() as f64 * split_frac) as usize).min(sig.len());
+        let all: Stats = sig.iter().copied().collect();
+        let mut a: Stats = sig[..split].iter().copied().collect();
+        let b: Stats = sig[split..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((a.population_variance() - all.population_variance()).abs() < 1e-7);
+    }
+
+    /// low_rate is a fraction in [0, 1].
+    #[test]
+    fn low_rate_is_fraction(sig in proptest::collection::vec(0.0f64..100.0, 0..128), f in 0.0f64..2.0) {
+        let lr = low_rate(&sig, f);
+        prop_assert!((0.0..=1.0).contains(&lr));
+    }
+
+    /// differences has length n-1 and telescopes back to last-first.
+    #[test]
+    fn differences_telescope(sig in proptest::collection::vec(-50.0f64..50.0, 2..100)) {
+        let d = differences(&sig);
+        prop_assert_eq!(d.len(), sig.len() - 1);
+        let total: f64 = d.iter().sum();
+        prop_assert!((total - (sig[sig.len() - 1] - sig[0])).abs() < 1e-9);
+    }
+
+    /// Histogram distances are symmetric, non-negative, and bounded.
+    #[test]
+    fn histogram_distance_properties(
+        a in proptest::collection::vec(0.0f64..1.0, 1..64),
+        b in proptest::collection::vec(0.0f64..1.0, 1..64),
+    ) {
+        let ha = Histogram::from_samples(a.into_iter(), 8, 0.0, 1.0);
+        let hb = Histogram::from_samples(b.into_iter(), 8, 0.0, 1.0);
+        let l1 = ha.l1_distance(&hb);
+        let chi = ha.chi_square_distance(&hb);
+        prop_assert!(l1 >= 0.0 && l1 <= 2.0 + 1e-9);
+        prop_assert!(chi >= 0.0 && chi <= 2.0 + 1e-9);
+        prop_assert!((ha.l1_distance(&hb) - hb.l1_distance(&ha)).abs() < 1e-12);
+        prop_assert!((ha.chi_square_distance(&hb) - hb.chi_square_distance(&ha)).abs() < 1e-12);
+    }
+
+    /// Power spectrum of any real signal is non-negative.
+    #[test]
+    fn power_spectrum_non_negative(sig in proptest::collection::vec(-10.0f64..10.0, 1..200)) {
+        let p = power_spectrum(&sig);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+    }
+}

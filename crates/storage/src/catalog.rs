@@ -1,0 +1,376 @@
+//! The in-memory video-database catalog.
+
+use crate::ids::{ShotId, VideoId};
+use hmmm_features::{FeatureVector, Normalizer};
+use hmmm_media::EventKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// One video's metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoRecord {
+    /// The video's id (== its position in the catalog).
+    pub id: VideoId,
+    /// Human-readable name.
+    pub name: String,
+    /// Contiguous range of global shot indices belonging to this video.
+    pub shot_range: Range<usize>,
+}
+
+impl VideoRecord {
+    /// Number of shots.
+    pub fn shot_count(&self) -> usize {
+        self.shot_range.len()
+    }
+}
+
+/// One shot's metadata, annotations, and features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShotRecord {
+    /// Global shot id (== position in the catalog).
+    pub id: ShotId,
+    /// Owning video.
+    pub video: VideoId,
+    /// Position within the owning video (temporal order).
+    pub index_in_video: usize,
+    /// Event annotations (possibly empty; at most a few).
+    pub events: Vec<EventKind>,
+    /// Raw (pre-normalization) Table-1 features.
+    pub features: FeatureVector,
+}
+
+impl ShotRecord {
+    /// `true` if the shot carries at least one event.
+    pub fn is_annotated(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Number of event annotations — the paper's `NE(s_i)`.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Errors from catalog construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A video id or shot id does not exist.
+    UnknownId(String),
+    /// Internal consistency violation discovered by validation.
+    Corrupt(String),
+    /// An operation needed features but the catalog has no shots.
+    Empty,
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownId(s) => write!(f, "unknown id: {s}"),
+            CatalogError::Corrupt(s) => write!(f, "catalog corrupt: {s}"),
+            CatalogError::Empty => write!(f, "catalog is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// The video-database catalog: videos, their shots, annotations, features.
+///
+/// Built incrementally with [`Catalog::add_video`]; validated with
+/// [`Catalog::validate`]; consumed by the HMMM builder (global shot indices
+/// are the level-1 states, video indices the level-2 states, and
+/// `video_of_shot` is exactly the `L_{1,2}` link matrix).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    videos: Vec<VideoRecord>,
+    shots: Vec<ShotRecord>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Appends a video with its shots, given as
+    /// `(events, raw_features)` pairs in temporal order.
+    /// Returns the new video's id.
+    pub fn add_video(
+        &mut self,
+        name: impl Into<String>,
+        shots: Vec<(Vec<EventKind>, FeatureVector)>,
+    ) -> VideoId {
+        let video_id = VideoId(self.videos.len());
+        let start = self.shots.len();
+        for (index_in_video, (events, features)) in shots.into_iter().enumerate() {
+            self.shots.push(ShotRecord {
+                id: ShotId(self.shots.len()),
+                video: video_id,
+                index_in_video,
+                events,
+                features,
+            });
+        }
+        self.videos.push(VideoRecord {
+            id: video_id,
+            name: name.into(),
+            shot_range: start..self.shots.len(),
+        });
+        video_id
+    }
+
+    /// All videos.
+    #[inline]
+    pub fn videos(&self) -> &[VideoRecord] {
+        &self.videos
+    }
+
+    /// All shots (global temporal order: videos back-to-back).
+    #[inline]
+    pub fn shots(&self) -> &[ShotRecord] {
+        &self.shots
+    }
+
+    /// Number of videos (`M`).
+    #[inline]
+    pub fn video_count(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Number of shots (`N`).
+    #[inline]
+    pub fn shot_count(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// Video lookup.
+    pub fn video(&self, id: VideoId) -> Option<&VideoRecord> {
+        self.videos.get(id.0)
+    }
+
+    /// Shot lookup.
+    pub fn shot(&self, id: ShotId) -> Option<&ShotRecord> {
+        self.shots.get(id.0)
+    }
+
+    /// The shots of one video, in temporal order.
+    pub fn shots_of_video(&self, id: VideoId) -> &[ShotRecord] {
+        match self.videos.get(id.0) {
+            Some(v) => &self.shots[v.shot_range.clone()],
+            None => &[],
+        }
+    }
+
+    /// Owning video of a shot (the `L_{1,2}` link).
+    pub fn video_of_shot(&self, id: ShotId) -> Option<VideoId> {
+        self.shots.get(id.0).map(|s| s.video)
+    }
+
+    /// Total number of event annotations.
+    pub fn total_events(&self) -> usize {
+        self.shots.iter().map(|s| s.event_count()).sum()
+    }
+
+    /// Shots annotated with `kind`, as global ids.
+    pub fn shots_with_event(&self, kind: EventKind) -> Vec<ShotId> {
+        self.shots
+            .iter()
+            .filter(|s| s.events.contains(&kind))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Per-video event counts — the paper's `B_2` matrix rows
+    /// (`B_2[video][event] = count`).
+    pub fn event_count_matrix(&self) -> Vec<[usize; EventKind::COUNT]> {
+        self.videos
+            .iter()
+            .map(|v| {
+                let mut row = [0usize; EventKind::COUNT];
+                for s in &self.shots[v.shot_range.clone()] {
+                    for &e in &s.events {
+                        row[e.index()] += 1;
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Fits an Eq.-(3) normalizer over all shot features.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Empty`] when the catalog has no shots.
+    pub fn fit_normalizer(&self) -> Result<Normalizer, CatalogError> {
+        let corpus: Vec<FeatureVector> = self.shots.iter().map(|s| s.features).collect();
+        Normalizer::fit(&corpus).ok_or(CatalogError::Empty)
+    }
+
+    /// Validates internal consistency: dense ids, contiguous per-video shot
+    /// ranges covering all shots, correct back-references, finite features.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Corrupt`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), CatalogError> {
+        let mut expected_start = 0usize;
+        for (i, v) in self.videos.iter().enumerate() {
+            if v.id.0 != i {
+                return Err(CatalogError::Corrupt(format!(
+                    "video at position {i} has id {}",
+                    v.id
+                )));
+            }
+            if v.shot_range.start != expected_start {
+                return Err(CatalogError::Corrupt(format!(
+                    "video {} range starts at {} (expected {expected_start})",
+                    v.id, v.shot_range.start
+                )));
+            }
+            if v.shot_range.end < v.shot_range.start || v.shot_range.end > self.shots.len() {
+                return Err(CatalogError::Corrupt(format!(
+                    "video {} has invalid range {:?}",
+                    v.id, v.shot_range
+                )));
+            }
+            expected_start = v.shot_range.end;
+        }
+        if expected_start != self.shots.len() {
+            return Err(CatalogError::Corrupt(format!(
+                "video ranges cover {expected_start} shots, catalog has {}",
+                self.shots.len()
+            )));
+        }
+        for (i, s) in self.shots.iter().enumerate() {
+            if s.id.0 != i {
+                return Err(CatalogError::Corrupt(format!(
+                    "shot at position {i} has id {}",
+                    s.id
+                )));
+            }
+            let v = self
+                .video(s.video)
+                .ok_or_else(|| CatalogError::Corrupt(format!("shot {} orphaned", s.id)))?;
+            if !v.shot_range.contains(&i) {
+                return Err(CatalogError::Corrupt(format!(
+                    "shot {} not in its video's range",
+                    s.id
+                )));
+            }
+            if v.shot_range.start + s.index_in_video != i {
+                return Err(CatalogError::Corrupt(format!(
+                    "shot {} index_in_video {} inconsistent",
+                    s.id, s.index_in_video
+                )));
+            }
+            if !s.features.is_finite() {
+                return Err(CatalogError::Corrupt(format!(
+                    "shot {} has non-finite features",
+                    s.id
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_features::FeatureId;
+
+    fn feat(x: f64) -> FeatureVector {
+        let mut v = FeatureVector::zeros();
+        v[FeatureId::GrassRatio] = x;
+        v
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_video(
+            "match-1",
+            vec![
+                (vec![EventKind::FreeKick], feat(0.1)),
+                (vec![EventKind::FreeKick, EventKind::Goal], feat(0.5)),
+                (vec![], feat(0.9)),
+            ],
+        );
+        c.add_video(
+            "match-2",
+            vec![
+                (vec![EventKind::CornerKick], feat(0.3)),
+                (vec![EventKind::Goal], feat(0.7)),
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let c = sample_catalog();
+        assert_eq!(c.video_count(), 2);
+        assert_eq!(c.shot_count(), 5);
+        assert_eq!(c.total_events(), 5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn shot_ranges_are_contiguous() {
+        let c = sample_catalog();
+        assert_eq!(c.video(VideoId(0)).unwrap().shot_range, 0..3);
+        assert_eq!(c.video(VideoId(1)).unwrap().shot_range, 3..5);
+        assert_eq!(c.shots_of_video(VideoId(1)).len(), 2);
+        assert!(c.shots_of_video(VideoId(9)).is_empty());
+    }
+
+    #[test]
+    fn link_structure() {
+        let c = sample_catalog();
+        assert_eq!(c.video_of_shot(ShotId(0)), Some(VideoId(0)));
+        assert_eq!(c.video_of_shot(ShotId(4)), Some(VideoId(1)));
+        assert_eq!(c.video_of_shot(ShotId(99)), None);
+        assert_eq!(c.shot(ShotId(3)).unwrap().index_in_video, 0);
+    }
+
+    #[test]
+    fn event_queries() {
+        let c = sample_catalog();
+        assert_eq!(
+            c.shots_with_event(EventKind::Goal),
+            vec![ShotId(1), ShotId(4)]
+        );
+        let b2 = c.event_count_matrix();
+        assert_eq!(b2[0][EventKind::FreeKick.index()], 2);
+        assert_eq!(b2[0][EventKind::Goal.index()], 1);
+        assert_eq!(b2[1][EventKind::CornerKick.index()], 1);
+    }
+
+    #[test]
+    fn normalizer_requires_shots() {
+        let c = sample_catalog();
+        assert!(c.fit_normalizer().is_ok());
+        assert_eq!(Catalog::new().fit_normalizer(), Err(CatalogError::Empty));
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let mut c = sample_catalog();
+        c.shots[2].video = VideoId(1);
+        assert!(matches!(c.validate(), Err(CatalogError::Corrupt(_))));
+
+        let mut c = sample_catalog();
+        c.shots[0].features[FeatureId::SfMean] = f64::NAN;
+        assert!(matches!(c.validate(), Err(CatalogError::Corrupt(_))));
+
+        let mut c = sample_catalog();
+        c.videos[1].shot_range = 2..5;
+        assert!(matches!(c.validate(), Err(CatalogError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_catalog_is_valid() {
+        assert!(Catalog::new().validate().is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+//! Typed identifiers for catalog entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A video's dense index in the catalog (state index of the level-2 MMM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VideoId(pub usize);
+
+/// A shot's dense *global* index in the catalog (state index of the level-1
+/// MMM). Shots of one video occupy a contiguous range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ShotId(pub usize);
+
+impl VideoId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ShotId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for ShotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ShotId(3) < ShotId(10));
+        assert!(VideoId(0) < VideoId(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VideoId(7).to_string(), "v7");
+        assert_eq!(ShotId(42).to_string(), "s42");
+    }
+}

@@ -1,0 +1,30 @@
+//! # hmmm-storage
+//!
+//! The video-database catalog — the persistent substrate underneath the
+//! HMMM model.
+//!
+//! The paper's MMDBMS stores "low-level features, multimedia objects, and
+//! semantic events" (§1). This crate is that store:
+//!
+//! * [`ids`] — typed [`ids::VideoId`] / [`ids::ShotId`] handles (global,
+//!   dense indices: the level-1 MMM states are exactly the catalog's shot
+//!   indices, level-2 states its video indices).
+//! * [`catalog`] — [`catalog::Catalog`]: videos, shots, event annotations
+//!   and Table-1 feature vectors, with integrity validation.
+//! * [`persist`] — JSON (human-inspectable) and compact binary (length-
+//!   prefixed, checksummed) serialization of a catalog.
+//! * [`shared`] — a [`parking_lot::RwLock`]-backed handle for concurrent
+//!   readers (retrieval) with exclusive writers (feedback updates).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod ids;
+pub mod persist;
+pub mod shared;
+
+pub use catalog::{Catalog, CatalogError, ShotRecord, VideoRecord};
+pub use ids::{ShotId, VideoId};
+pub use persist::{load_binary, load_json, save_binary, save_json, PersistError};
+pub use shared::SharedCatalog;

@@ -1,0 +1,261 @@
+//! Catalog persistence: JSON and a compact checksummed binary format.
+//!
+//! JSON is the human-inspectable interchange format. The binary format is a
+//! length-prefixed container with an FNV-1a checksum — enough to detect
+//! truncation and bit rot without external dependencies:
+//!
+//! ```text
+//! magic "HMMM" | version u32 | payload_len u64 | payload (JSON bytes) | fnv1a u64
+//! ```
+//!
+//! (The payload reuses the serde_json encoding: the catalog is dominated by
+//! f64 feature columns, where JSON's float text is compact enough and keeps
+//! one canonical codec for both formats.)
+
+use crate::catalog::Catalog;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HMMM";
+const VERSION: u32 = 1;
+
+/// Errors from persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Binary container is malformed.
+    Format(String),
+    /// Checksum mismatch — the payload is corrupt.
+    Checksum {
+        /// Checksum stored in the file.
+        expected: u64,
+        /// Checksum of the actual payload.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::Format(s) => write!(f, "bad container: {s}"),
+            PersistError::Checksum { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Saves a catalog as pretty-printed JSON.
+///
+/// # Errors
+///
+/// I/O or serialization failures.
+pub fn save_json(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let json = serde_json::to_vec_pretty(catalog)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a catalog from JSON and validates it.
+///
+/// # Errors
+///
+/// I/O, parse, or validation failures (validation errors surface as
+/// [`PersistError::Format`]).
+pub fn load_json(path: impl AsRef<Path>) -> Result<Catalog, PersistError> {
+    let data = fs::read(path)?;
+    let catalog: Catalog = serde_json::from_slice(&data)?;
+    catalog
+        .validate()
+        .map_err(|e| PersistError::Format(e.to_string()))?;
+    Ok(catalog)
+}
+
+/// Encodes a catalog into the binary container.
+pub fn encode_binary(catalog: &Catalog) -> Result<Bytes, PersistError> {
+    let payload = serde_json::to_vec(catalog)?;
+    let mut buf = BytesMut::with_capacity(payload.len() + 24);
+    buf.put_slice(MAGIC);
+    buf.put_u32(VERSION);
+    buf.put_u64(payload.len() as u64);
+    buf.put_slice(&payload);
+    buf.put_u64(fnv1a(&payload));
+    Ok(buf.freeze())
+}
+
+/// Decodes a catalog from the binary container, verifying checksum and
+/// validating the result.
+///
+/// # Errors
+///
+/// [`PersistError::Format`] for malformed containers,
+/// [`PersistError::Checksum`] when the payload is corrupt.
+pub fn decode_binary(mut data: Bytes) -> Result<Catalog, PersistError> {
+    if data.remaining() < 16 {
+        return Err(PersistError::Format("container too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    let version = data.get_u32();
+    if version != VERSION {
+        return Err(PersistError::Format(format!("unsupported version {version}")));
+    }
+    let len = data.get_u64() as usize;
+    if data.remaining() < len + 8 {
+        return Err(PersistError::Format("truncated payload".into()));
+    }
+    let payload = data.copy_to_bytes(len);
+    let expected = data.get_u64();
+    let actual = fnv1a(&payload);
+    if expected != actual {
+        return Err(PersistError::Checksum { expected, actual });
+    }
+    let catalog: Catalog = serde_json::from_slice(&payload)?;
+    catalog
+        .validate()
+        .map_err(|e| PersistError::Format(e.to_string()))?;
+    Ok(catalog)
+}
+
+/// Saves a catalog in the binary container format.
+///
+/// # Errors
+///
+/// I/O or encoding failures.
+pub fn save_binary(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let bytes = encode_binary(catalog)?;
+    fs::write(path, &bytes)?;
+    Ok(())
+}
+
+/// Loads a catalog from the binary container format.
+///
+/// # Errors
+///
+/// See [`decode_binary`].
+pub fn load_binary(path: impl AsRef<Path>) -> Result<Catalog, PersistError> {
+    let data = fs::read(path)?;
+    decode_binary(Bytes::from(data))
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_features::FeatureVector;
+    use hmmm_media::EventKind;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_video(
+            "m1",
+            vec![
+                (vec![EventKind::Goal], FeatureVector::from_array([0.25; 20])),
+                (vec![], FeatureVector::from_array([0.75; 20])),
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let c = sample();
+        let bytes = encode_binary(&c).unwrap();
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let c = sample();
+        let bytes = encode_binary(&c).unwrap();
+        let mut raw = bytes.to_vec();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        let err = decode_binary(Bytes::from(raw)).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Checksum { .. } | PersistError::Json(_)),
+            "unexpected error {err}"
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let c = sample();
+        let bytes = encode_binary(&c).unwrap();
+        let raw = bytes.slice(0..bytes.len() - 10);
+        assert!(matches!(
+            decode_binary(raw),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_binary(Bytes::from_static(b"NOPE0000000000000000")).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir().join("hmmm_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = sample();
+
+        let jpath = dir.join("catalog.json");
+        save_json(&c, &jpath).unwrap();
+        assert_eq!(load_json(&jpath).unwrap(), c);
+
+        let bpath = dir.join("catalog.bin");
+        save_binary(&c, &bpath).unwrap();
+        assert_eq!(load_binary(&bpath).unwrap(), c);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_json("/nonexistent/path/catalog.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Concurrent catalog access.
+
+use crate::catalog::Catalog;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cheaply clonable, thread-safe catalog handle.
+///
+/// Retrieval is read-heavy (many concurrent queries traverse the model);
+/// feedback-driven updates are rare, batched, and exclusive — exactly the
+/// readers/writer pattern. The paper's training system "records user access
+/// patterns during a training period" and updates offline; writers here are
+/// those offline updates.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCatalog {
+    inner: Arc<RwLock<Catalog>>,
+}
+
+impl SharedCatalog {
+    /// Wraps a catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        SharedCatalog {
+            inner: Arc::new(RwLock::new(catalog)),
+        }
+    }
+
+    /// Runs `f` with shared read access.
+    pub fn read<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive write access.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Snapshot: clones the current catalog (for offline retraining).
+    pub fn snapshot(&self) -> Catalog {
+        self.inner.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_features::FeatureVector;
+    use hmmm_media::EventKind;
+
+    #[test]
+    fn read_write_cycle() {
+        let shared = SharedCatalog::new(Catalog::new());
+        assert_eq!(shared.read(|c| c.video_count()), 0);
+        shared.write(|c| {
+            c.add_video("m", vec![(vec![EventKind::Goal], FeatureVector::zeros())]);
+        });
+        assert_eq!(shared.read(|c| c.video_count()), 1);
+        assert_eq!(shared.read(|c| c.shot_count()), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedCatalog::new(Catalog::new());
+        let b = a.clone();
+        a.write(|c| {
+            c.add_video("m", vec![]);
+        });
+        assert_eq!(b.read(|c| c.video_count()), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_do_not_block() {
+        let shared = SharedCatalog::new(Catalog::new());
+        shared.write(|c| {
+            c.add_video("m", vec![(vec![], FeatureVector::zeros())]);
+        });
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || s.read(|c| c.shot_count()))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let shared = SharedCatalog::new(Catalog::new());
+        let snap = shared.snapshot();
+        shared.write(|c| {
+            c.add_video("m", vec![]);
+        });
+        assert_eq!(snap.video_count(), 0);
+    }
+}

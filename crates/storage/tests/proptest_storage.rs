@@ -1,0 +1,109 @@
+//! Property tests: random catalogs always validate, persist losslessly,
+//! and keep their link structure consistent.
+
+use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use hmmm_media::EventKind;
+use hmmm_storage::persist::{decode_binary, encode_binary};
+use hmmm_storage::{Catalog, ShotId, VideoId};
+use proptest::prelude::*;
+
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(-10.0f64..10.0, FEATURE_COUNT)
+        .prop_map(|v| FeatureVector::from_slice(&v).expect("exact length"))
+}
+
+fn events() -> impl Strategy<Value = Vec<EventKind>> {
+    proptest::collection::vec(0usize..EventKind::COUNT, 0..3)
+        .prop_map(|idx| idx.into_iter().filter_map(EventKind::from_index).collect())
+}
+
+fn catalog() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec(
+        proptest::collection::vec((events(), feature_vector()), 0..10),
+        0..5,
+    )
+    .prop_map(|videos| {
+        let mut c = Catalog::new();
+        for (i, shots) in videos.into_iter().enumerate() {
+            c.add_video(format!("v{i}"), shots);
+        }
+        c
+    })
+}
+
+proptest! {
+    /// Incremental construction always yields a valid catalog.
+    #[test]
+    fn constructed_catalogs_validate(c in catalog()) {
+        prop_assert!(c.validate().is_ok());
+    }
+
+    /// Binary encode/decode is the identity.
+    #[test]
+    fn binary_round_trip(c in catalog()) {
+        let bytes = encode_binary(&c).unwrap();
+        let back = decode_binary(bytes).unwrap();
+        prop_assert_eq!(c, back);
+    }
+
+    /// JSON round-trip is the identity.
+    #[test]
+    fn json_round_trip(c in catalog()) {
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Catalog = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(c, back);
+    }
+
+    /// Every shot's video back-reference agrees with shots_of_video, and
+    /// the B2 matrix row sums equal total event counts.
+    #[test]
+    fn link_structure_consistent(c in catalog()) {
+        for shot in c.shots() {
+            let v = c.video_of_shot(shot.id).unwrap();
+            prop_assert_eq!(v, shot.video);
+            let in_video = c.shots_of_video(v);
+            prop_assert!(in_video.iter().any(|s| s.id == shot.id));
+        }
+        let b2 = c.event_count_matrix();
+        let b2_total: usize = b2.iter().map(|row| row.iter().sum::<usize>()).sum();
+        prop_assert_eq!(b2_total, c.total_events());
+        // shots_with_event agrees with B2 column sums.
+        for kind in EventKind::ALL {
+            let listed = c.shots_with_event(kind).len();
+            // listed counts shots (an event appearing twice on one shot is
+            // one listing but two B2 counts); listed <= column sum.
+            let col: usize = b2.iter().map(|row| row[kind.index()]).sum();
+            prop_assert!(listed <= col);
+        }
+    }
+
+    /// Single-bit corruption anywhere in the binary payload region is
+    /// detected (checksum or parse failure) — never silently accepted as a
+    /// *different* catalog.
+    #[test]
+    fn corruption_never_silent(c in catalog(), flip in proptest::bits::u8::ANY, pos_frac in 0.0f64..1.0) {
+        prop_assume!(flip != 0);
+        let bytes = encode_binary(&c).unwrap().to_vec();
+        // Corrupt inside the payload (after the 16-byte header, before the
+        // 8-byte checksum).
+        prop_assume!(bytes.len() > 26);
+        let lo = 16usize;
+        let hi = bytes.len() - 8;
+        let pos = lo + ((pos_frac * (hi - lo) as f64) as usize).min(hi - lo - 1);
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= flip;
+        match decode_binary(bytes::Bytes::from(corrupted)) {
+            Err(_) => {} // detected: good
+            Ok(back) => prop_assert_eq!(back, c, "corruption silently changed the catalog"),
+        }
+    }
+
+    /// Lookups with out-of-range ids are None, never panics.
+    #[test]
+    fn out_of_range_lookups_are_none(c in catalog(), v in 100usize..200, s in 1000usize..2000) {
+        prop_assert!(c.video(VideoId(v)).is_none());
+        prop_assert!(c.shot(ShotId(s)).is_none());
+        prop_assert!(c.video_of_shot(ShotId(s)).is_none());
+        prop_assert!(c.shots_of_video(VideoId(v)).is_empty());
+    }
+}

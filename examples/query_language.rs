@@ -1,0 +1,75 @@
+//! Tour of the temporal pattern query language and its MATN view
+//! (the paper's §3 query translator and Figure-4 query model).
+//!
+//! ```sh
+//! cargo run --release --example query_language
+//! ```
+
+use hmmm_media::EventKind;
+use hmmm_query::{parse_pattern, Matn, QueryTranslator};
+
+fn main() {
+    let queries = [
+        // The Figure-4/5 showcase query.
+        "goal -> free_kick",
+        // The §3 narrative pattern.
+        "free_kick -> goal -> corner_kick -> player_change -> goal",
+        // Gap bounds: the corner kick must come within 3 shots.
+        "foul ->[3] corner_kick",
+        // Alternatives (parallel MATN arcs): any set-piece before a goal.
+        "free_kick|corner_kick|goal_kick -> goal",
+        // Everything combined.
+        "foul ->[2] yellow_card|red_card ->[5] player_change",
+    ];
+
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+
+    for text in queries {
+        println!("query text : {text}");
+        let pattern = parse_pattern(text).expect("valid query");
+        println!("canonical  : {pattern}");
+        println!(
+            "events used: {}",
+            pattern.event_names().join(", ")
+        );
+
+        let compiled = translator.translate(&pattern).expect("known events");
+        let steps: Vec<String> = compiled
+            .steps
+            .iter()
+            .map(|s| {
+                let alts: Vec<String> = s.alternatives.iter().map(|a| a.to_string()).collect();
+                match s.max_gap {
+                    Some(g) => format!("[{}]≤{g}", alts.join("|")),
+                    None => format!("[{}]", alts.join("|")),
+                }
+            })
+            .collect();
+        println!("compiled   : {}", steps.join(" -> "));
+
+        let matn = Matn::from_pattern(&pattern);
+        println!("MATN       : {matn}");
+        println!(
+            "           : {} states, {} arcs\n",
+            matn.state_count(),
+            matn.arcs().len()
+        );
+    }
+
+    // Error reporting.
+    println!("--- parser diagnostics ---");
+    for bad in ["goal ->", "goal => foul", "goal ->[x] foul", "throw_in"] {
+        match parse_pattern(bad) {
+            Err(e) => println!("{bad:?}: {e}"),
+            Ok(p) => match translator.translate(&p) {
+                Err(e) => println!("{bad:?}: {e}"),
+                Ok(_) => println!("{bad:?}: unexpectedly valid"),
+            },
+        }
+    }
+
+    // Graphviz export for documentation.
+    let pattern = parse_pattern("free_kick|corner_kick -> goal").expect("valid");
+    println!("\n--- Graphviz (dot) of 'free_kick|corner_kick -> goal' ---");
+    print!("{}", Matn::from_pattern(&pattern).to_dot());
+}

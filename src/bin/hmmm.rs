@@ -1,0 +1,251 @@
+//! `hmmm` — command-line front end for the HMMM video database suite.
+//!
+//! ```text
+//! hmmm generate --videos 8 --shots 100 --event-rate 0.1 --seed 42 --out db.bin
+//! hmmm inspect db.bin
+//! hmmm query db.bin "free_kick -> goal" --top 8 [--content-only] [--greedy]
+//! hmmm categories db.bin --k 4
+//! hmmm matn "foul ->[2] yellow_card|red_card -> player_change"
+//! ```
+//!
+//! The catalog file is the checksummed binary container of `hmmm-storage`
+//! (`.json` paths use the JSON codec instead).
+
+use hmmm_core::{build_hmmm, BuildConfig, CategoryLevel, RetrievalConfig, Retriever};
+use hmmm_media::{ArchiveConfig, EventKind, RenderConfig, SyntheticArchive};
+use hmmm_query::{parse_pattern, Matn, QueryTranslator};
+use hmmm_storage::Catalog;
+use hmmm_suite::{ingest_archive, AnnotationSource};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("categories") => cmd_categories(&args[1..]),
+        Some("matn") => cmd_matn(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; see `hmmm help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hmmm — Hierarchical Markov Model Mediator video database tool
+
+USAGE:
+  hmmm generate --out <file> [--videos N] [--shots N] [--event-rate F] [--seed N]
+      synthesize an archive, extract features, save the catalog
+  hmmm inspect <file>
+      print catalog dimensions and per-event counts
+  hmmm query <file> <pattern> [--top N] [--content-only] [--greedy]
+      build the HMMM and run a temporal pattern query
+  hmmm categories <file> [--k N]
+      cluster videos into categories (the d=3 extension)
+  hmmm matn <pattern>
+      print the MATN view and Graphviz dot of a query
+  hmmm help
+      this text
+
+PATTERNS:  event ( '->' ['[' gap ']'] event ('|' event)* )*
+           e.g. \"free_kick -> goal ->[5] corner_kick|goal_kick\"
+EVENTS:    goal corner_kick free_kick foul goal_kick yellow_card red_card player_change
+";
+
+/// Pulls `--name value` out of an argument list.
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String], index: usize) -> Option<&String> {
+    let mut i = 0;
+    let mut seen = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            // Boolean switches consume one slot; valued flags two.
+            let is_switch = matches!(args[i].as_str(), "--content-only" | "--greedy");
+            i += if is_switch { 1 } else { 2 };
+            continue;
+        }
+        if seen == index {
+            return Some(&args[i]);
+        }
+        seen += 1;
+        i += 1;
+    }
+    None
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse::<T>().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn load(path: &str) -> Result<Catalog, String> {
+    let catalog = if path.ends_with(".json") {
+        hmmm_storage::load_json(path)
+    } else {
+        hmmm_storage::load_binary(path)
+    };
+    catalog.map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").ok_or("generate requires --out <file>")?;
+    let videos: usize = parse_num(&flag_value(args, "--videos").unwrap_or("8".into()), "--videos")?;
+    let shots: usize = parse_num(&flag_value(args, "--shots").unwrap_or("100".into()), "--shots")?;
+    let event_rate: f64 = parse_num(
+        &flag_value(args, "--event-rate").unwrap_or("0.1".into()),
+        "--event-rate",
+    )?;
+    let seed: u64 = parse_num(&flag_value(args, "--seed").unwrap_or("42".into()), "--seed")?;
+
+    eprintln!("synthesizing {videos} videos × {shots} shots (event rate {event_rate})…");
+    let archive = SyntheticArchive::generate(ArchiveConfig {
+        videos,
+        shots_per_video: shots,
+        event_rate,
+        double_event_rate: 0.15,
+        render: RenderConfig::small(),
+        seed,
+    });
+    let catalog = ingest_archive(&archive, AnnotationSource::GroundTruth);
+    if out.ends_with(".json") {
+        hmmm_storage::save_json(&catalog, &out).map_err(|e| e.to_string())?;
+    } else {
+        hmmm_storage::save_binary(&catalog, &out).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {out}: {} videos, {} shots, {} events",
+        catalog.video_count(),
+        catalog.shot_count(),
+        catalog.total_events()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("inspect requires a catalog path")?;
+    let catalog = load(path)?;
+    println!(
+        "{path}: {} videos, {} shots, {} event annotations",
+        catalog.video_count(),
+        catalog.shot_count(),
+        catalog.total_events()
+    );
+    println!("\nper-event annotation counts:");
+    for kind in EventKind::ALL {
+        let n = catalog.shots_with_event(kind).len();
+        println!("  {:<14} {n}", kind.name());
+    }
+    println!("\nvideos:");
+    for v in catalog.videos() {
+        let events: usize = catalog
+            .shots_of_video(v.id)
+            .iter()
+            .map(|s| s.event_count())
+            .sum();
+        println!("  {} {:<12} {} shots, {} events", v.id, v.name, v.shot_count(), events);
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("query requires a catalog path")?;
+    let text = positional(args, 1).ok_or("query requires a pattern string")?;
+    let top: usize = parse_num(&flag_value(args, "--top").unwrap_or("8".into()), "--top")?;
+
+    let catalog = load(path)?;
+    let model = build_hmmm(&catalog, &BuildConfig::default()).map_err(|e| e.to_string())?;
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    let pattern = translator.compile(text).map_err(|e| e.to_string())?;
+
+    let mut config = if flag_present(args, "--content-only") {
+        RetrievalConfig::content_only()
+    } else {
+        RetrievalConfig::default()
+    };
+    if flag_present(args, "--greedy") {
+        config.beam_width = 1;
+    }
+    let retriever = Retriever::new(&model, &catalog, config).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let (results, stats) = retriever.retrieve(&pattern, top).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+
+    println!("query: {text}");
+    println!(
+        "{} candidates in {elapsed:.2?} ({} sim evals, {}/{} videos visited)",
+        results.len(),
+        stats.sim_evaluations,
+        stats.videos_visited,
+        catalog.video_count()
+    );
+    for (rank, r) in results.iter().enumerate() {
+        let steps: Vec<String> = r
+            .shots
+            .iter()
+            .zip(r.events.iter())
+            .map(|(&id, &e)| {
+                let shot = catalog.shot(id).expect("valid id");
+                let truth: Vec<&str> = shot.events.iter().map(|k| k.name()).collect();
+                let matched = EventKind::from_index(e).map(|k| k.name()).unwrap_or("?");
+                format!("{id}:{matched}[{}]", truth.join("+"))
+            })
+            .collect();
+        println!("  #{rank} v{} {:.5}  {}", r.video.index(), r.score, steps.join(" -> "));
+    }
+    Ok(())
+}
+
+fn cmd_categories(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("categories requires a catalog path")?;
+    let k: usize = parse_num(&flag_value(args, "--k").unwrap_or("4".into()), "--k")?;
+    let catalog = load(path)?;
+    let model = build_hmmm(&catalog, &BuildConfig::default()).map_err(|e| e.to_string())?;
+    let cats = CategoryLevel::build(&model, k).ok_or("no videos to cluster")?;
+    println!("{} categories over {} videos:", cats.len(), model.video_count());
+    for c in 0..cats.len() {
+        let members = cats.videos_of(c);
+        let profile: Vec<String> = EventKind::ALL
+            .iter()
+            .filter(|kind| cats.b3[c][kind.index()] > 0)
+            .map(|kind| format!("{}×{}", kind.name(), cats.b3[c][kind.index()]))
+            .collect();
+        println!(
+            "  category {c} (medoid v{}): {} videos — {}",
+            cats.medoids[c],
+            members.len(),
+            profile.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_matn(args: &[String]) -> Result<(), String> {
+    let text = positional(args, 0).ok_or("matn requires a pattern string")?;
+    let pattern = parse_pattern(text).map_err(|e| e.to_string())?;
+    let matn = Matn::from_pattern(&pattern);
+    println!("canonical : {pattern}");
+    println!("MATN      : {matn}");
+    println!("states    : {}, arcs: {}\n", matn.state_count(), matn.arcs().len());
+    print!("{}", matn.to_dot());
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! # hmmm-suite
+//!
+//! Umbrella crate for the Hierarchical Markov Model Mediator (HMMM) video
+//! database suite — a from-scratch Rust reproduction of Zhao, Chen & Shyu,
+//! *Video Database Modeling and Temporal Pattern Retrieval using
+//! Hierarchical Markov Model Mediator* (ICDE 2006).
+//!
+//! This crate re-exports every component crate and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! See the repository README for the architecture overview, DESIGN.md for
+//! the system inventory and substitutions, and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+//!
+//! ## The pipeline at a glance
+//!
+//! ```text
+//! synthetic video ──► shot boundaries ──► Table-1 features ──► decision-tree
+//!  (hmmm-media)        (hmmm-shot)        (hmmm-features)      event mining
+//!                                                              (hmmm-annotate)
+//!        ▼                                                          │
+//!   video catalog  ◄───────────────────────────────────────────────┘
+//!  (hmmm-storage)
+//!        │
+//!        ▼
+//!   two-level HMMM  ──►  temporal pattern retrieval  ◄── query language
+//!    (hmmm-core)          (hmmm-core::retrieve)           (hmmm-query)
+//!        ▲                                                    ▲
+//!        └── relevance feedback / offline learning ───────────┘
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use hmmm_annotate as annotate;
+pub use hmmm_baselines as baselines;
+pub use hmmm_core as core;
+pub use hmmm_features as features;
+pub use hmmm_matrix as matrix;
+pub use hmmm_media as media;
+pub use hmmm_query as query;
+pub use hmmm_shot as shot;
+pub use hmmm_signal as signal;
+pub use hmmm_storage as storage;
+
+use hmmm_annotate::{AnnotatorConfig, EventAnnotator};
+use hmmm_features::{extract_shot, ExtractorConfig, FeatureVector};
+use hmmm_media::{EventKind, SyntheticArchive};
+use hmmm_storage::Catalog;
+
+/// How a catalog's event annotations are produced during ingest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnnotationSource {
+    /// Copy the ground-truth script annotations (the paper's human
+    /// annotators).
+    GroundTruth,
+    /// Train the decision-tree miner on a fraction of the archive and let
+    /// it annotate the rest (the paper's refs \[6\]\[7\] pipeline). The held-in
+    /// training shots keep their ground-truth labels.
+    Mined {
+        /// Fraction of videos whose ground truth trains the miner.
+        train_fraction: f64,
+    },
+}
+
+/// Renders every shot of an archive, extracts Table-1 features, annotates
+/// events, and assembles the video-database [`Catalog`] — the "video
+/// processing" half of the paper's Figure-1 pipeline in one call.
+///
+/// This is deliberately in the umbrella crate: it is the only place the
+/// whole substrate stack composes.
+pub fn ingest_archive(archive: &SyntheticArchive, source: AnnotationSource) -> Catalog {
+    let extractor = ExtractorConfig::default();
+
+    // Pass 1: features + ground-truth events for every shot.
+    let mut videos: Vec<Vec<(Vec<EventKind>, FeatureVector)>> = Vec::new();
+    for video in archive.videos() {
+        let mut shots = Vec::with_capacity(video.shot_count());
+        for i in 0..video.shot_count() {
+            let rendered = video.render_shot(i).expect("index in range");
+            let features = extract_shot(&rendered.frames, &rendered.audio, &extractor);
+            let events = video.shot(i).expect("index in range").events.clone();
+            shots.push((events, features));
+        }
+        videos.push(shots);
+    }
+
+    // Pass 2 (mined mode): replace annotations on the held-out videos with
+    // the decision-tree miner's predictions.
+    if let AnnotationSource::Mined { train_fraction } = source {
+        let train_videos = ((archive.video_count() as f64 * train_fraction).ceil() as usize)
+            .clamp(1, archive.video_count());
+        let train: Vec<(FeatureVector, Vec<EventKind>)> = videos[..train_videos]
+            .iter()
+            .flatten()
+            .map(|(events, features)| (*features, events.clone()))
+            .collect();
+        if let Some(annotator) = EventAnnotator::train(&train, AnnotatorConfig::default()) {
+            for shots in videos.iter_mut().skip(train_videos) {
+                for (events, features) in shots.iter_mut() {
+                    *events = annotator.annotate(features);
+                }
+            }
+        }
+    }
+
+    let mut catalog = Catalog::new();
+    for (i, shots) in videos.into_iter().enumerate() {
+        catalog.add_video(format!("video-{i:03}"), shots);
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmmm_media::ArchiveConfig;
+
+    #[test]
+    fn ingest_ground_truth_preserves_script() {
+        let archive = SyntheticArchive::generate(ArchiveConfig {
+            videos: 2,
+            shots_per_video: 12,
+            event_rate: 0.3,
+            ..ArchiveConfig::default()
+        });
+        let catalog = ingest_archive(&archive, AnnotationSource::GroundTruth);
+        assert_eq!(catalog.video_count(), 2);
+        assert_eq!(catalog.shot_count(), 24);
+        assert_eq!(catalog.total_events(), archive.total_events());
+        assert!(catalog.validate().is_ok());
+    }
+
+    #[test]
+    fn ingest_mined_changes_heldout_annotations_only_plausibly() {
+        let archive = SyntheticArchive::generate(ArchiveConfig {
+            videos: 3,
+            shots_per_video: 30,
+            event_rate: 0.3,
+            ..ArchiveConfig::default()
+        });
+        let catalog = ingest_archive(
+            &archive,
+            AnnotationSource::Mined {
+                train_fraction: 0.4,
+            },
+        );
+        assert!(catalog.validate().is_ok());
+        // Training videos (first ceil(3*0.4)=2) keep ground truth.
+        let gt = ingest_archive(&archive, AnnotationSource::GroundTruth);
+        for (a, b) in catalog
+            .shots_of_video(hmmm_storage::VideoId(0))
+            .iter()
+            .zip(gt.shots_of_video(hmmm_storage::VideoId(0)))
+        {
+            assert_eq!(a.events, b.events);
+        }
+    }
+}
