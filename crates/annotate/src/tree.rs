@@ -166,7 +166,7 @@ fn build(
         while k + 1 < values.len() {
             let threshold = 0.5 * (values[k] + values[k + 1]);
             if let Some(gain) = split_gain(data, idx, feature, threshold, parent_entropy, cfg) {
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((feature, threshold, gain));
                 }
             }

@@ -20,6 +20,10 @@ pub struct EventIndexRetriever<'a> {
     index: Vec<Vec<ShotId>>,
 }
 
+/// One index-join frame:
+/// (depth, from-shot, running weight, running score, path, events, weights).
+type JoinFrame = (usize, usize, f64, f64, Vec<usize>, Vec<usize>, Vec<f64>);
+
 impl<'a> EventIndexRetriever<'a> {
     /// Builds the index (one pass over the catalog).
     ///
@@ -125,7 +129,7 @@ impl<'a> EventIndexRetriever<'a> {
         let s0 = start.index() - base;
         let w0 = local.pi1.get(s0) * sim;
 
-        let mut stack: Vec<(usize, usize, f64, f64, Vec<usize>, Vec<usize>, Vec<f64>)> =
+        let mut stack: Vec<JoinFrame> =
             vec![(1, s0, w0, w0, vec![s0], vec![event], vec![w0])];
         while let Some((depth, from, w, score, path, events, weights)) = stack.pop() {
             if depth == pattern.steps.len() {

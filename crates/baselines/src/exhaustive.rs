@@ -1,7 +1,6 @@
 //! Brute-force content scan.
 
-use hmmm_core::sim::best_alternative;
-use hmmm_core::{CoreError, Hmmm, RankedPattern, RetrievalStats};
+use hmmm_core::{CoreError, Hmmm, RankedPattern, RetrievalStats, SimCache};
 use hmmm_query::CompiledPattern;
 use hmmm_storage::{Catalog, ShotId};
 use serde::{Deserialize, Serialize};
@@ -21,6 +20,10 @@ impl Default for ExhaustiveConfig {
         }
     }
 }
+
+/// One depth-first enumeration frame:
+/// (depth, running weight, running score, path, events, weights).
+type SearchFrame = (usize, f64, f64, Vec<usize>, Vec<usize>, Vec<f64>);
 
 /// The brute-force retriever: enumerates every temporally ordered shot
 /// combination (subject to gap bounds) in every video and scores it with
@@ -67,21 +70,27 @@ impl<'a> ExhaustiveRetriever<'a> {
         let mut stats = RetrievalStats::default();
         let mut results: Vec<RankedPattern> = Vec::new();
 
+        // Same query-scoped similarity table the HMMM retriever uses: one
+        // dense Eq.-(14) pass over shots × query events, then every per-step
+        // lookup below is an array read. The old code re-evaluated Eq. (14)
+        // once per (step, shot) even when steps shared alternatives.
+        let cache = SimCache::build(self.model, pattern);
+        stats.sim_evaluations += cache.build_evaluations();
+
         for video in self.catalog.videos() {
             stats.videos_visited += 1;
             let base = video.shot_range.start;
             let n = video.shot_count();
             let local = &self.model.locals[video.id.index()];
 
-            // Pre-compute per-step sims for every shot (the dominant cost).
             let step_sims: Vec<Vec<(usize, f64)>> = pattern
                 .steps
                 .iter()
                 .map(|step| {
                     (0..n)
                         .map(|s| {
-                            stats.sim_evaluations += 1;
-                            best_alternative(self.model, base + s, &step.alternatives)
+                            cache
+                                .best_alternative(base + s, &step.alternatives)
                                 .unwrap_or((0, 0.0))
                         })
                         .collect()
@@ -90,9 +99,8 @@ impl<'a> ExhaustiveRetriever<'a> {
 
             // Depth-first enumeration of ordered combinations.
             let mut budget = self.config.max_combinations_per_video;
-            let mut stack: Vec<(usize, f64, f64, Vec<usize>, Vec<usize>, Vec<f64>)> = Vec::new();
-            for s in 0..n {
-                let (event, sim) = step_sims[0][s];
+            let mut stack: Vec<SearchFrame> = Vec::new();
+            for (s, &(event, sim)) in step_sims[0].iter().enumerate() {
                 let w = local.pi1.get(s) * sim;
                 if w <= 0.0 {
                     continue;
@@ -118,7 +126,7 @@ impl<'a> ExhaustiveRetriever<'a> {
                 }
                 let step = &pattern.steps[depth];
                 let from = *path.last().expect("path non-empty");
-                for to in from..n {
+                for (to, &(event, sim)) in step_sims[depth].iter().enumerate().take(n).skip(from) {
                     if let Some(gap) = step.max_gap {
                         if to - from > gap {
                             break;
@@ -129,7 +137,6 @@ impl<'a> ExhaustiveRetriever<'a> {
                     }
                     stats.transitions_examined += 1;
                     let a = local.a1.get(from, to);
-                    let (event, sim) = step_sims[depth][to];
                     let w2 = w * a * sim;
                     if w2 <= 0.0 {
                         continue;
@@ -145,16 +152,26 @@ impl<'a> ExhaustiveRetriever<'a> {
             }
         }
 
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.sort_by(total_rank);
         results.truncate(limit);
         Ok((results, stats))
     }
 }
 
+/// Total order matching the HMMM retriever's ranking: score desc, then
+/// video asc, then shot sequence asc — equal scores rank deterministically.
+fn total_rank(a: &RankedPattern, b: &RankedPattern) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.video.cmp(&b.video))
+        .then_with(|| a.shots.cmp(&b.shots))
+}
+
 /// Bounded insertion: keep the vector from growing without losing the top.
 fn keep_top(results: &mut Vec<RankedPattern>, cap: usize) {
     if results.len() > cap * 2 {
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.sort_by(total_rank);
         results.truncate(cap);
     }
 }

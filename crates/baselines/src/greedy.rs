@@ -69,7 +69,7 @@ impl<'a> GreedyRetriever<'a> {
                     if let Some((event, sim)) =
                         best_alternative(self.model, base + s, &step.alternatives)
                     {
-                        if best.map_or(true, |(_, _, b)| sim > b) {
+                        if best.is_none_or(|(_, _, b)| sim > b) {
                             best = Some((s, event, sim));
                         }
                     }

@@ -16,9 +16,30 @@ const QUERIES: [&str; 4] = [
     "foul -> free_kick -> goal -> player_change",
 ];
 
+/// `--threads N` from the command line: 0 = all cores, 1 = serial (the
+/// default here, so sweeps measure algorithmic cost, not the machine).
+fn threads_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let t: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if t == 0 {
+        None
+    } else {
+        Some(t)
+    }
+}
+
 fn main() {
     println!("E5 / Figures 2–3 — retrieval cost: HMMM vs baselines\n");
     let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    let base = RetrievalConfig {
+        threads: threads_arg(),
+        ..RetrievalConfig::default()
+    };
 
     // --- Sweep 1: database size (shots), fixed 2-event query.
     println!("## cost vs database size (query: 'goal -> free_kick')\n");
@@ -34,7 +55,7 @@ fn main() {
         });
         let model = build_hmmm(&catalog, &BuildConfig::default()).expect("non-empty");
         let pattern = translator.compile("goal -> free_kick").expect("valid");
-        run_all(&mut t, &model, &catalog, &pattern, catalog.shot_count());
+        run_all(&mut t, &model, &catalog, &pattern, catalog.shot_count(), base);
     }
     println!("{t}");
 
@@ -52,7 +73,42 @@ fn main() {
     ]);
     for q in QUERIES {
         let pattern = translator.compile(q).expect("valid");
-        run_all(&mut t, &model, &catalog, &pattern, pattern.len());
+        run_all(&mut t, &model, &catalog, &pattern, pattern.len(), base);
+    }
+    println!("{t}");
+
+    // --- Sweep 3: worker threads and the similarity cache, fixed database
+    // and query — the two knobs of the parallel/cached retrieval path.
+    // Content-driven traversal is the similarity-bound regime the cache
+    // targets (annotation-first queries never build it).
+    println!("\n## cost vs threads / sim cache (20 videos × 200 shots, content-only 'goal -> free_kick')\n");
+    let two_step = translator.compile("goal -> free_kick").expect("valid");
+    let mut t = Table::new(&["threads", "sim cache", "latency", "sim evals", "top score"]);
+    for (threads, cached) in [
+        (Some(1), false),
+        (Some(1), true),
+        (Some(2), true),
+        (Some(4), true),
+        (None, true),
+    ] {
+        let cfg = RetrievalConfig {
+            threads,
+            use_sim_cache: cached,
+            ..RetrievalConfig::content_only()
+        };
+        let r = Retriever::new(&model, &catalog, cfg).expect("consistent");
+        let t0 = Instant::now();
+        let (results, stats) = r.retrieve(&two_step, 10).expect("valid");
+        let dt = t0.elapsed();
+        t.row_owned(vec![
+            threads.map_or("auto".into(), |n| n.to_string()),
+            if cached { "on" } else { "off" }.to_string(),
+            format!("{dt:.2?}"),
+            stats.sim_evaluations.to_string(),
+            results
+                .first()
+                .map_or("—".into(), |r| format!("{:.5}", r.score)),
+        ]);
     }
     println!("{t}");
 
@@ -65,7 +121,7 @@ fn main() {
     for beam in [1usize, 2, 3, 5, 8, 16] {
         let cfg = RetrievalConfig {
             beam_width: beam,
-            ..RetrievalConfig::default()
+            ..base
         };
         let r = Retriever::new(&model, &catalog, cfg).expect("consistent");
         let t0 = Instant::now();
@@ -92,10 +148,11 @@ fn run_all(
     catalog: &hmmm_storage::Catalog,
     pattern: &CompiledPattern,
     key: usize,
+    base: RetrievalConfig,
 ) {
     // HMMM traversal.
     {
-        let r = Retriever::new(model, catalog, RetrievalConfig::default()).expect("consistent");
+        let r = Retriever::new(model, catalog, base).expect("consistent");
         let t0 = Instant::now();
         let (results, stats) = r.retrieve(pattern, 10).expect("valid");
         push(t, key, "hmmm", t0.elapsed(), &stats, results.len());
@@ -104,7 +161,7 @@ fn run_all(
     {
         let cats = CategoryLevel::build(model, (model.video_count() / 4).max(2))
             .expect("videos exist");
-        let r = Retriever::new(model, catalog, RetrievalConfig::default()).expect("consistent");
+        let r = Retriever::new(model, catalog, base).expect("consistent");
         let t0 = Instant::now();
         let eligible = cats.eligible_videos(&pattern.steps[0].alternatives);
         let (results, stats) = r

@@ -75,10 +75,10 @@ fn main() {
     let mut t = Table::new(&[
         "round", variants[0].0, variants[1].0, variants[2].0, variants[3].0,
     ]);
-    for r in 0..ROUNDS {
+    for (r, first) in series[0].iter().enumerate() {
         t.row_owned(vec![
             r.to_string(),
-            format!("{:.3}", series[0][r].precision),
+            format!("{:.3}", first.precision),
             format!("{:.3}", series[1][r].precision),
             format!("{:.3}", series[2][r].precision),
             format!("{:.3}", series[3][r].precision),
@@ -90,10 +90,10 @@ fn main() {
     let mut t = Table::new(&[
         "round", variants[0].0, variants[1].0, variants[2].0, variants[3].0,
     ]);
-    for r in 0..ROUNDS {
+    for (r, first) in series[0].iter().enumerate() {
         t.row_owned(vec![
             r.to_string(),
-            format!("{:.2}", series[0][r].mean_relevant_rank),
+            format!("{:.2}", first.mean_relevant_rank),
             format!("{:.2}", series[1][r].mean_relevant_rank),
             format!("{:.2}", series[2][r].mean_relevant_rank),
             format!("{:.2}", series[3][r].mean_relevant_rank),

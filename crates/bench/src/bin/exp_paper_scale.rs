@@ -68,16 +68,28 @@ fn main() {
     ]);
     println!("{t}");
 
-    // A retrieval pass at full scale, for the record.
+    // A retrieval pass at full scale, for the record — serial and parallel
+    // (`--threads N` overrides the parallel worker count; 0 = all cores).
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .and_then(|t| if t == 0 { None } else { Some(t) });
+
     let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
     let pattern = translator.compile("goal -> free_kick").expect("valid");
-    let retriever =
-        Retriever::new(&model, &catalog, RetrievalConfig::default()).expect("consistent");
+    let serial_cfg = RetrievalConfig {
+        threads: Some(1),
+        ..RetrievalConfig::default()
+    };
+    let retriever = Retriever::new(&model, &catalog, serial_cfg).expect("consistent");
     let t2 = Instant::now();
     let (results, stats) = retriever.retrieve(&pattern, 8).expect("valid");
     let q = t2.elapsed();
     println!(
-        "query 'goal -> free_kick' at paper scale: {} candidates in {q:.2?}",
+        "query 'goal -> free_kick' at paper scale: {} candidates in {q:.2?} (serial)",
         results.len()
     );
     println!(
@@ -87,4 +99,21 @@ fn main() {
         stats.sim_evaluations,
         stats.transitions_examined
     );
+
+    let parallel_cfg = RetrievalConfig {
+        threads,
+        ..RetrievalConfig::default()
+    };
+    let retriever = Retriever::new(&model, &catalog, parallel_cfg).expect("consistent");
+    let t3 = Instant::now();
+    let (p_results, p_stats) = retriever.retrieve(&pattern, 8).expect("valid");
+    let pq = t3.elapsed();
+    println!(
+        "same query with threads={}: {} candidates in {pq:.2?} ({:.2}x)",
+        threads.map_or("auto".into(), |n| n.to_string()),
+        p_results.len(),
+        q.as_secs_f64() / pq.as_secs_f64().max(1e-9)
+    );
+    assert_eq!(p_results, results, "parallel ranking must match serial");
+    assert_eq!(p_stats, stats, "parallel stats must match serial");
 }

@@ -51,8 +51,8 @@ impl CategoryLevel {
         let mut sizes = vec![0.0f64; medoids.len()];
         for (video, &cat) in assignments.iter().enumerate() {
             sizes[cat] += 1.0;
-            for e in 0..EventKind::COUNT {
-                b3[cat][e] += model.b2[video][e];
+            for (e, cell) in b3[cat].iter_mut().enumerate() {
+                *cell += model.b2[video][e];
             }
         }
 

@@ -23,9 +23,12 @@
 //!   test, `P_{1,2}` uniform init (Eq. 7) and dispersion learning
 //!   (Eqs. 8–10), and `B_1'` centroids (Eq. 11).
 //! * [`sim`] — the Eq.-14 shot/event similarity.
+//! * [`simcache`] — the query-scoped dense similarity table that turns
+//!   hot-path Eq.-14 scoring into array reads.
 //! * [`retrieve`] — the §5 nine-step retrieval: per-video lattice beam
 //!   traversal (Figure 3) with edge weights (Eqs. 12–13), pattern scores
-//!   (Eq. 15), `A_2`-guided video ordering, and cost accounting.
+//!   (Eq. 15), `A_2`-guided video ordering (optionally fanned across a
+//!   scoped-thread worker pool), and cost accounting.
 //! * [`feedback`] — positive-pattern logging and the offline learning
 //!   updates (Eqs. 1–2, 4, 5–6, 8–10).
 //! * [`simulate`] — a ground-truth relevance oracle standing in for the
@@ -42,6 +45,7 @@ pub mod io;
 pub mod model;
 pub mod retrieve;
 pub mod sim;
+pub mod simcache;
 pub mod simulate;
 
 pub use cluster::CategoryLevel;
@@ -52,4 +56,5 @@ pub use io::{load_model, save_model};
 pub use model::{Hmmm, LocalMmm, ModelSummary};
 pub use retrieve::{RankedPattern, RetrievalConfig, RetrievalStats, Retriever};
 pub use sim::similarity;
+pub use simcache::SimCache;
 pub use simulate::{FeedbackSimulator, OracleConfig};

@@ -19,10 +19,12 @@
 use crate::error::CoreError;
 use crate::model::Hmmm;
 use crate::sim::best_alternative;
+use crate::simcache::SimCache;
 use hmmm_media::EventKind;
 use hmmm_query::CompiledPattern;
 use hmmm_storage::{Catalog, ShotId, VideoId};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Retrieval tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +47,19 @@ pub struct RetrievalConfig {
     /// "or similar to event e_j" reading, where the learned `P_{1,2}` and
     /// `B_1'` decide everything (used by the feedback experiments).
     pub annotated_first: bool,
+    /// Worker threads for the per-video traversal fan-out. `None` uses
+    /// [`std::thread::available_parallelism`], `Some(1)` runs serially on
+    /// the calling thread. The ranking is byte-identical at every setting:
+    /// videos are traversed independently and merged under a total order.
+    pub threads: Option<usize>,
+    /// Allow a query-scoped [`SimCache`] (`true`, the default): when the
+    /// traversal is similarity-bound (`annotated_first == false`), Eq. (14)
+    /// is evaluated once per (shot, query-event) in a dense up-front pass
+    /// instead of repeatedly on the hot path. Annotation-bound traversal
+    /// never builds the cache — it scores too few shots for the build to
+    /// pay. `false` forces direct evaluation everywhere (the
+    /// cached-vs-uncached cost benches).
+    pub use_sim_cache: bool,
 }
 
 impl Default for RetrievalConfig {
@@ -55,6 +70,8 @@ impl Default for RetrievalConfig {
             per_video_results: 1,
             require_first_event: true,
             annotated_first: true,
+            threads: None,
+            use_sim_cache: true,
         }
     }
 }
@@ -95,18 +112,61 @@ pub struct RankedPattern {
 }
 
 /// Work counters for the cost experiments (E5).
+///
+/// A mergeable value type: every traversal worker accumulates its own
+/// `RetrievalStats` and the results are combined with [`RetrievalStats::merge`]
+/// at join time. All counters are commutative sums, so the merged totals are
+/// independent of worker count and scheduling.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetrievalStats {
     /// Videos whose lattices were traversed.
     pub videos_visited: usize,
     /// Videos skipped by the `B_2` first-event check.
     pub videos_skipped: usize,
-    /// Eq.-(14) similarity evaluations.
+    /// Eq.-(14) similarity evaluations (cache builds charge theirs here).
     pub sim_evaluations: u64,
     /// Lattice transitions examined (`A_1` lookups).
     pub transitions_examined: u64,
     /// Candidate sequences scored (`k − 1` in Step 8).
     pub candidates_scored: usize,
+}
+
+impl RetrievalStats {
+    /// Folds another worker's counters into this one (commutative).
+    pub fn merge(&mut self, other: RetrievalStats) {
+        self.videos_visited += other.videos_visited;
+        self.videos_skipped += other.videos_skipped;
+        self.sim_evaluations += other.sim_evaluations;
+        self.transitions_examined += other.transitions_examined;
+        self.candidates_scored += other.candidates_scored;
+    }
+}
+
+/// How traversal scores a shot against a step's event alternatives: through
+/// the query-scoped [`SimCache`] (an array read) or by evaluating Eq. (14)
+/// directly. Both use the same earliest-alternative tie-break, so rankings
+/// are identical either way — only the cost differs.
+enum Scorer<'q> {
+    Cached(&'q SimCache),
+    Direct(&'q Hmmm),
+}
+
+impl Scorer<'_> {
+    fn best_alternative(&self, shot: usize, events: &[usize]) -> Option<(usize, f64)> {
+        match self {
+            Scorer::Cached(cache) => cache.best_alternative(shot, events),
+            Scorer::Direct(model) => best_alternative(model, shot, events),
+        }
+    }
+
+    /// Eq.-(14) evaluations one lookup costs. Cache lookups are free at
+    /// query time — the dense build is charged once in `retrieve_within`.
+    fn lookup_cost(&self) -> u64 {
+        match self {
+            Scorer::Cached(_) => 0,
+            Scorer::Direct(_) => 1,
+        }
+    }
 }
 
 /// One partial path through a video's lattice.
@@ -201,24 +261,97 @@ impl<'a> Retriever<'a> {
         }
 
         let mut stats = RetrievalStats::default();
-        let mut candidates: Vec<RankedPattern> = Vec::new();
+        let requested_threads = self.requested_threads();
 
-        for video in self.video_order(pattern, videos, &mut stats) {
-            let found = self.traverse_video(video, pattern, &mut stats);
-            candidates.extend(found);
+        // Tentpole layer 1: one dense shots × query-events scoring pass,
+        // shared read-only by every traversal worker. The build itself
+        // shards the shot dimension across the same worker budget.
+        //
+        // The build pays for itself only when traversal is similarity-bound:
+        // content-driven candidate selection scores every reachable shot
+        // through Eq. (14), so the dense pass trades ~1 evaluation per cell
+        // for many 2-pass direct calls. Annotation-first traversal is
+        // annotation-bound — it scores so few shots that the build would
+        // dominate the whole query — so the cache is skipped there.
+        let similarity_bound = !self.config.annotated_first;
+        let cache = (self.config.use_sim_cache && similarity_bound).then(|| {
+            SimCache::build_with_threads(self.model, pattern, requested_threads)
+        });
+        let scorer = match &cache {
+            Some(c) => {
+                stats.sim_evaluations += c.build_evaluations();
+                Scorer::Cached(c)
+            }
+            None => Scorer::Direct(self.model),
+        };
+
+        let order = self.video_order(pattern, videos, &mut stats);
+        let threads = requested_threads.min(order.len().max(1));
+
+        // Tentpole layer 2: fan the per-video traversals across a scoped
+        // worker pool. Each video's traversal depends only on (model,
+        // catalog, pattern, config, video), each worker owns its results
+        // and stats, and the merge below is a commutative fold + total-order
+        // sort — so the ranking is byte-identical to the serial path.
+        let mut candidates: Vec<RankedPattern> = Vec::new();
+        if threads <= 1 {
+            for video in order {
+                let found = self.traverse_video(video, pattern, &scorer, &mut stats);
+                candidates.extend(found);
+            }
+        } else {
+            let chunk = order.len().div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                let scorer = &scorer;
+                let handles: Vec<_> = order
+                    .chunks(chunk)
+                    .map(|videos| {
+                        s.spawn(move || {
+                            let mut local = RetrievalStats::default();
+                            let mut found = Vec::new();
+                            for &video in videos {
+                                found.extend(self.traverse_video(
+                                    video, pattern, scorer, &mut local,
+                                ));
+                            }
+                            (found, local)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let (found, local) = handle.join().expect("retrieval worker panicked");
+                    candidates.extend(found);
+                    stats.merge(local);
+                }
+            });
         }
 
         stats.candidates_scored = candidates.len();
-        candidates.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        candidates.sort_by(rank_order);
         candidates.truncate(limit);
         Ok((candidates, stats))
     }
 
-    /// Step 2 / Step 7: eligible videos in `Π_2`-then-`A_2` affinity order.
+    /// The configured worker budget (`None` = all available cores).
+    fn requested_threads(&self) -> usize {
+        match self.config.threads {
+            Some(t) => t.max(1),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Step 2 / Step 7: eligible videos in `Π_2` affinity order.
+    ///
+    /// The seed implementation realised "Π_2 then A_2 affinity" as a greedy
+    /// chain — start at the `Π_2`-preferred video, then repeatedly hop to
+    /// the unvisited video with the highest `A_2` affinity from the current
+    /// one — which is O(V²) and was the dominant cost on large archives.
+    /// Since every eligible video is traversed and the final ranking is
+    /// re-sorted under a total order, visit order only affects scheduling,
+    /// not results; a direct sort by (`Π_2` desc, index asc) preserves the
+    /// paper's "most-affine first" intent at O(V log V).
     fn video_order(
         &self,
         pattern: &CompiledPattern,
@@ -248,44 +381,16 @@ impl<'a> Retriever<'a> {
             })
             .collect();
 
-        // Greedy affinity chain: start at the Π_2-preferred video, then
-        // repeatedly hop to the unvisited video with the highest A_2
-        // affinity from the current one.
-        let mut order = Vec::with_capacity(eligible.len());
-        let mut remaining: Vec<usize> = eligible;
-        let mut current: Option<usize> = None;
-        while !remaining.is_empty() {
-            let next_pos = match current {
-                None => remaining
-                    .iter()
-                    .enumerate()
-                    .max_by(|(_, &a), (_, &b)| {
-                        self.model
-                            .pi2
-                            .get(a)
-                            .partial_cmp(&self.model.pi2.get(b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .map(|(pos, _)| pos)
-                    .expect("remaining is non-empty"),
-                Some(cur) => remaining
-                    .iter()
-                    .enumerate()
-                    .max_by(|(_, &a), (_, &b)| {
-                        self.model
-                            .a2
-                            .get(cur, a)
-                            .partial_cmp(&self.model.a2.get(cur, b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .map(|(pos, _)| pos)
-                    .expect("remaining is non-empty"),
-            };
-            let video = remaining.swap_remove(next_pos);
-            current = Some(video);
-            order.push(VideoId(video));
-        }
-        order
+        let mut order = eligible;
+        order.sort_by(|&a, &b| {
+            self.model
+                .pi2
+                .get(b)
+                .partial_cmp(&self.model.pi2.get(a))
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+        order.into_iter().map(VideoId).collect()
     }
 
     /// Steps 3–6 for one video: beam traversal of the Figure-3 lattice.
@@ -293,6 +398,7 @@ impl<'a> Retriever<'a> {
         &self,
         video: VideoId,
         pattern: &CompiledPattern,
+        scorer: &Scorer<'_>,
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         let record = match self.catalog.video(video) {
@@ -328,13 +434,18 @@ impl<'a> Retriever<'a> {
             // shots by features.
             let mut scored: Vec<(usize, f64)> = (0..n)
                 .map(|s| {
-                    stats.sim_evaluations += 1;
-                    let (_, sim) = best_alternative(self.model, base + s, first_alts)
+                    stats.sim_evaluations += scorer.lookup_cost();
+                    let (_, sim) = scorer
+                        .best_alternative(base + s, first_alts)
                         .expect("alternatives checked non-empty");
                     (s, sim)
                 })
                 .collect();
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
             starts = scored
                 .into_iter()
                 .take(self.config.max_start_candidates)
@@ -342,8 +453,8 @@ impl<'a> Retriever<'a> {
                 .collect();
         }
         for s in starts {
-            stats.sim_evaluations += 1;
-            if let Some((event, sim)) = best_alternative(self.model, base + s, first_alts) {
+            stats.sim_evaluations += scorer.lookup_cost();
+            if let Some((event, sim)) = scorer.best_alternative(base + s, first_alts) {
                 let w = local.pi1.get(s) * sim;
                 if w > 0.0 {
                     beam.push(BeamEntry {
@@ -374,7 +485,7 @@ impl<'a> Retriever<'a> {
             let mut next: Vec<BeamEntry> = Vec::new();
             for entry in &beam {
                 let from = entry.local;
-                for to in from..n {
+                for (to, shot) in shots.iter().enumerate().take(n).skip(from) {
                     if let Some(gap) = step.max_gap {
                         if to - from > gap {
                             break;
@@ -382,7 +493,7 @@ impl<'a> Retriever<'a> {
                     }
                     stats.transitions_examined += 1;
                     if step_has_annotation
-                        && !shots[to]
+                        && !shot
                             .events
                             .iter()
                             .any(|&e| step.alternatives.contains(&e.index()))
@@ -393,12 +504,11 @@ impl<'a> Retriever<'a> {
                     if a <= 0.0 {
                         continue;
                     }
-                    if to == from && !same_shot_revisit_ok(&shots[to].events, entry, step) {
+                    if to == from && !same_shot_revisit_ok(&shot.events, entry, step) {
                         continue;
                     }
-                    stats.sim_evaluations += 1;
-                    let Some((event, sim)) =
-                        best_alternative(self.model, base + to, &step.alternatives)
+                    stats.sim_evaluations += scorer.lookup_cost();
+                    let Some((event, sim)) = scorer.best_alternative(base + to, &step.alternatives)
                     else {
                         continue;
                     };
@@ -429,8 +539,15 @@ impl<'a> Retriever<'a> {
             }
         }
 
-        // Step 6: the per-video candidates with Eq.-15 scores.
-        beam.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        // Step 6: the per-video candidates with Eq.-15 scores. The path
+        // tie-break makes the cut at `per_video_results` deterministic (and
+        // guarantees equal paths are adjacent for the dedup).
+        beam.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.path.cmp(&b.path))
+        });
         beam.dedup_by(|a, b| a.path == b.path);
         beam.truncate(self.config.per_video_results);
         beam.into_iter()
@@ -456,8 +573,28 @@ fn same_shot_revisit_ok(events: &[EventKind], entry: &BeamEntry, step: &hmmm_que
     })
 }
 
+/// Total order on final candidates: score desc, then video asc, then shot
+/// sequence asc. Strictness matters — with a partial order, equal-scored
+/// candidates from different videos would rank by arrival order, which the
+/// parallel merge does not preserve.
+fn rank_order(a: &RankedPattern, b: &RankedPattern) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.video.cmp(&b.video))
+        .then_with(|| a.shots.cmp(&b.shots))
+}
+
 fn trim_beam(beam: &mut Vec<BeamEntry>, width: usize) {
-    beam.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+    // Path tie-break: which entries survive an equal-weight cut must not
+    // depend on insertion order, and equal paths must be adjacent for the
+    // dedup to be exhaustive.
+    beam.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
     beam.dedup_by(|a, b| a.path == b.path);
     beam.truncate(width.max(1));
 }
@@ -556,7 +693,7 @@ mod tests {
         // something but never the (1,3) pair).
         assert!(results
             .iter()
-            .all(|p| !(p.shots == vec![ShotId(1), ShotId(3)])));
+            .all(|p| p.shots != vec![ShotId(1), ShotId(3)]));
     }
 
     #[test]

@@ -69,12 +69,19 @@ pub fn calibrated_similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
 /// Similarity of a shot against the best of several alternative events
 /// (MATN branch arcs), returning `(best_event, similarity)`. Uses the
 /// calibrated score so alternatives with small centroids do not dominate.
-/// Returns `None` for an empty alternative list.
+/// Ties keep the *earliest* alternative — a total tie-break, so the choice
+/// is reproducible and agrees with [`crate::simcache::SimCache`]. Returns
+/// `None` for an empty alternative list.
 pub fn best_alternative(model: &Hmmm, shot: usize, events: &[usize]) -> Option<(usize, f64)> {
-    events
-        .iter()
-        .map(|&e| (e, calibrated_similarity(model, shot, e)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    let mut best: Option<(usize, f64)> = None;
+    for &e in events {
+        let s = calibrated_similarity(model, shot, e);
+        match best {
+            Some((_, bs)) if s <= bs => {}
+            _ => best = Some((e, s)),
+        }
+    }
+    best
 }
 
 #[cfg(test)]

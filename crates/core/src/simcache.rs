@@ -1,0 +1,310 @@
+//! Query-scoped similarity cache.
+//!
+//! `retrieve_within` evaluates Eq. (14) for the same (shot, event) pair many
+//! times: every beam entry expanding into shot `s` at step `j` re-scores
+//! `sim(s, e_j)`, and `calibrated_similarity` re-derives the event's
+//! self-similarity denominator on every call. Both are pure functions of the
+//! model and the query, so a single dense pass up front — one
+//! `shots × query-events` table plus one memoized self-similarity per event —
+//! turns every score lookup on the hot path into an array read.
+//!
+//! The cache is *query-scoped*: it is built per `retrieve_within` call from
+//! the union of event alternatives across the pattern's steps, and shared
+//! read-only by all traversal workers (it is `Sync`), so the parallel path
+//! pays the build cost once, not per thread.
+
+use crate::model::Hmmm;
+use crate::sim::self_similarity;
+use hmmm_media::EventKind;
+use hmmm_query::CompiledPattern;
+
+/// Per-event Eq.-(14) constants hoisted out of the build's cell loop: the
+/// self-similarity denominator plus the event's non-zero
+/// (feature, centroid, `P_{1,2}` weight) terms.
+type SlotTerms = (f64, Vec<(usize, f64, f64)>);
+
+/// Dense per-query table of calibrated Eq.-(14) scores.
+#[derive(Debug, Clone)]
+pub struct SimCache {
+    /// Unique event indices appearing in the pattern (slot → event).
+    event_slots: Vec<usize>,
+    /// Inverse map (event → slot), `None` for events outside the query.
+    slot_of_event: [Option<usize>; EventKind::COUNT],
+    /// Calibrated scores, shot-major: `scores[shot * slots + slot]` — a
+    /// step's alternatives for one shot sit in adjacent cells, and the
+    /// parallel build can hand each worker a contiguous shot range.
+    scores: Vec<f64>,
+    /// Memoized `self_similarity` per event (the Eq.-(14) denominator).
+    self_sims: [f64; EventKind::COUNT],
+    /// Eq.-(14) evaluations spent building the table (for [`super::RetrievalStats`]).
+    evaluations: u64,
+}
+
+impl SimCache {
+    /// Scores every shot against every event mentioned in `pattern`.
+    pub fn build(model: &Hmmm, pattern: &CompiledPattern) -> Self {
+        Self::build_with_threads(model, pattern, 1)
+    }
+
+    /// Like [`SimCache::build`], splitting the shot dimension across up to
+    /// `threads` scoped workers. Every cell is an independent pure function
+    /// of (model, shot, event), so the table is identical at any thread
+    /// count.
+    pub fn build_with_threads(model: &Hmmm, pattern: &CompiledPattern, threads: usize) -> Self {
+        let shot_count = model.shot_count();
+        let mut slot_of_event = [None; EventKind::COUNT];
+        let mut event_slots = Vec::new();
+        for step in &pattern.steps {
+            for &e in &step.alternatives {
+                if e < EventKind::COUNT && slot_of_event[e].is_none() {
+                    slot_of_event[e] = Some(event_slots.len());
+                    event_slots.push(e);
+                }
+            }
+        }
+
+        let mut self_sims = [0.0; EventKind::COUNT];
+        for &e in &event_slots {
+            self_sims[e] = self_similarity(model, e);
+        }
+
+        let slots = event_slots.len();
+        let mut scores = vec![0.0; slots * shot_count];
+
+        // Hoist each event's Eq.-(14) terms out of the per-cell loop: the
+        // non-zero features, their centroids, and their `P_{1,2}` weights
+        // are per-event constants. The per-cell accumulation below visits
+        // the same features in the same order with the same operations as
+        // `similarity`, so cached scores are bit-identical to direct ones
+        // (the ranking-neutrality property depends on that).
+        let slot_terms: Vec<SlotTerms> = event_slots
+            .iter()
+            .map(|&e| {
+                let centroid = &model.b1_prime[e];
+                let terms = (0..hmmm_features::FEATURE_COUNT)
+                    .filter(|&y| centroid[y] > crate::sim::CENTROID_EPSILON)
+                    .map(|y| (y, centroid[y], model.p12.get(e, y)))
+                    .collect();
+                (self_sims[e], terms)
+            })
+            .collect();
+
+        // Fills `chunk` (the rows of shots starting at `first_shot`) and
+        // returns the Eq.-(14) evaluations spent. Events with no feature
+        // support keep their pre-zeroed cells, matching
+        // `calibrated_similarity`'s definition, at zero cost.
+        let fill = |first_shot: usize, chunk: &mut [f64]| -> u64 {
+            let mut evals = 0u64;
+            for (row_idx, row) in chunk.chunks_mut(slots).enumerate() {
+                let shot = first_shot + row_idx;
+                let b1 = &model.b1[shot];
+                for (slot, cell) in row.iter_mut().enumerate() {
+                    let (denom, terms) = &slot_terms[slot];
+                    if *denom > 0.0 {
+                        let mut total = 0.0;
+                        for &(y, c, weight) in terms {
+                            let diff = (b1[y] - c).abs();
+                            total += weight * (1.0 - diff) / c;
+                        }
+                        *cell = total / denom;
+                        evals += 1;
+                    }
+                }
+            }
+            evals
+        };
+
+        // Chunks below ~2k shots don't amortize a thread spawn.
+        let workers = threads
+            .max(1)
+            .min(shot_count.div_ceil(2048))
+            .max(1);
+        let evaluations = if workers <= 1 || slots == 0 {
+            fill(0, &mut scores)
+        } else {
+            let shots_per_worker = shot_count.div_ceil(workers);
+            let mut total = 0u64;
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = scores
+                    .chunks_mut(shots_per_worker * slots)
+                    .enumerate()
+                    .map(|(w, chunk)| {
+                        let fill = &fill;
+                        s.spawn(move || fill(w * shots_per_worker, chunk))
+                    })
+                    .collect();
+                for h in handles {
+                    total += h.join().expect("sim cache worker panicked");
+                }
+            });
+            total
+        };
+
+        SimCache {
+            event_slots,
+            slot_of_event,
+            scores,
+            self_sims,
+            evaluations,
+        }
+    }
+
+    /// Eq.-(14) evaluations the build performed (`shots × supported events`).
+    pub fn build_evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Number of distinct events the cache covers.
+    pub fn event_count(&self) -> usize {
+        self.event_slots.len()
+    }
+
+    /// Memoized [`self_similarity`] — exact, not re-derived per call.
+    pub fn self_similarity(&self, event: usize) -> f64 {
+        self.self_sims[event]
+    }
+
+    /// Cached [`crate::sim::calibrated_similarity`]. Events outside the query
+    /// pattern score `0.0` (they cannot occur on the traversal hot path).
+    pub fn calibrated(&self, shot: usize, event: usize) -> f64 {
+        match self.slot_of_event.get(event).copied().flatten() {
+            Some(slot) => self.scores[shot * self.event_slots.len() + slot],
+            None => 0.0,
+        }
+    }
+
+    /// Cached [`crate::sim::best_alternative`]: best `(event, score)` among
+    /// `events` for `shot`. Ties keep the earliest alternative, matching the
+    /// direct implementation's deterministic tie-break.
+    pub fn best_alternative(&self, shot: usize, events: &[usize]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for &e in events {
+            let s = self.calibrated(shot, e);
+            match best {
+                Some((_, bs)) if s <= bs => {}
+                _ => best = Some((e, s)),
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_hmmm, BuildConfig};
+    use crate::sim::{best_alternative, calibrated_similarity};
+    use hmmm_features::{FeatureId, FeatureVector};
+    use hmmm_query::QueryTranslator;
+    use hmmm_storage::Catalog;
+
+    fn feat(g: f64, v: f64) -> FeatureVector {
+        let mut f = FeatureVector::zeros();
+        f[FeatureId::GrassRatio] = g;
+        f[FeatureId::VolumeMean] = v;
+        f
+    }
+
+    fn model() -> Hmmm {
+        let mut c = Catalog::new();
+        c.add_video(
+            "a",
+            vec![
+                (vec![EventKind::Goal], feat(0.8, 0.9)),
+                (vec![EventKind::FreeKick], feat(0.3, 0.1)),
+                (vec![], feat(0.5, 0.5)),
+            ],
+        );
+        c.add_video(
+            "b",
+            vec![
+                (vec![EventKind::CornerKick], feat(0.7, 0.3)),
+                (vec![EventKind::Goal], feat(0.82, 0.88)),
+            ],
+        );
+        build_hmmm(&c, &BuildConfig::default()).unwrap()
+    }
+
+    fn pattern() -> CompiledPattern {
+        QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()))
+            .compile("free_kick|corner_kick -> goal")
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_direct_similarity_exactly() {
+        let m = model();
+        let p = pattern();
+        let cache = SimCache::build(&m, &p);
+        for shot in 0..m.shot_count() {
+            for step in &p.steps {
+                for &e in &step.alternatives {
+                    let direct = calibrated_similarity(&m, shot, e);
+                    let cached = cache.calibrated(shot, e);
+                    assert!(
+                        (direct - cached).abs() <= 1e-12,
+                        "shot {shot} event {e}: direct {direct} cached {cached}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_alternative_agrees_with_direct() {
+        let m = model();
+        let p = pattern();
+        let cache = SimCache::build(&m, &p);
+        for shot in 0..m.shot_count() {
+            for step in &p.steps {
+                let direct = best_alternative(&m, shot, &step.alternatives).unwrap();
+                let cached = cache.best_alternative(shot, &step.alternatives).unwrap();
+                assert_eq!(direct.0, cached.0, "event choice diverged at shot {shot}");
+                assert!((direct.1 - cached.1).abs() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_memoized_exactly(){
+        let m = model();
+        let cache = SimCache::build(&m, &pattern());
+        for e in [
+            EventKind::Goal.index(),
+            EventKind::FreeKick.index(),
+            EventKind::CornerKick.index(),
+        ] {
+            assert_eq!(cache.self_similarity(e), crate::sim::self_similarity(&m, e));
+        }
+    }
+
+    #[test]
+    fn covers_only_query_events() {
+        let m = model();
+        let cache = SimCache::build(&m, &pattern());
+        assert_eq!(cache.event_count(), 3);
+        // An event outside the pattern reads as zero rather than panicking.
+        assert_eq!(cache.calibrated(0, EventKind::RedCard.index()), 0.0);
+    }
+
+    #[test]
+    fn build_evaluation_count_is_dense() {
+        let m = model();
+        let p = pattern();
+        let cache = SimCache::build(&m, &p);
+        // Every (shot, event) pair is evaluated exactly once — except rows
+        // for events with no feature support, which are zero by definition
+        // and skipped without touching Eq. (14).
+        let supported: Vec<usize> = p
+            .steps
+            .iter()
+            .flat_map(|s| s.alternatives.iter().copied())
+            .filter(|&e| crate::sim::self_similarity(&m, e) > 0.0)
+            .collect();
+        assert!(!supported.is_empty());
+        assert_eq!(
+            cache.build_evaluations(),
+            (m.shot_count() * supported.len()) as u64
+        );
+    }
+}

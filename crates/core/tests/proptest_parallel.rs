@@ -1,0 +1,112 @@
+//! Property: parallel retrieval is byte-identical to serial retrieval.
+//!
+//! The parallel fan-out must be a pure scheduling change — same ranked
+//! patterns, same order, same merged work counters — for any archive, any
+//! pattern, and any worker count. Likewise the query-scoped similarity
+//! cache must be a pure cost change: rankings with the cache on and off
+//! are identical (only `sim_evaluations` accounting may differ).
+
+use hmmm_core::{build_hmmm, BuildConfig, RetrievalConfig, Retriever};
+use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use hmmm_media::EventKind;
+use hmmm_query::{CompiledPattern, CompiledStep};
+use hmmm_storage::Catalog;
+use proptest::prelude::*;
+
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(0.0f64..1.0, FEATURE_COUNT)
+        .prop_map(|v| FeatureVector::from_slice(&v).expect("exact length"))
+}
+
+fn events() -> impl Strategy<Value = Vec<EventKind>> {
+    proptest::collection::vec(0usize..EventKind::COUNT, 0..3).prop_map(|idx| {
+        let mut out: Vec<EventKind> = idx.into_iter().filter_map(EventKind::from_index).collect();
+        out.dedup();
+        out
+    })
+}
+
+/// Random archive with enough videos (2–8) for the fan-out to chunk.
+fn catalog() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec(
+        proptest::collection::vec((events(), feature_vector()), 1..10),
+        2..8,
+    )
+    .prop_map(|videos| {
+        let mut c = Catalog::new();
+        for (i, shots) in videos.into_iter().enumerate() {
+            c.add_video(format!("v{i}"), shots);
+        }
+        c
+    })
+}
+
+fn pattern() -> impl Strategy<Value = CompiledPattern> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..EventKind::COUNT, 1..3),
+            proptest::option::of(0usize..6),
+        ),
+        1..4,
+    )
+    .prop_map(|steps| CompiledPattern {
+        steps: steps
+            .into_iter()
+            .map(|(mut alternatives, max_gap)| {
+                alternatives.dedup();
+                CompiledStep {
+                    alternatives,
+                    max_gap,
+                }
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// threads=4 returns exactly the results and merged stats of threads=1.
+    #[test]
+    fn parallel_matches_serial(cat in catalog(), pat in pattern(), beam in 1usize..5, limit in 1usize..20) {
+        let model = build_hmmm(&cat, &BuildConfig { unannotated_weight: 0.2, ..BuildConfig::default() }).unwrap();
+        let serial_cfg = RetrievalConfig { beam_width: beam, threads: Some(1), ..RetrievalConfig::default() };
+        let parallel_cfg = RetrievalConfig { threads: Some(4), ..serial_cfg };
+        let serial = Retriever::new(&model, &cat, serial_cfg).unwrap();
+        let parallel = Retriever::new(&model, &cat, parallel_cfg).unwrap();
+        let (s_results, s_stats) = serial.retrieve(&pat, limit).unwrap();
+        let (p_results, p_stats) = parallel.retrieve(&pat, limit).unwrap();
+        prop_assert_eq!(s_results, p_results);
+        prop_assert_eq!(s_stats, p_stats);
+    }
+
+    /// Auto thread count (`None`) also matches serial, whatever the machine.
+    #[test]
+    fn auto_threads_match_serial(cat in catalog(), pat in pattern()) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let serial_cfg = RetrievalConfig { threads: Some(1), ..RetrievalConfig::default() };
+        let auto_cfg = RetrievalConfig { threads: None, ..RetrievalConfig::default() };
+        let (s_results, s_stats) = Retriever::new(&model, &cat, serial_cfg).unwrap().retrieve(&pat, 10).unwrap();
+        let (a_results, a_stats) = Retriever::new(&model, &cat, auto_cfg).unwrap().retrieve(&pat, 10).unwrap();
+        prop_assert_eq!(s_results, a_results);
+        prop_assert_eq!(s_stats, a_stats);
+    }
+
+    /// The similarity cache changes cost accounting, never the ranking.
+    /// Content-driven traversal is the similarity-bound regime where the
+    /// cache is actually built (annotation-first queries skip it).
+    #[test]
+    fn cache_is_ranking_neutral(cat in catalog(), pat in pattern(), beam in 1usize..5) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let cached_cfg = RetrievalConfig { beam_width: beam, threads: Some(1), use_sim_cache: true, ..RetrievalConfig::content_only() };
+        let direct_cfg = RetrievalConfig { use_sim_cache: false, ..cached_cfg };
+        let (c_results, _) = Retriever::new(&model, &cat, cached_cfg).unwrap().retrieve(&pat, 10).unwrap();
+        let (d_results, d_stats) = Retriever::new(&model, &cat, direct_cfg).unwrap().retrieve(&pat, 10).unwrap();
+        prop_assert_eq!(c_results, d_results);
+        // The uncached path really did evaluate Eq. (14) on the hot path
+        // whenever it visited any video with a non-empty lattice.
+        if d_stats.videos_visited > 0 {
+            prop_assert!(d_stats.sim_evaluations > 0);
+        }
+    }
+}

@@ -95,7 +95,7 @@ impl ShotBoundaryDetector {
         let boundary_at = self.frame_index; // current frame starts the new shot
         let debounce_ok = |cuts: &[usize]| {
             cuts.last()
-                .map_or(true, |&last| boundary_at - last >= cfg.min_shot_len)
+                .is_none_or(|&last| boundary_at - last >= cfg.min_shot_len)
         };
 
         if d >= cfg.high_threshold {

@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn normalized_unit_mass() {
-        let h = Histogram::from_samples([0.1, 0.2, 0.9].into_iter(), 2, 0.0, 1.0);
+        let h = Histogram::from_samples([0.1, 0.2, 0.9], 2, 0.0, 1.0);
         let n = h.normalized();
         assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((n[0] - 2.0 / 3.0).abs() < 1e-12);
@@ -175,16 +175,16 @@ mod tests {
 
     #[test]
     fn disjoint_histograms_max_distance() {
-        let h1 = Histogram::from_samples([0.1, 0.1].into_iter(), 2, 0.0, 1.0);
-        let h2 = Histogram::from_samples([0.9, 0.9].into_iter(), 2, 0.0, 1.0);
+        let h1 = Histogram::from_samples([0.1, 0.1], 2, 0.0, 1.0);
+        let h2 = Histogram::from_samples([0.9, 0.9], 2, 0.0, 1.0);
         assert!((h1.l1_distance(&h2) - 2.0).abs() < 1e-12);
         assert!((h1.chi_square_distance(&h2) - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn distance_is_symmetric() {
-        let h1 = Histogram::from_samples([0.1, 0.4, 0.6].into_iter(), 4, 0.0, 1.0);
-        let h2 = Histogram::from_samples([0.3, 0.8].into_iter(), 4, 0.0, 1.0);
+        let h1 = Histogram::from_samples([0.1, 0.4, 0.6], 4, 0.0, 1.0);
+        let h2 = Histogram::from_samples([0.3, 0.8], 4, 0.0, 1.0);
         assert!((h1.l1_distance(&h2) - h2.l1_distance(&h1)).abs() < 1e-12);
         assert!((h1.chi_square_distance(&h2) - h2.chi_square_distance(&h1)).abs() < 1e-12);
     }

@@ -107,8 +107,8 @@ proptest! {
         let hb = Histogram::from_samples(b.into_iter(), 8, 0.0, 1.0);
         let l1 = ha.l1_distance(&hb);
         let chi = ha.chi_square_distance(&hb);
-        prop_assert!(l1 >= 0.0 && l1 <= 2.0 + 1e-9);
-        prop_assert!(chi >= 0.0 && chi <= 2.0 + 1e-9);
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&l1));
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&chi));
         prop_assert!((ha.l1_distance(&hb) - hb.l1_distance(&ha)).abs() < 1e-12);
         prop_assert!((ha.chi_square_distance(&hb) - hb.chi_square_distance(&ha)).abs() < 1e-12);
     }

@@ -20,6 +20,9 @@ use hmmm_shot::{evaluate_cuts, segment_frames, ShotBoundaryDetector, ShotDetecto
 use hmmm_storage::Catalog;
 use std::time::Instant;
 
+/// Per-video detected shots: each shot's annotations plus its feature vector.
+type DetectedShots = Vec<(Vec<EventKind>, FeatureVector)>;
+
 fn main() {
     let archive = SyntheticArchive::generate(ArchiveConfig {
         videos: 6,
@@ -39,7 +42,7 @@ fn main() {
     // --- Stage 1: shot-boundary detection from pixels.
     let t = Instant::now();
     let mut all_f1 = 0.0;
-    let mut detected_catalog: Vec<(usize, Vec<(Vec<EventKind>, FeatureVector)>)> = Vec::new();
+    let mut detected_catalog: Vec<(usize, DetectedShots)> = Vec::new();
     let extractor = ExtractorConfig::default();
 
     for (vi, video) in archive.videos().iter().enumerate() {

@@ -3,7 +3,7 @@
 //! ```text
 //! hmmm generate --videos 8 --shots 100 --event-rate 0.1 --seed 42 --out db.bin
 //! hmmm inspect db.bin
-//! hmmm query db.bin "free_kick -> goal" --top 8 [--content-only] [--greedy]
+//! hmmm query db.bin "free_kick -> goal" --top 8 [--threads N] [--content-only] [--greedy]
 //! hmmm categories db.bin --k 4
 //! hmmm matn "foul ->[2] yellow_card|red_card -> player_change"
 //! ```
@@ -49,8 +49,10 @@ USAGE:
       synthesize an archive, extract features, save the catalog
   hmmm inspect <file>
       print catalog dimensions and per-event counts
-  hmmm query <file> <pattern> [--top N] [--content-only] [--greedy]
+  hmmm query <file> <pattern> [--top N] [--threads N] [--content-only]
+             [--greedy] [--no-sim-cache]
       build the HMMM and run a temporal pattern query
+      (--threads 0 = all cores, 1 = serial; default all cores)
   hmmm categories <file> [--k N]
       cluster videos into categories (the d=3 extension)
   hmmm matn <pattern>
@@ -81,7 +83,10 @@ fn positional(args: &[String], index: usize) -> Option<&String> {
     while i < args.len() {
         if args[i].starts_with("--") {
             // Boolean switches consume one slot; valued flags two.
-            let is_switch = matches!(args[i].as_str(), "--content-only" | "--greedy");
+            let is_switch = matches!(
+                args[i].as_str(),
+                "--content-only" | "--greedy" | "--no-sim-cache"
+            );
             i += if is_switch { 1 } else { 2 };
             continue;
         }
@@ -184,6 +189,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     if flag_present(args, "--greedy") {
         config.beam_width = 1;
+    }
+    if let Some(t) = flag_value(args, "--threads") {
+        let t: usize = parse_num(&t, "--threads")?;
+        // 0 = auto (all cores), n = exactly n workers (1 = serial).
+        config.threads = if t == 0 { None } else { Some(t) };
+    }
+    if flag_present(args, "--no-sim-cache") {
+        config.use_sim_cache = false;
     }
     let retriever = Retriever::new(&model, &catalog, config).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();

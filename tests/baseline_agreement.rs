@@ -67,11 +67,21 @@ fn hmmm_examines_fewer_transitions_than_exhaustive() {
     let ex = ExhaustiveRetriever::new(&model, &catalog, ExhaustiveConfig::default()).unwrap();
     let (_, es) = ex.retrieve(&pattern, 5).unwrap();
 
+    // Both engines build the same dense query-scoped similarity cache, so
+    // Eq.-(14) work is equal at best for HMMM; the model's advantage shows
+    // in the traversal itself: the beam examines far fewer lattice
+    // transitions than brute-force enumeration.
     assert!(
-        hs.sim_evaluations < es.sim_evaluations,
-        "HMMM sims {} !< exhaustive sims {}",
+        hs.sim_evaluations <= es.sim_evaluations,
+        "HMMM sims {} > exhaustive sims {}",
         hs.sim_evaluations,
         es.sim_evaluations
+    );
+    assert!(
+        hs.transitions_examined < es.transitions_examined,
+        "HMMM transitions {} !< exhaustive transitions {}",
+        hs.transitions_examined,
+        es.transitions_examined
     );
 }
 

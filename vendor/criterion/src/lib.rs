@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`). Measurement is a
+//! simple median-of-samples wall-clock loop printed to stdout — enough to
+//! compare configurations locally without the statistics machinery.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered `name/param`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_count` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup + calibration pass: aim for samples of at least ~2ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / self.iters_per_sample as u32);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return Duration::ZERO;
+        }
+        s.sort();
+        s[s.len() / 2]
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&self.name, &id, &b);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, b: &Bencher) {
+    let med = b.median();
+    println!(
+        "bench {group}/{id}: median {:?} over {} samples x {} iters",
+        med, b.samples.len(), b.iters_per_sample
+    );
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.default_sample_size,
+        };
+        f(&mut b);
+        report("crit", &BenchmarkId::from(name), &b);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("inc", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn with_input_passes_parameter() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("param");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `crossbeam`: scoped threads delegated to
+//! `std::thread::scope` (stable since Rust 1.63, with the same structured
+//! join-on-exit guarantee crossbeam pioneered).
+
+/// Scoped threads (`crossbeam::thread`), re-exported from std.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}

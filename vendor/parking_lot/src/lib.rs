@@ -1,0 +1,60 @@
+//! Offline stand-in for `parking_lot`: the non-poisoning `RwLock`/`Mutex`
+//! API implemented over `std::sync`. Poisoned locks panic (parking_lot has
+//! no poisoning; a panic while holding the lock is already a test failure).
+
+use std::sync;
+
+/// Reader–writer lock with `parking_lot`'s non-`Result` API.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("rwlock poisoned")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("rwlock poisoned")
+    }
+}
+
+/// Mutual exclusion with `parking_lot`'s non-`Result` API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}

@@ -1,0 +1,491 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a self-contained serialization framework exposing the same surface the
+//! repo uses: `#[derive(Serialize, Deserialize)]`, the two traits, and a
+//! JSON front end in the sibling `serde_json` stub.
+//!
+//! Unlike real serde's visitor architecture, this stub serializes through
+//! an owned [`Value`] tree — simpler, and fully adequate for catalogs and
+//! models of this size. The derive macros (in the sibling `serde_derive`
+//! stub) generate the same external data shapes real serde would: structs
+//! as objects, newtype structs transparently, unit enum variants as
+//! strings, struct variants as externally tagged objects, and the
+//! `#[serde(try_from = "T", into = "T")]` container attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/to-be-printed data tree (the stub's entire data model).
+///
+/// Integers keep their signedness so `u64` round-trips exactly; object
+/// entries keep insertion order so output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: a path-less message, like serde_json's `Error`.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Alias kept for code written against real serde's owned-deserialize bound.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Derive-macro helper: extracts and deserializes a struct field.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    obj: &[(String, Value)],
+    key: &str,
+    container: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::new(format!("{container}.{key}: {e}"))),
+        None => Err(DeError::new(format!("{container}: missing field {key:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------- scalars
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::Int(v) } else { Value::UInt(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, found {}", v.kind())))?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array length changed during conversion"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(DeError::new("expected 3-element array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("end".to_string(), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("expected range object, found {}", v.kind())))?;
+        Ok(__field::<T>(obj, "start", "Range")?..__field::<T>(obj, "end", "Range")?)
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: std::fmt::Display + Ord,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize, S> Deserialize for std::collections::HashMap<String, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: std::fmt::Display,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

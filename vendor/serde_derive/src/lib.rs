@@ -1,0 +1,575 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! (no `syn`/`quote` — crates.io is unreachable in this build environment)
+//! targeting the value-tree framework of the sibling `serde` stub.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * structs with named fields → JSON objects;
+//! * newtype structs → transparent (the inner value's encoding);
+//! * tuple structs with 2+ fields → arrays;
+//! * unit structs → `null`;
+//! * enums with unit variants → the variant name as a string;
+//! * enums with struct/newtype variants → externally tagged objects;
+//! * `#[serde(try_from = "T", into = "T")]` container attributes.
+//!
+//! Generics, lifetimes, and field-level attributes are intentionally
+//! unsupported and produce a compile error rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => generate(&item, mode)
+            .parse()
+            .expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ------------------------------------------------------------------ model
+
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `(key, value)` pairs from `#[serde(key = "value")]`.
+    serde_attrs: Vec<(String, String)>,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ----------------------------------------------------------------- parser
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes `#[...]` attribute groups, returning each bracket group.
+    fn take_attrs(&mut self) -> Vec<TokenStream> {
+        let mut attrs = Vec::new();
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    attrs.push(g.stream());
+                    self.pos += 2;
+                }
+                _ => return attrs,
+            }
+        }
+    }
+
+    /// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Skips tokens until a top-level comma (tracking `<`/`>` nesting for
+    /// types like `HashMap<K, V>`), consuming the comma itself.
+    fn skip_type_and_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let mut cur = Cursor::new(input);
+        let attr_groups = cur.take_attrs();
+        let serde_attrs = parse_serde_attrs(&attr_groups)?;
+        cur.skip_visibility();
+
+        let keyword = cur.expect_ident("`struct` or `enum`")?;
+        let name = cur.expect_ident("type name")?;
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == '<' {
+                return Err(format!(
+                    "serde stub: generic type {name} is not supported by the vendored derive"
+                ));
+            }
+        }
+
+        let kind = match keyword.as_str() {
+            "struct" => match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::NamedStruct(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::TupleStruct(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            },
+            "enum" => match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Enum(parse_variants(g.stream())?)
+                }
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            },
+            other => return Err(format!("expected struct or enum, found `{other}`")),
+        };
+
+        Ok(Item {
+            name,
+            kind,
+            serde_attrs,
+        })
+    }
+}
+
+/// Extracts `key = "value"` pairs from any `#[serde(...)]` attributes.
+fn parse_serde_attrs(attr_groups: &[TokenStream]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for group in attr_groups {
+        let mut cur = Cursor::new(group.clone());
+        match cur.peek() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+            _ => continue,
+        }
+        cur.next();
+        let Some(TokenTree::Group(inner)) = cur.next() else {
+            continue;
+        };
+        let mut icur = Cursor::new(inner.stream());
+        while !icur.at_end() {
+            let key = icur.expect_ident("serde attribute key")?;
+            match icur.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    icur.next();
+                    match icur.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let text = lit.to_string();
+                            let value = text.trim_matches('"').to_string();
+                            out.push((key, value));
+                        }
+                        other => return Err(format!("expected string literal, found {other:?}")),
+                    }
+                }
+                _ => out.push((key, String::new())),
+            }
+            if let Some(TokenTree::Punct(p)) = icur.peek() {
+                if p.as_char() == ',' {
+                    icur.next();
+                }
+            }
+        }
+    }
+    for (key, _) in &out {
+        if key != "try_from" && key != "into" {
+            return Err(format!(
+                "serde stub: unsupported #[serde({key} ...)] attribute"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        cur.take_attrs();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("field name")?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field {name}, found {other:?}")),
+        }
+        cur.skip_type_and_comma();
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts fields of a tuple struct/variant body (top-level commas).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    let mut count = 0;
+    while !cur.at_end() {
+        cur.take_attrs();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_type_and_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.take_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name")?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantFields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut angle = 0i32;
+        while let Some(t) = cur.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    cur.next();
+                    break;
+                }
+                _ => {}
+            }
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// -------------------------------------------------------------- generator
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let attr = |key: &str| {
+        item.serde_attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    if let (Some(try_from), Some(into)) = (attr("try_from"), attr("into")) {
+        return generate_via_proxy(&item.name, &try_from, &into, mode);
+    }
+    match mode {
+        Mode::Ser => generate_ser(item),
+        Mode::De => generate_de(item),
+    }
+}
+
+fn generate_via_proxy(name: &str, try_from: &str, into: &str, mode: Mode) -> String {
+    match mode {
+        Mode::Ser => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let proxy: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&proxy)\n\
+                 }}\n\
+             }}"
+        ),
+        Mode::De => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     let proxy: {try_from} = ::serde::Deserialize::from_value(v)?;\n\
+                     <Self as ::core::convert::TryFrom<{try_from}>>::try_from(proxy)\n\
+                         .map_err(|e| ::serde::DeError::new(::std::format!(\"{name}: {{e}}\")))\n\
+                 }}\n\
+             }}"
+        ),
+    }
+}
+
+fn generate_ser(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                                     (::std::string::String::from({vname:?}), \
+                                      ::serde::Value::Object(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(inner) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                  ::serde::Serialize::to_value(inner))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                     (::std::string::String::from({vname:?}), \
+                                      ::serde::Value::Array(::std::vec![{}]))])",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_de(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(obj, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                     ::std::format!(\"{name}: expected object, found {{}}\", v.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                     ::std::format!(\"{name}: expected array, found {{}}\", v.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"{name}: expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{:?} => ::core::result::Result::Ok({name}::{})", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__field(inner_obj, {f:?}, {vname:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let inner_obj = inner.as_object().ok_or_else(|| \
+                                         ::serde::DeError::new(\"{vname}: expected object\"))?;\n\
+                                     ::core::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vname:?} => ::core::result::Result::Ok(\
+                                 {name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| \
+                                         ::serde::DeError::new(\"{vname}: expected array\"))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::core::result::Result::Err(\
+                                             ::serde::DeError::new(\"{vname}: wrong arity\"));\n\
+                                     }}\n\
+                                     ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => ::core::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => ::core::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::core::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"{name}: expected variant, found {{}}\", other.kind()))),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    tagged_arms.join(",\n") + ","
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
