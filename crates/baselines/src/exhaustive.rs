@@ -75,7 +75,7 @@ impl<'a> ExhaustiveRetriever<'a> {
         // lookup below is an array read. The old code re-evaluated Eq. (14)
         // once per (step, shot) even when steps shared alternatives.
         let cache = SimCache::build(self.model, pattern);
-        stats.sim_evaluations += cache.build_evaluations();
+        stats.cache_build_evaluations += cache.build_evaluations();
 
         for video in self.catalog.videos() {
             stats.videos_visited += 1;

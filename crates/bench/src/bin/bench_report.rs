@@ -2,28 +2,45 @@
 //! snapshot tracked across PRs: shots/sec per thread count, speedup vs one
 //! thread, and the similarity cache's serial win.
 //!
+//! Timings come from the same observability layer a live `hmmm query
+//! --metrics-json` run uses: each measured configuration attaches an
+//! [`InMemoryRecorder`], and the best-of-N wall clock is the minimum of the
+//! `retrieve.latency_ns` histogram — so the bench snapshot and production
+//! metrics can never disagree about what was measured.
+//!
 //! ```text
 //! cargo run --release -p hmmm-bench --bin bench_report [-- --videos N --shots N --out FILE]
 //! ```
 
 use hmmm_bench::{standard_catalog, DataConfig};
-use hmmm_core::{build_hmmm, BuildConfig, RetrievalConfig, Retriever};
+use hmmm_core::metrics as m;
+use hmmm_core::{
+    build_hmmm, BuildConfig, InMemoryRecorder, MetricsReport, RetrievalConfig, Retriever,
+};
 use hmmm_media::EventKind;
 use hmmm_query::QueryTranslator;
 use serde::Serialize;
-use std::time::Instant;
 
 /// One measured configuration.
 #[derive(Debug, Serialize)]
 struct Sample {
     threads: usize,
     sim_cache: bool,
-    /// Best-of-N wall clock, seconds.
+    /// Best-of-N wall clock, seconds (min of the latency histogram).
     seconds: f64,
     /// Archive shots scanned per second at that wall clock.
     shots_per_sec: f64,
     /// Wall-clock speedup vs the serial cached run.
     speedup_vs_serial: f64,
+    /// Worker busy-time / (fan-out wall × workers) from the last repeat
+    /// (1.0 for serial runs).
+    thread_utilization: f64,
+    /// Cache-served share of hot-path scoring lookups across the repeats
+    /// (absent when no scoring lookups happened).
+    cache_hit_ratio: Option<f64>,
+    /// Per-stage wall time across all repeats, nanoseconds, keyed by span
+    /// path (`retrieve/sim_cache_build`, `retrieve/traverse`, …).
+    stage_total_ns: Vec<(String, u64)>,
 }
 
 /// The whole report.
@@ -48,6 +65,15 @@ fn arg(name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Best-of-N wall clock in seconds, read from the latency histogram.
+fn best_seconds(report: &MetricsReport) -> f64 {
+    report
+        .histograms
+        .get(m::HIST_RETRIEVE_LATENCY)
+        .map(|h| h.min_ns as f64 / 1e9)
+        .unwrap_or(f64::INFINITY)
 }
 
 fn main() {
@@ -76,52 +102,64 @@ fn main() {
     let pattern = translator.compile(QUERY).expect("valid");
     let total_shots = catalog.shot_count();
 
-    let time = |cfg: RetrievalConfig| -> f64 {
+    let time = |cfg: RetrievalConfig| -> MetricsReport {
+        let recorder = InMemoryRecorder::shared();
+        let cfg = cfg.with_recorder(recorder.handle());
         let r = Retriever::new(&model, &catalog, cfg).expect("consistent");
-        let mut best = f64::INFINITY;
         for _ in 0..REPEATS {
-            let t0 = Instant::now();
             let (results, _) = r.retrieve(&pattern, 10).expect("valid");
-            let dt = t0.elapsed().as_secs_f64();
             std::hint::black_box(results);
-            best = best.min(dt);
         }
-        best
+        let mut report = recorder.report();
+        hmmm_core::metrics::derive_retrieval_metrics(&mut report);
+        report
     };
 
-    let serial = RetrievalConfig {
+    let sample = |threads: usize, sim_cache: bool, metrics: &MetricsReport, serial_secs: f64| {
+        let secs = best_seconds(metrics);
+        Sample {
+            threads,
+            sim_cache,
+            seconds: secs,
+            shots_per_sec: total_shots as f64 / secs,
+            speedup_vs_serial: serial_secs / secs,
+            thread_utilization: metrics
+                .gauges
+                .get(m::GAUGE_THREAD_UTILIZATION)
+                .copied()
+                .unwrap_or(1.0),
+            cache_hit_ratio: metrics.derived.get("cache_hit_ratio").copied(),
+            stage_total_ns: metrics
+                .stages
+                .iter()
+                .map(|s| (s.path.clone(), s.total_ns))
+                .collect(),
+        }
+    };
+
+    let serial_cfg = RetrievalConfig {
         threads: Some(1),
         ..RetrievalConfig::content_only()
     };
-    let serial_secs = time(serial);
-    let uncached_secs = time(RetrievalConfig {
+    let serial_metrics = time(serial_cfg.clone());
+    let serial_secs = best_seconds(&serial_metrics);
+    let uncached_metrics = time(RetrievalConfig {
         use_sim_cache: false,
-        ..serial
+        ..serial_cfg
     });
+    let uncached_secs = best_seconds(&uncached_metrics);
 
-    let mut samples = vec![Sample {
-        threads: 1,
-        sim_cache: false,
-        seconds: uncached_secs,
-        shots_per_sec: total_shots as f64 / uncached_secs,
-        speedup_vs_serial: serial_secs / uncached_secs,
-    }];
+    let mut samples = vec![sample(1, false, &uncached_metrics, serial_secs)];
     for threads in [1usize, 2, 4, 8] {
-        let secs = if threads == 1 {
-            serial_secs
+        let metrics = if threads == 1 {
+            serial_metrics.clone()
         } else {
             time(RetrievalConfig {
                 threads: Some(threads),
                 ..RetrievalConfig::content_only()
             })
         };
-        samples.push(Sample {
-            threads,
-            sim_cache: true,
-            seconds: secs,
-            shots_per_sec: total_shots as f64 / secs,
-            speedup_vs_serial: serial_secs / secs,
-        });
+        samples.push(sample(threads, true, &metrics, serial_secs));
     }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -138,12 +176,13 @@ fn main() {
 
     for s in &report.samples {
         println!(
-            "threads {} cache {:<3}: {:>8.2} ms, {:>12.0} shots/s, {:.2}x vs serial",
+            "threads {} cache {:<3}: {:>8.2} ms, {:>12.0} shots/s, {:.2}x vs serial, util {:.2}",
             s.threads,
             if s.sim_cache { "on" } else { "off" },
             s.seconds * 1e3,
             s.shots_per_sec,
-            s.speedup_vs_serial
+            s.speedup_vs_serial,
+            s.thread_utilization,
         );
     }
     println!(

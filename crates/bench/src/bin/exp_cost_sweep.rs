@@ -55,7 +55,7 @@ fn main() {
         });
         let model = build_hmmm(&catalog, &BuildConfig::default()).expect("non-empty");
         let pattern = translator.compile("goal -> free_kick").expect("valid");
-        run_all(&mut t, &model, &catalog, &pattern, catalog.shot_count(), base);
+        run_all(&mut t, &model, &catalog, &pattern, catalog.shot_count(), &base);
     }
     println!("{t}");
 
@@ -73,7 +73,7 @@ fn main() {
     ]);
     for q in QUERIES {
         let pattern = translator.compile(q).expect("valid");
-        run_all(&mut t, &model, &catalog, &pattern, pattern.len(), base);
+        run_all(&mut t, &model, &catalog, &pattern, pattern.len(), &base);
     }
     println!("{t}");
 
@@ -104,7 +104,7 @@ fn main() {
             threads.map_or("auto".into(), |n| n.to_string()),
             if cached { "on" } else { "off" }.to_string(),
             format!("{dt:.2?}"),
-            stats.sim_evaluations.to_string(),
+            stats.total_sim_evaluations().to_string(),
             results
                 .first()
                 .map_or("—".into(), |r| format!("{:.5}", r.score)),
@@ -121,7 +121,7 @@ fn main() {
     for beam in [1usize, 2, 3, 5, 8, 16] {
         let cfg = RetrievalConfig {
             beam_width: beam,
-            ..base
+            ..base.clone()
         };
         let r = Retriever::new(&model, &catalog, cfg).expect("consistent");
         let t0 = Instant::now();
@@ -130,7 +130,7 @@ fn main() {
         t.row_owned(vec![
             beam.to_string(),
             format!("{dt:.2?}"),
-            stats.sim_evaluations.to_string(),
+            stats.total_sim_evaluations().to_string(),
             results
                 .first()
                 .map_or("—".into(), |r| format!("{:.5}", r.score)),
@@ -148,11 +148,11 @@ fn run_all(
     catalog: &hmmm_storage::Catalog,
     pattern: &CompiledPattern,
     key: usize,
-    base: RetrievalConfig,
+    base: &RetrievalConfig,
 ) {
     // HMMM traversal.
     {
-        let r = Retriever::new(model, catalog, base).expect("consistent");
+        let r = Retriever::new(model, catalog, base.clone()).expect("consistent");
         let t0 = Instant::now();
         let (results, stats) = r.retrieve(pattern, 10).expect("valid");
         push(t, key, "hmmm", t0.elapsed(), &stats, results.len());
@@ -161,7 +161,7 @@ fn run_all(
     {
         let cats = CategoryLevel::build(model, (model.video_count() / 4).max(2))
             .expect("videos exist");
-        let r = Retriever::new(model, catalog, base).expect("consistent");
+        let r = Retriever::new(model, catalog, base.clone()).expect("consistent");
         let t0 = Instant::now();
         let eligible = cats.eligible_videos(&pattern.steps[0].alternatives);
         let (results, stats) = r
@@ -205,7 +205,7 @@ fn push(
         key.to_string(),
         engine.to_string(),
         format!("{dt:.2?}"),
-        stats.sim_evaluations.to_string(),
+        stats.total_sim_evaluations().to_string(),
         stats.transitions_examined.to_string(),
         found.to_string(),
     ]);

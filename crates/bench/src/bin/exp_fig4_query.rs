@@ -80,7 +80,7 @@ fn main() {
     );
     println!(
         "          retrieval in {elapsed:.2?}; {} sim evals; {}/{} videos visited ({} skipped by B2 check)",
-        stats.sim_evaluations,
+        stats.total_sim_evaluations(),
         stats.videos_visited,
         catalog.video_count(),
         stats.videos_skipped

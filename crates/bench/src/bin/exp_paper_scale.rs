@@ -96,7 +96,7 @@ fn main() {
         "work: {} videos visited, {} skipped by B2, {} sim evals, {} transitions",
         stats.videos_visited,
         stats.videos_skipped,
-        stats.sim_evaluations,
+        stats.total_sim_evaluations(),
         stats.transitions_examined
     );
 

@@ -1,8 +1,10 @@
 //! §4.2 model construction.
 
 use crate::error::CoreError;
+use crate::metrics as m;
 use crate::model::{Hmmm, LocalMmm};
 use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use hmmm_obs::RecorderHandle;
 use hmmm_matrix::dense::ZeroRowPolicy;
 use hmmm_matrix::{Matrix, ProbVector, StochasticMatrix};
 use hmmm_media::EventKind;
@@ -67,6 +69,24 @@ impl BuildConfig {
 /// convention; rows are re-normalized to absorb the `NE = 0` edge cases the
 /// paper's formula leaves undefined.
 ///
+/// # Examples
+///
+/// The paper's §4.2.1.1 worked example: a video of three shots annotated
+/// `{free_kick}`, `{free_kick, goal}`, `{corner_kick}`, so `NE = [1, 2, 1]`
+/// and the closed form gives exactly 2/3, 1/3, 1/2, 1/2, 1:
+///
+/// ```
+/// use hmmm_core::construct::a1_initial_from_counts;
+///
+/// let a1 = a1_initial_from_counts(&[1.0, 2.0, 1.0]).unwrap();
+/// assert!((a1.get(0, 1) - 2.0 / 3.0).abs() < 1e-12); // A1(1,2) = NE(s2)/(4−1)
+/// assert!((a1.get(0, 2) - 1.0 / 3.0).abs() < 1e-12); // A1(1,3) = NE(s3)/(4−1)
+/// assert!((a1.get(1, 1) - 1.0 / 2.0).abs() < 1e-12); // A1(2,2) = (NE(s2)−1)/(3−1)
+/// assert!((a1.get(1, 2) - 1.0 / 2.0).abs() < 1e-12); // A1(2,3) = NE(s3)/(3−1)
+/// assert_eq!(a1.get(2, 2), 1.0);                     // A1(3,3) = 1 (absorbing)
+/// assert_eq!(a1.get(2, 0), 0.0);                     // temporal: no backward mass
+/// ```
+///
 /// # Errors
 ///
 /// [`CoreError::Matrix`] if `ne` is empty.
@@ -97,66 +117,142 @@ pub fn a1_initial_from_counts(ne: &[f64]) -> Result<StochasticMatrix, CoreError>
 
 /// Builds the complete two-level HMMM from a catalog.
 ///
+/// # Examples
+///
+/// Constructing the model over the §4.2.1.1 three-shot video reproduces the
+/// worked example's `A_1` inside [`Hmmm::locals`] and fills the rest of the
+/// Definition-1 tuple (`B_1` from Eq.-3 normalization, `B_1'` centroids per
+/// Eq. 11, `P_{1,2}` per Eqs. 7–10):
+///
+/// ```
+/// use hmmm_core::{build_hmmm, BuildConfig};
+/// use hmmm_features::{FeatureId, FeatureVector};
+/// use hmmm_media::EventKind;
+/// use hmmm_storage::Catalog;
+///
+/// # fn feat(grass: f64, volume: f64) -> FeatureVector {
+/// #     let mut f = FeatureVector::zeros();
+/// #     f[FeatureId::GrassRatio] = grass;
+/// #     f[FeatureId::VolumeMean] = volume;
+/// #     f
+/// # }
+/// // §4.2.1.1: shots annotated {free_kick}, {free_kick, goal}, {corner_kick}.
+/// let mut catalog = Catalog::new();
+/// catalog.add_video("v1", vec![
+///     (vec![EventKind::FreeKick], feat(0.3, 0.2)),
+///     (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8, 0.9)),
+///     (vec![EventKind::CornerKick], feat(0.5, 0.4)),
+/// ]);
+///
+/// let model = build_hmmm(&catalog, &BuildConfig::default()).unwrap();
+/// assert_eq!(model.summary().videos, 1);
+/// assert_eq!(model.summary().shots, 3);
+///
+/// // NE = [1, 2, 1] → the worked example's first row: (0, 2/3, 1/3).
+/// let a1 = &model.locals[0].a1;
+/// assert!((a1.get(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((a1.get(0, 2) - 1.0 / 3.0).abs() < 1e-12);
+///
+/// // B_2 counts the annotations per video; goal appears once.
+/// assert_eq!(model.b2[0][EventKind::Goal.index()], 1);
+/// ```
+///
 /// # Errors
 ///
 /// [`CoreError::Catalog`] for an empty catalog, [`CoreError::Matrix`] for
 /// degenerate matrix construction.
 pub fn build_hmmm(catalog: &Catalog, config: &BuildConfig) -> Result<Hmmm, CoreError> {
+    build_hmmm_observed(catalog, config, &RecorderHandle::noop())
+}
+
+/// [`build_hmmm`] with per-stage observability: wraps each construction
+/// stage (`B_1` normalization, local MMMs, level-2 matrices, cross-level
+/// glue) in a span and counts model size — see [`crate::metrics`] for the
+/// names. With a noop handle this is exactly `build_hmmm`.
+///
+/// # Errors
+///
+/// Same as [`build_hmmm`].
+pub fn build_hmmm_observed(
+    catalog: &Catalog,
+    config: &BuildConfig,
+    obs: &RecorderHandle,
+) -> Result<Hmmm, CoreError> {
+    let _root = obs.span(m::SPAN_CONSTRUCT);
     if catalog.video_count() == 0 || catalog.shot_count() == 0 {
         return Err(CoreError::Catalog(hmmm_storage::CatalogError::Empty));
     }
 
     // B_1: Eq. (3) normalization over the whole archive.
-    let normalizer = catalog.fit_normalizer()?;
-    let b1: Vec<FeatureVector> = catalog
-        .shots()
-        .iter()
-        .map(|s| normalizer.normalize(&s.features))
-        .collect();
+    let (normalizer, b1) = {
+        let _span = obs.span(m::SPAN_CONSTRUCT_B1);
+        let normalizer = catalog.fit_normalizer()?;
+        let b1: Vec<FeatureVector> = catalog
+            .shots()
+            .iter()
+            .map(|s| normalizer.normalize(&s.features))
+            .collect();
+        (normalizer, b1)
+    };
 
     // Local MMMs: per-video A_1 (closed form) and Π_1 (uniform until
     // feedback provides Eq.-4 usage data).
-    let locals = catalog
-        .videos()
-        .iter()
-        .map(|v| {
-            let ne: Vec<f64> = catalog
-                .shots_of_video(v.id)
-                .iter()
-                .map(|s| {
-                    let ne = s.event_count() as f64;
-                    if ne > 0.0 {
-                        ne
-                    } else {
-                        config.unannotated_weight
-                    }
-                })
-                .collect();
-            let a1 = a1_initial_from_counts(&ne)?;
-            let pi1 = ProbVector::uniform(ne.len())?;
-            Ok(LocalMmm { a1, pi1 })
-        })
-        .collect::<Result<Vec<_>, CoreError>>()?;
-
-    // B_2: event-count matrix straight from the catalog.
-    let b2 = catalog.event_count_matrix();
-
-    // A_2: uniform (paper-literal) or content-seeded cosine affinity.
-    let m = catalog.video_count();
-    let a2 = if config.a2_from_content {
-        a2_from_event_counts(&b2)?
-    } else {
-        StochasticMatrix::uniform(m, m)?
+    let locals = {
+        let _span = obs.span(m::SPAN_CONSTRUCT_LOCALS);
+        catalog
+            .videos()
+            .iter()
+            .map(|v| {
+                let ne: Vec<f64> = catalog
+                    .shots_of_video(v.id)
+                    .iter()
+                    .map(|s| {
+                        let ne = s.event_count() as f64;
+                        if ne > 0.0 {
+                            ne
+                        } else {
+                            config.unannotated_weight
+                        }
+                    })
+                    .collect();
+                let a1 = a1_initial_from_counts(&ne)?;
+                let pi1 = ProbVector::uniform(ne.len())?;
+                Ok(LocalMmm { a1, pi1 })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?
     };
-    let pi2 = ProbVector::uniform(m)?;
+
+    // Level 2: B_2 straight from the catalog, then A_2 (uniform
+    // paper-literal or content-seeded cosine affinity) and Π_2.
+    let (b2, a2, pi2) = {
+        let _span = obs.span(m::SPAN_CONSTRUCT_LEVEL2);
+        let b2 = catalog.event_count_matrix();
+        let videos = catalog.video_count();
+        let a2 = if config.a2_from_content {
+            a2_from_event_counts(&b2)?
+        } else {
+            StochasticMatrix::uniform(videos, videos)?
+        };
+        let pi2 = ProbVector::uniform(videos)?;
+        (b2, a2, pi2)
+    };
 
     // B_1' (Eq. 11) and P_{1,2} (Eq. 7 / Eqs. 8–10).
-    let b1_prime = event_centroids(catalog, &b1);
-    let p12 = if config.learn_p12 {
-        learn_p12(catalog, &b1, config.std_floor)?
-    } else {
-        StochasticMatrix::uniform(EventKind::COUNT, FEATURE_COUNT)?
+    let (b1_prime, p12) = {
+        let _span = obs.span(m::SPAN_CONSTRUCT_CROSS);
+        let b1_prime = event_centroids(catalog, &b1);
+        let p12 = if config.learn_p12 {
+            learn_p12(catalog, &b1, config.std_floor)?
+        } else {
+            StochasticMatrix::uniform(EventKind::COUNT, FEATURE_COUNT)?
+        };
+        (b1_prime, p12)
     };
+
+    if obs.is_enabled() {
+        obs.counter(m::CTR_CONSTRUCT_VIDEOS, catalog.video_count() as u64);
+        obs.counter(m::CTR_CONSTRUCT_SHOTS, catalog.shot_count() as u64);
+    }
 
     Ok(Hmmm {
         locals,

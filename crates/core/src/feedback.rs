@@ -22,8 +22,10 @@
 
 use crate::construct;
 use crate::error::CoreError;
+use crate::metrics;
 use crate::model::Hmmm;
 use hmmm_features::FeatureVector;
+use hmmm_obs::RecorderHandle;
 use hmmm_matrix::dense::ZeroRowPolicy;
 use hmmm_matrix::{Matrix, ProbVector, StochasticMatrix};
 use hmmm_media::EventKind;
@@ -138,6 +140,48 @@ impl FeedbackLog {
     /// Applies all pending feedback to the model (the offline update),
     /// clearing the pending queue.
     ///
+    /// # Examples
+    ///
+    /// Confirming the `shot 0 → shot 1` free-kick→goal pattern on the
+    /// §4.2.1.1 three-shot video strengthens that `A_1` transition above its
+    /// closed-form initial value of 2/3 (Eq. 1 accumulation + Eq. 2
+    /// normalization):
+    ///
+    /// ```
+    /// use hmmm_core::{build_hmmm, BuildConfig, FeedbackConfig, FeedbackLog, PositivePattern};
+    /// use hmmm_features::{FeatureId, FeatureVector};
+    /// use hmmm_media::EventKind;
+    /// use hmmm_storage::{Catalog, ShotId, VideoId};
+    ///
+    /// # fn feat(grass: f64, volume: f64) -> FeatureVector {
+    /// #     let mut f = FeatureVector::zeros();
+    /// #     f[FeatureId::GrassRatio] = grass;
+    /// #     f[FeatureId::VolumeMean] = volume;
+    /// #     f
+    /// # }
+    /// let mut catalog = Catalog::new();
+    /// catalog.add_video("v1", vec![
+    ///     (vec![EventKind::FreeKick], feat(0.3, 0.2)),
+    ///     (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8, 0.9)),
+    ///     (vec![EventKind::CornerKick], feat(0.5, 0.4)),
+    /// ]);
+    /// let mut model = build_hmmm(&catalog, &BuildConfig::default()).unwrap();
+    /// assert!((model.locals[0].a1.get(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+    ///
+    /// let mut log = FeedbackLog::new();
+    /// log.record(PositivePattern {
+    ///     query: 0,
+    ///     video: VideoId(0),
+    ///     shots: vec![ShotId(0), ShotId(1)],
+    ///     events: vec![EventKind::FreeKick.index(), EventKind::Goal.index()],
+    ///     access: 1.0,
+    /// }).unwrap();
+    ///
+    /// let report = log.apply(&mut model, &catalog, &FeedbackConfig::default()).unwrap();
+    /// assert_eq!(report.patterns_applied, 1);
+    /// assert!(model.locals[0].a1.get(0, 1) > 2.0 / 3.0);
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`CoreError::Inconsistent`] for out-of-range ids,
@@ -148,6 +192,25 @@ impl FeedbackLog {
         catalog: &Catalog,
         config: &FeedbackConfig,
     ) -> Result<UpdateReport, CoreError> {
+        self.apply_observed(model, catalog, config, &RecorderHandle::noop())
+    }
+
+    /// [`FeedbackLog::apply`] with per-stage observability: spans around
+    /// the `A_1`/`Π_1`, `A_2`/`Π_2` and `P_{1,2}` updates plus the
+    /// `feedback.*` counters — see [`crate::metrics`]. With a noop handle
+    /// this is exactly `apply`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FeedbackLog::apply`].
+    pub fn apply_observed(
+        &mut self,
+        model: &mut Hmmm,
+        catalog: &Catalog,
+        config: &FeedbackConfig,
+        obs: &RecorderHandle,
+    ) -> Result<UpdateReport, CoreError> {
+        let _root = obs.span(metrics::SPAN_FEEDBACK);
         let patterns = std::mem::take(&mut self.patterns);
         if patterns.is_empty() {
             return Ok(UpdateReport {
@@ -177,6 +240,7 @@ impl FeedbackLog {
         }
 
         // --- A_1 / Π_1 per video (Eqs. 1, 2, 4).
+        let local_span = obs.span(metrics::SPAN_FEEDBACK_LOCAL);
         let mut videos_updated = 0usize;
         let mut a1_drift_total = 0.0;
         for (v, local) in model.locals.iter_mut().enumerate() {
@@ -228,7 +292,10 @@ impl FeedbackLog {
             videos_updated += 1;
         }
 
+        drop(local_span);
+
         // --- A_2 / Π_2 (Eqs. 5, 6): co-access of videos within a query.
+        let level2_span = obs.span(metrics::SPAN_FEEDBACK_LEVEL2);
         let m = model.video_count();
         let mut a2_counts = model.a2.as_matrix().clone();
         a2_counts.scale(config.retention);
@@ -266,8 +333,10 @@ impl FeedbackLog {
             }
         }
         model.pi2 = ProbVector::from_counts(&pi2_counts)?;
+        drop(level2_span);
 
         // --- P_{1,2} / B_1' (Eqs. 8–11) over the grown membership.
+        let cross_span = obs.span(metrics::SPAN_FEEDBACK_CROSS);
         for p in &patterns {
             for (&shot, &event) in p.shots.iter().zip(p.events.iter()) {
                 if event < EventKind::COUNT {
@@ -289,6 +358,12 @@ impl FeedbackLog {
         } else {
             0.0
         };
+        drop(cross_span);
+
+        if obs.is_enabled() {
+            obs.counter(metrics::CTR_FEEDBACK_PATTERNS, patterns.len() as u64);
+            obs.counter(metrics::CTR_FEEDBACK_VIDEOS, videos_updated as u64);
+        }
 
         Ok(UpdateReport {
             patterns_applied: patterns.len(),

@@ -33,6 +33,9 @@
 //!   updates (Eqs. 1–2, 4, 5–6, 8–10).
 //! * [`simulate`] — a ground-truth relevance oracle standing in for the
 //!   paper's human feedback (see DESIGN.md substitutions).
+//! * [`metrics`] — the canonical metric/span names this crate records
+//!   through [`hmmm_obs`] (attach a recorder via
+//!   [`retrieve::RetrievalConfig::recorder`] to observe the hot path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,14 +45,18 @@ pub mod construct;
 pub mod error;
 pub mod feedback;
 pub mod io;
+pub mod metrics;
 pub mod model;
 pub mod retrieve;
 pub mod sim;
 pub mod simcache;
 pub mod simulate;
 
+pub use hmmm_obs as obs;
+pub use hmmm_obs::{InMemoryRecorder, MetricsReport, RecorderHandle};
+
 pub use cluster::CategoryLevel;
-pub use construct::{build_hmmm, BuildConfig};
+pub use construct::{build_hmmm, build_hmmm_observed, BuildConfig};
 pub use error::CoreError;
 pub use feedback::{FeedbackConfig, FeedbackLog, PositivePattern};
 pub use io::{load_model, save_model};

@@ -1,0 +1,118 @@
+//! Canonical metric and span names emitted by this crate's
+//! instrumentation.
+//!
+//! Everything the retrieval engine records through a
+//! [`hmmm_obs::RecorderHandle`] uses a constant from this module, so the
+//! CLI's `--metrics-json` report, `bench_report`'s `BENCH_retrieval.json`,
+//! and the tests all key off one registry and cannot drift apart.
+//!
+//! Naming scheme: span paths are `/`-separated hierarchies
+//! (`retrieve/traverse/video`); counter/gauge/histogram names are
+//! dot-separated `subsystem.quantity` (`simcache.lookups`).
+
+// --- §5 retrieval (Steps 1–9, Eqs. 12–15) ---------------------------------
+
+/// Root span of one [`crate::Retriever::retrieve_within`] call.
+pub const SPAN_RETRIEVE: &str = "retrieve";
+/// Dense Eq.-(14) table build ([`crate::SimCache`]).
+pub const SPAN_SIM_CACHE_BUILD: &str = "retrieve/sim_cache_build";
+/// Step 2/7 video ordering (`Π_2` sort + `B_2` first-event filter).
+pub const SPAN_VIDEO_ORDER: &str = "retrieve/video_order";
+/// The whole per-video fan-out (serial loop or scoped worker pool).
+pub const SPAN_TRAVERSE: &str = "retrieve/traverse";
+/// One worker thread's share of the fan-out (label = worker index).
+pub const SPAN_WORKER: &str = "retrieve/traverse/worker";
+/// One video's Figure-3 lattice traversal (label = video index).
+pub const SPAN_VIDEO: &str = "retrieve/traverse/video";
+/// Step 8–9 final ranking (total-order sort + truncate).
+pub const SPAN_RANK: &str = "retrieve/rank";
+
+/// End-to-end latency of each retrieve call (histogram, ns).
+pub const HIST_RETRIEVE_LATENCY: &str = "retrieve.latency_ns";
+
+/// Retrieve calls served.
+pub const CTR_QUERIES: &str = "retrieve.queries";
+/// Videos whose lattices were traversed (`RetrievalStats::videos_visited`).
+pub const CTR_VIDEOS_VISITED: &str = "retrieve.videos_visited";
+/// Videos pruned by the Step-2 `B_2` check (`videos_skipped`).
+pub const CTR_VIDEOS_SKIPPED: &str = "retrieve.videos_skipped";
+/// `A_1` lattice transitions examined (`transitions_examined`).
+pub const CTR_TRANSITIONS: &str = "retrieve.transitions_examined";
+/// Candidate sequences scored before the final cut (`candidates_scored`).
+pub const CTR_CANDIDATES: &str = "retrieve.candidates_scored";
+/// Ranked patterns actually returned (after Step 9's `limit`).
+pub const CTR_RESULTS: &str = "retrieve.results_returned";
+
+/// Worker threads used by the last retrieve call.
+pub const GAUGE_THREADS: &str = "retrieve.threads";
+/// Busy-time / (fan-out wall × workers) of the last parallel retrieve:
+/// 1.0 = perfectly balanced chunks, lower = stragglers.
+pub const GAUGE_THREAD_UTILIZATION: &str = "retrieve.thread_utilization";
+
+// --- Eq.-(14) similarity & the query-scoped cache -------------------------
+
+/// Hot-path Eq.-(14) evaluations (cache off or bypassed) —
+/// `RetrievalStats::sim_evaluations`.
+pub const CTR_SIM_DIRECT_EVALS: &str = "sim.direct_evaluations";
+/// Eq.-(14) evaluations spent building [`crate::SimCache`] tables —
+/// `RetrievalStats::cache_build_evaluations`.
+pub const CTR_CACHE_BUILD_EVALS: &str = "simcache.build_evaluations";
+/// Hot-path lookups served from the cache (every one is a hit: the table
+/// is dense over the query's events) — `RetrievalStats::cache_lookups`.
+pub const CTR_CACHE_LOOKUPS: &str = "simcache.lookups";
+/// Queries that built a cache.
+pub const CTR_CACHE_BUILDS: &str = "simcache.builds";
+/// Similarity-bound queries that ran with the cache explicitly disabled
+/// (`use_sim_cache == false`).
+pub const CTR_CACHE_BYPASSED_QUERIES: &str = "simcache.bypassed_queries";
+/// Annotation-bound queries where the regime gate skipped the cache
+/// (building it would cost more than it saves — see `RetrievalConfig`).
+pub const CTR_CACHE_REGIME_SKIPPED_QUERIES: &str = "simcache.annotation_bound_queries";
+
+// --- §4.2 model construction ----------------------------------------------
+
+/// Root span of one [`crate::build_hmmm`] call.
+pub const SPAN_CONSTRUCT: &str = "construct";
+/// Eq.-(3) normalization of all shot features into `B_1`.
+pub const SPAN_CONSTRUCT_B1: &str = "construct/normalize_b1";
+/// Per-video local MMMs: closed-form `A_1` (§4.2.1.1) + uniform `Π_1`.
+pub const SPAN_CONSTRUCT_LOCALS: &str = "construct/locals";
+/// Level-2 matrices: `B_2`, `A_2`, `Π_2`.
+pub const SPAN_CONSTRUCT_LEVEL2: &str = "construct/level2";
+/// Cross-level glue: `B_1'` centroids (Eq. 11) + `P_{1,2}` (Eqs. 7–10).
+pub const SPAN_CONSTRUCT_CROSS: &str = "construct/cross_level";
+/// Videos in the constructed model.
+pub const CTR_CONSTRUCT_VIDEOS: &str = "construct.videos";
+/// Shots in the constructed model.
+pub const CTR_CONSTRUCT_SHOTS: &str = "construct.shots";
+
+// --- Feedback learning (Eqs. 1–11) ----------------------------------------
+
+/// Root span of one offline [`crate::FeedbackLog::apply`] update.
+pub const SPAN_FEEDBACK: &str = "feedback/apply";
+/// Per-video `A_1` (Eqs. 1–2) and `Π_1` (Eq. 4) updates.
+pub const SPAN_FEEDBACK_LOCAL: &str = "feedback/apply/a1_pi1";
+/// `A_2` (Eq. 5) and `Π_2` (Eq. 6) co-access updates.
+pub const SPAN_FEEDBACK_LEVEL2: &str = "feedback/apply/a2_pi2";
+/// `P_{1,2}`/`B_1'` re-learning (Eqs. 8–11).
+pub const SPAN_FEEDBACK_CROSS: &str = "feedback/apply/p12";
+/// Positive patterns consumed by offline updates.
+pub const CTR_FEEDBACK_PATTERNS: &str = "feedback.patterns_applied";
+/// Videos whose `A_1` changed in offline updates.
+pub const CTR_FEEDBACK_VIDEOS: &str = "feedback.videos_updated";
+
+/// Adds the standard retrieval-derived quantities to a report:
+///
+/// * `cache_hit_ratio` — cache-served lookups over all hot-path scoring
+///   lookups (`simcache.lookups / (simcache.lookups +
+///   sim.direct_evaluations)`);
+/// * `videos_visited_ratio` — traversed over eligible-plus-pruned videos
+///   (how much work the Step-2 `B_2` check saved).
+pub fn derive_retrieval_metrics(report: &mut hmmm_obs::MetricsReport) {
+    report.derive_ratio("cache_hit_ratio", &[CTR_CACHE_LOOKUPS], &[CTR_SIM_DIRECT_EVALS]);
+    report.derive_ratio(
+        "videos_visited_ratio",
+        &[CTR_VIDEOS_VISITED],
+        &[CTR_VIDEOS_SKIPPED],
+    );
+}

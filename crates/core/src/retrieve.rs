@@ -17,17 +17,24 @@
 //! (`1` = paper-greedy) — the beam-width ablation is one of the benches.
 
 use crate::error::CoreError;
+use crate::metrics as m;
 use crate::model::Hmmm;
 use crate::sim::best_alternative;
 use crate::simcache::SimCache;
 use hmmm_media::EventKind;
+use hmmm_obs::RecorderHandle;
 use hmmm_query::CompiledPattern;
 use hmmm_storage::{Catalog, ShotId, VideoId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// Retrieval tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Plain data apart from [`RetrievalConfig::recorder`], which is an
+/// `Arc`-backed observability handle: cloning a config shares the sink,
+/// serializing one drops it (a deserialized config records nothing until
+/// a recorder is attached again).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetrievalConfig {
     /// Paths kept per lattice step (`1` = the paper's greedy traversal).
     pub beam_width: usize,
@@ -60,6 +67,56 @@ pub struct RetrievalConfig {
     /// pay. `false` forces direct evaluation everywhere (the
     /// cached-vs-uncached cost benches).
     pub use_sim_cache: bool,
+    /// Observability sink for every retrieval this config drives: spans
+    /// (per-stage and per-video timings), counters, and the cache/thread
+    /// gauges — see [`crate::metrics`] for the emitted names. The default
+    /// [`RecorderHandle::noop`] is near-zero-cost; attach an
+    /// [`hmmm_obs::InMemoryRecorder`] to collect a
+    /// [`hmmm_obs::MetricsReport`]. Skipped by serde (a deserialized
+    /// config is a noop until a recorder is attached).
+    pub recorder: RecorderHandle,
+}
+
+// Hand-written (de)serialization because the recorder handle is a runtime
+// sink, not data: serializing omits it, deserializing defaults it to noop
+// (and tolerates its absence, so configs persisted before the field existed
+// still load).
+impl Serialize for RetrievalConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("beam_width".into(), self.beam_width.to_value()),
+            (
+                "max_start_candidates".into(),
+                self.max_start_candidates.to_value(),
+            ),
+            ("per_video_results".into(), self.per_video_results.to_value()),
+            (
+                "require_first_event".into(),
+                self.require_first_event.to_value(),
+            ),
+            ("annotated_first".into(), self.annotated_first.to_value()),
+            ("threads".into(), self.threads.to_value()),
+            ("use_sim_cache".into(), self.use_sim_cache.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RetrievalConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::DeError::new(format!("RetrievalConfig: expected object, found {}", v.kind()))
+        })?;
+        Ok(RetrievalConfig {
+            beam_width: serde::__field(obj, "beam_width", "RetrievalConfig")?,
+            max_start_candidates: serde::__field(obj, "max_start_candidates", "RetrievalConfig")?,
+            per_video_results: serde::__field(obj, "per_video_results", "RetrievalConfig")?,
+            require_first_event: serde::__field(obj, "require_first_event", "RetrievalConfig")?,
+            annotated_first: serde::__field(obj, "annotated_first", "RetrievalConfig")?,
+            threads: serde::__field(obj, "threads", "RetrievalConfig")?,
+            use_sim_cache: serde::__field(obj, "use_sim_cache", "RetrievalConfig")?,
+            recorder: RecorderHandle::noop(),
+        })
+    }
 }
 
 impl Default for RetrievalConfig {
@@ -72,6 +129,7 @@ impl Default for RetrievalConfig {
             annotated_first: true,
             threads: None,
             use_sim_cache: true,
+            recorder: RecorderHandle::noop(),
         }
     }
 }
@@ -93,6 +151,13 @@ impl RetrievalConfig {
             beam_width: 1,
             ..RetrievalConfig::default()
         }
+    }
+
+    /// Attaches an observability sink (builder-style).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -123,8 +188,21 @@ pub struct RetrievalStats {
     pub videos_visited: usize,
     /// Videos skipped by the `B_2` first-event check.
     pub videos_skipped: usize,
-    /// Eq.-(14) similarity evaluations (cache builds charge theirs here).
+    /// Hot-path Eq.-(14) evaluations — scoring lookups answered by
+    /// evaluating the similarity directly because no cache was built
+    /// (cache disabled, or the annotation-bound regime gate skipped it).
     pub sim_evaluations: u64,
+    /// Eq.-(14) evaluations spent building the query-scoped [`SimCache`]
+    /// (zero when no cache was built). Kept separate from
+    /// [`RetrievalStats::sim_evaluations`] so cache *bypasses* (direct
+    /// hot-path work) and cache *build* work are never conflated;
+    /// [`RetrievalStats::total_sim_evaluations`] sums both.
+    pub cache_build_evaluations: u64,
+    /// Hot-path scoring lookups served from the cache. The table is dense
+    /// over the query's events, so every cached lookup is a hit; the
+    /// cache hit ratio is `cache_lookups / (cache_lookups +
+    /// sim_evaluations)`.
+    pub cache_lookups: u64,
     /// Lattice transitions examined (`A_1` lookups).
     pub transitions_examined: u64,
     /// Candidate sequences scored (`k − 1` in Step 8).
@@ -137,8 +215,24 @@ impl RetrievalStats {
         self.videos_visited += other.videos_visited;
         self.videos_skipped += other.videos_skipped;
         self.sim_evaluations += other.sim_evaluations;
+        self.cache_build_evaluations += other.cache_build_evaluations;
+        self.cache_lookups += other.cache_lookups;
         self.transitions_examined += other.transitions_examined;
         self.candidates_scored += other.candidates_scored;
+    }
+
+    /// Total Eq.-(14) evaluations this query paid for, wherever they were
+    /// spent: direct hot-path scoring plus the dense cache build. This is
+    /// the cost-model quantity the E5 experiments track.
+    pub fn total_sim_evaluations(&self) -> u64 {
+        self.sim_evaluations + self.cache_build_evaluations
+    }
+
+    /// Cache hit ratio over hot-path scoring lookups, `None` when no
+    /// lookups happened.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let total = self.cache_lookups + self.sim_evaluations;
+        (total > 0).then(|| self.cache_lookups as f64 / total as f64)
     }
 }
 
@@ -159,12 +253,15 @@ impl Scorer<'_> {
         }
     }
 
-    /// Eq.-(14) evaluations one lookup costs. Cache lookups are free at
-    /// query time — the dense build is charged once in `retrieve_within`.
-    fn lookup_cost(&self) -> u64 {
+    /// Charges one hot-path scoring lookup to the right counter: a cache
+    /// read counts as a hit ([`RetrievalStats::cache_lookups`]), a direct
+    /// call as an Eq.-(14) evaluation
+    /// ([`RetrievalStats::sim_evaluations`]). The dense build is charged
+    /// separately, once, in `retrieve_within`.
+    fn charge(&self, stats: &mut RetrievalStats) {
         match self {
-            Scorer::Cached(_) => 0,
-            Scorer::Direct(_) => 1,
+            Scorer::Cached(_) => stats.cache_lookups += 1,
+            Scorer::Direct(_) => stats.sim_evaluations += 1,
         }
     }
 }
@@ -216,6 +313,46 @@ impl<'a> Retriever<'a> {
     /// Runs the nine-step retrieval for `pattern`, returning the top
     /// `limit` candidates (Step 9) and the work counters.
     ///
+    /// # Examples
+    ///
+    /// Querying `free_kick -> goal` over the §4.2.1.1 three-shot video: the
+    /// Eqs.-12/13 lattice walk must find the `shot 0 → shot 1` path (the
+    /// free kick that leads to the annotated goal), scored by Eq. 15:
+    ///
+    /// ```
+    /// use hmmm_core::{build_hmmm, BuildConfig, RetrievalConfig, Retriever};
+    /// use hmmm_features::{FeatureId, FeatureVector};
+    /// use hmmm_media::EventKind;
+    /// use hmmm_query::QueryTranslator;
+    /// use hmmm_storage::Catalog;
+    ///
+    /// # fn feat(grass: f64, volume: f64) -> FeatureVector {
+    /// #     let mut f = FeatureVector::zeros();
+    /// #     f[FeatureId::GrassRatio] = grass;
+    /// #     f[FeatureId::VolumeMean] = volume;
+    /// #     f
+    /// # }
+    /// let mut catalog = Catalog::new();
+    /// catalog.add_video("v1", vec![
+    ///     (vec![EventKind::FreeKick], feat(0.3, 0.2)),
+    ///     (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8, 0.9)),
+    ///     (vec![EventKind::CornerKick], feat(0.5, 0.4)),
+    /// ]);
+    /// let model = build_hmmm(&catalog, &BuildConfig::default()).unwrap();
+    ///
+    /// let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    /// let pattern = translator.compile("free_kick -> goal").unwrap();
+    ///
+    /// let retriever = Retriever::new(&model, &catalog, RetrievalConfig::default()).unwrap();
+    /// let (results, stats) = retriever.retrieve(&pattern, 5).unwrap();
+    ///
+    /// assert!(!results.is_empty());
+    /// let best = &results[0];
+    /// assert_eq!(best.shots.len(), 2);                     // one shot per step
+    /// assert!(best.score > 0.0);                           // SS = Σ w_j (Eq. 15)
+    /// assert!(stats.total_sim_evaluations() > 0);          // Eq.-14 work was counted
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`CoreError::BadQuery`] for an empty pattern or out-of-range event
@@ -260,6 +397,8 @@ impl<'a> Retriever<'a> {
             }
         }
 
+        let obs = &self.config.recorder;
+        let root_span = obs.span(m::SPAN_RETRIEVE);
         let mut stats = RetrievalStats::default();
         let requested_threads = self.requested_threads();
 
@@ -275,17 +414,21 @@ impl<'a> Retriever<'a> {
         // dominate the whole query — so the cache is skipped there.
         let similarity_bound = !self.config.annotated_first;
         let cache = (self.config.use_sim_cache && similarity_bound).then(|| {
+            let _build_span = obs.span(m::SPAN_SIM_CACHE_BUILD);
             SimCache::build_with_threads(self.model, pattern, requested_threads)
         });
         let scorer = match &cache {
             Some(c) => {
-                stats.sim_evaluations += c.build_evaluations();
+                stats.cache_build_evaluations += c.build_evaluations();
                 Scorer::Cached(c)
             }
             None => Scorer::Direct(self.model),
         };
 
-        let order = self.video_order(pattern, videos, &mut stats);
+        let order = {
+            let _order_span = obs.span(m::SPAN_VIDEO_ORDER);
+            self.video_order(pattern, videos, &mut stats)
+        };
         let threads = requested_threads.min(order.len().max(1));
 
         // Tentpole layer 2: fan the per-video traversals across a scoped
@@ -293,7 +436,15 @@ impl<'a> Retriever<'a> {
         // catalog, pattern, config, video), each worker owns its results
         // and stats, and the merge below is a commutative fold + total-order
         // sort — so the ranking is byte-identical to the serial path.
+        //
+        // Observability stays off the per-transition hot path: workers batch
+        // counts in their local `RetrievalStats` and everything is flushed to
+        // the recorder once, below. Only the per-worker/per-video spans (and
+        // the busy-time sum feeding the utilization gauge) touch the clock,
+        // and only when a recorder is attached.
         let mut candidates: Vec<RankedPattern> = Vec::new();
+        let traverse_span = obs.span(m::SPAN_TRAVERSE);
+        let mut workers_busy_ns: u64 = 0;
         if threads <= 1 {
             for video in order {
                 let found = self.traverse_video(video, pattern, &scorer, &mut stats);
@@ -305,8 +456,11 @@ impl<'a> Retriever<'a> {
                 let scorer = &scorer;
                 let handles: Vec<_> = order
                     .chunks(chunk)
-                    .map(|videos| {
+                    .enumerate()
+                    .map(|(w, videos)| {
                         s.spawn(move || {
+                            let worker_span =
+                                self.config.recorder.span_labeled(m::SPAN_WORKER, w as u64);
                             let mut local = RetrievalStats::default();
                             let mut found = Vec::new();
                             for &video in videos {
@@ -314,22 +468,85 @@ impl<'a> Retriever<'a> {
                                     video, pattern, scorer, &mut local,
                                 ));
                             }
-                            (found, local)
+                            let busy_ns = worker_span.elapsed_ns();
+                            (found, local, busy_ns)
                         })
                     })
                     .collect();
                 for handle in handles {
-                    let (found, local) = handle.join().expect("retrieval worker panicked");
+                    let (found, local, busy_ns) =
+                        handle.join().expect("retrieval worker panicked");
                     candidates.extend(found);
                     stats.merge(local);
+                    workers_busy_ns += busy_ns;
                 }
             });
         }
+        let traverse_wall_ns = traverse_span.elapsed_ns();
+        drop(traverse_span);
 
         stats.candidates_scored = candidates.len();
-        candidates.sort_by(rank_order);
-        candidates.truncate(limit);
+        {
+            let _rank_span = obs.span(m::SPAN_RANK);
+            candidates.sort_by(rank_order);
+            candidates.truncate(limit);
+        }
+
+        if obs.is_enabled() {
+            self.flush_metrics(
+                &stats,
+                candidates.len(),
+                cache.is_some(),
+                similarity_bound,
+                threads,
+                traverse_wall_ns,
+                workers_busy_ns,
+            );
+            obs.observe_ns(m::HIST_RETRIEVE_LATENCY, root_span.elapsed_ns());
+        }
         Ok((candidates, stats))
+    }
+
+    /// Flushes one query's batched counters and gauges to the recorder.
+    /// Called once per retrieve, and only when a recorder is attached — the
+    /// hot loops never touch the handle directly.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_metrics(
+        &self,
+        stats: &RetrievalStats,
+        results_returned: usize,
+        cache_built: bool,
+        similarity_bound: bool,
+        threads: usize,
+        traverse_wall_ns: u64,
+        workers_busy_ns: u64,
+    ) {
+        let obs = &self.config.recorder;
+        obs.counter(m::CTR_QUERIES, 1);
+        obs.counter(m::CTR_VIDEOS_VISITED, stats.videos_visited as u64);
+        obs.counter(m::CTR_VIDEOS_SKIPPED, stats.videos_skipped as u64);
+        obs.counter(m::CTR_TRANSITIONS, stats.transitions_examined);
+        obs.counter(m::CTR_CANDIDATES, stats.candidates_scored as u64);
+        obs.counter(m::CTR_RESULTS, results_returned as u64);
+        obs.counter(m::CTR_SIM_DIRECT_EVALS, stats.sim_evaluations);
+        obs.counter(m::CTR_CACHE_BUILD_EVALS, stats.cache_build_evaluations);
+        obs.counter(m::CTR_CACHE_LOOKUPS, stats.cache_lookups);
+        if cache_built {
+            obs.counter(m::CTR_CACHE_BUILDS, 1);
+        } else if similarity_bound {
+            obs.counter(m::CTR_CACHE_BYPASSED_QUERIES, 1);
+        } else {
+            obs.counter(m::CTR_CACHE_REGIME_SKIPPED_QUERIES, 1);
+        }
+        obs.gauge(m::GAUGE_THREADS, threads as f64);
+        let utilization = if threads <= 1 {
+            1.0
+        } else if traverse_wall_ns == 0 {
+            0.0
+        } else {
+            workers_busy_ns as f64 / (traverse_wall_ns as f64 * threads as f64)
+        };
+        obs.gauge(m::GAUGE_THREAD_UTILIZATION, utilization);
     }
 
     /// The configured worker budget (`None` = all available cores).
@@ -410,6 +627,10 @@ impl<'a> Retriever<'a> {
         if n == 0 {
             return Vec::new();
         }
+        let _video_span = self
+            .config
+            .recorder
+            .span_labeled(m::SPAN_VIDEO, video.index() as u64);
         stats.videos_visited += 1;
         let local = &self.model.locals[video.index()];
         let shots = self.catalog.shots_of_video(video);
@@ -434,7 +655,7 @@ impl<'a> Retriever<'a> {
             // shots by features.
             let mut scored: Vec<(usize, f64)> = (0..n)
                 .map(|s| {
-                    stats.sim_evaluations += scorer.lookup_cost();
+                    scorer.charge(stats);
                     let (_, sim) = scorer
                         .best_alternative(base + s, first_alts)
                         .expect("alternatives checked non-empty");
@@ -453,7 +674,7 @@ impl<'a> Retriever<'a> {
                 .collect();
         }
         for s in starts {
-            stats.sim_evaluations += scorer.lookup_cost();
+            scorer.charge(stats);
             if let Some((event, sim)) = scorer.best_alternative(base + s, first_alts) {
                 let w = local.pi1.get(s) * sim;
                 if w > 0.0 {
@@ -507,7 +728,7 @@ impl<'a> Retriever<'a> {
                     if to == from && !same_shot_revisit_ok(&shot.events, entry, step) {
                         continue;
                     }
-                    stats.sim_evaluations += scorer.lookup_cost();
+                    scorer.charge(stats);
                     let Some((event, sim)) = scorer.best_alternative(base + to, &step.alternatives)
                     else {
                         continue;

@@ -16,6 +16,41 @@ pub const CENTROID_EPSILON: f64 = 1e-9;
 /// is non-negative; features with tiny centroids are excluded rather than
 /// dividing by ~0. Returns `0.0` for an event with no feature support
 /// (no annotated examples).
+///
+/// # Examples
+///
+/// On the §4.2.1.1 three-shot video, the goal shot scores higher against
+/// `goal` than the non-goal shots do, and an event with no annotated
+/// examples (empty `B_1'` centroid) scores zero everywhere:
+///
+/// ```
+/// use hmmm_core::{build_hmmm, similarity, BuildConfig};
+/// use hmmm_features::{FeatureId, FeatureVector};
+/// use hmmm_media::EventKind;
+/// use hmmm_storage::Catalog;
+///
+/// # fn feat(grass: f64, volume: f64) -> FeatureVector {
+/// #     let mut f = FeatureVector::zeros();
+/// #     f[FeatureId::GrassRatio] = grass;
+/// #     f[FeatureId::VolumeMean] = volume;
+/// #     f
+/// # }
+/// let mut catalog = Catalog::new();
+/// catalog.add_video("v1", vec![
+///     (vec![EventKind::FreeKick], feat(0.3, 0.2)),
+///     (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8, 0.9)),
+///     (vec![EventKind::CornerKick], feat(0.5, 0.4)),
+/// ]);
+/// let model = build_hmmm(&catalog, &BuildConfig::default()).unwrap();
+///
+/// let goal = EventKind::Goal.index();
+/// // Shot 1 carries the goal annotation; shot 0 is a free kick.
+/// assert!(similarity(&model, 1, goal) > similarity(&model, 0, goal));
+///
+/// // red_card never occurs in the archive → zero centroid → zero score.
+/// let red = EventKind::RedCard.index();
+/// assert_eq!(similarity(&model, 0, red), 0.0);
+/// ```
 pub fn similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
     let b1 = &model.b1[shot];
     let centroid = &model.b1_prime[event];

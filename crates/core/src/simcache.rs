@@ -42,6 +42,50 @@ pub struct SimCache {
 
 impl SimCache {
     /// Scores every shot against every event mentioned in `pattern`.
+    ///
+    /// # Examples
+    ///
+    /// On the §4.2.1.1 three-shot video, every cached score is bit-identical
+    /// to the direct calibrated Eq.-(14) evaluation, and the build cost is
+    /// `shots × supported query events`:
+    ///
+    /// ```
+    /// use hmmm_core::sim::calibrated_similarity;
+    /// use hmmm_core::{build_hmmm, BuildConfig, SimCache};
+    /// use hmmm_features::{FeatureId, FeatureVector};
+    /// use hmmm_media::EventKind;
+    /// use hmmm_query::QueryTranslator;
+    /// use hmmm_storage::Catalog;
+    ///
+    /// # fn feat(grass: f64, volume: f64) -> FeatureVector {
+    /// #     let mut f = FeatureVector::zeros();
+    /// #     f[FeatureId::GrassRatio] = grass;
+    /// #     f[FeatureId::VolumeMean] = volume;
+    /// #     f
+    /// # }
+    /// let mut catalog = Catalog::new();
+    /// catalog.add_video("v1", vec![
+    ///     (vec![EventKind::FreeKick], feat(0.3, 0.2)),
+    ///     (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8, 0.9)),
+    ///     (vec![EventKind::CornerKick], feat(0.5, 0.4)),
+    /// ]);
+    /// let model = build_hmmm(&catalog, &BuildConfig::default()).unwrap();
+    ///
+    /// let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    /// let pattern = translator.compile("free_kick -> goal").unwrap();
+    /// let cache = SimCache::build(&model, &pattern);
+    ///
+    /// for shot in 0..model.shot_count() {
+    ///     for event in [EventKind::FreeKick.index(), EventKind::Goal.index()] {
+    ///         assert_eq!(
+    ///             cache.calibrated(shot, event),
+    ///             calibrated_similarity(&model, shot, event),
+    ///         );
+    ///     }
+    /// }
+    /// // 3 shots × 2 supported query events.
+    /// assert_eq!(cache.build_evaluations(), 6);
+    /// ```
     pub fn build(model: &Hmmm, pattern: &CompiledPattern) -> Self {
         Self::build_with_threads(model, pattern, 1)
     }

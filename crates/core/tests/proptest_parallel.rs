@@ -71,7 +71,7 @@ proptest! {
     fn parallel_matches_serial(cat in catalog(), pat in pattern(), beam in 1usize..5, limit in 1usize..20) {
         let model = build_hmmm(&cat, &BuildConfig { unannotated_weight: 0.2, ..BuildConfig::default() }).unwrap();
         let serial_cfg = RetrievalConfig { beam_width: beam, threads: Some(1), ..RetrievalConfig::default() };
-        let parallel_cfg = RetrievalConfig { threads: Some(4), ..serial_cfg };
+        let parallel_cfg = RetrievalConfig { threads: Some(4), ..serial_cfg.clone() };
         let serial = Retriever::new(&model, &cat, serial_cfg).unwrap();
         let parallel = Retriever::new(&model, &cat, parallel_cfg).unwrap();
         let (s_results, s_stats) = serial.retrieve(&pat, limit).unwrap();
@@ -99,14 +99,50 @@ proptest! {
     fn cache_is_ranking_neutral(cat in catalog(), pat in pattern(), beam in 1usize..5) {
         let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
         let cached_cfg = RetrievalConfig { beam_width: beam, threads: Some(1), use_sim_cache: true, ..RetrievalConfig::content_only() };
-        let direct_cfg = RetrievalConfig { use_sim_cache: false, ..cached_cfg };
-        let (c_results, _) = Retriever::new(&model, &cat, cached_cfg).unwrap().retrieve(&pat, 10).unwrap();
+        let direct_cfg = RetrievalConfig { use_sim_cache: false, ..cached_cfg.clone() };
+        let (c_results, c_stats) = Retriever::new(&model, &cat, cached_cfg).unwrap().retrieve(&pat, 10).unwrap();
         let (d_results, d_stats) = Retriever::new(&model, &cat, direct_cfg).unwrap().retrieve(&pat, 10).unwrap();
         prop_assert_eq!(c_results, d_results);
         // The uncached path really did evaluate Eq. (14) on the hot path
-        // whenever it visited any video with a non-empty lattice.
+        // whenever it visited any video with a non-empty lattice — and it
+        // never charged cache counters, because there was no cache.
         if d_stats.videos_visited > 0 {
             prop_assert!(d_stats.sim_evaluations > 0);
         }
+        prop_assert_eq!(d_stats.cache_build_evaluations, 0);
+        prop_assert_eq!(d_stats.cache_lookups, 0);
+        // The cached run charged the dense build and served every hot-path
+        // lookup from the table — direct evaluations stay at zero, and the
+        // two runs agree on total hot-path lookups. The build only pays for
+        // *supported* events (non-zero centroid), so it can be free when the
+        // pattern names only events the archive never exhibits.
+        prop_assert_eq!(c_stats.sim_evaluations, 0);
+        let any_supported = pat.steps.iter()
+            .flat_map(|s| s.alternatives.iter().copied())
+            .any(|e| hmmm_core::sim::self_similarity(&model, e) > 0.0);
+        if any_supported {
+            prop_assert!(c_stats.cache_build_evaluations > 0);
+        } else {
+            prop_assert_eq!(c_stats.cache_build_evaluations, 0);
+        }
+        prop_assert_eq!(c_stats.cache_lookups, d_stats.sim_evaluations);
+    }
+
+    /// Attaching a recorder is a pure observation change: rankings and
+    /// work counters with metrics on are byte-identical to metrics off.
+    #[test]
+    fn metrics_are_ranking_neutral(cat in catalog(), pat in pattern(), beam in 1usize..5, threads in 1usize..5) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let quiet_cfg = RetrievalConfig { beam_width: beam, threads: Some(threads), ..RetrievalConfig::content_only() };
+        let recorder = hmmm_core::InMemoryRecorder::shared();
+        let observed_cfg = quiet_cfg.clone().with_recorder(recorder.handle());
+        let (q_results, q_stats) = Retriever::new(&model, &cat, quiet_cfg).unwrap().retrieve(&pat, 10).unwrap();
+        let (o_results, o_stats) = Retriever::new(&model, &cat, observed_cfg).unwrap().retrieve(&pat, 10).unwrap();
+        prop_assert_eq!(q_results, o_results);
+        prop_assert_eq!(q_stats, o_stats);
+        // And the recorder really saw the query.
+        let report = recorder.report();
+        prop_assert_eq!(report.counter("retrieve.queries"), 1);
+        prop_assert_eq!(report.counter("retrieve.videos_visited"), q_stats.videos_visited as u64);
     }
 }

@@ -1,0 +1,394 @@
+//! The accumulating [`InMemoryRecorder`] and its fixed-bucket
+//! [`Histogram`].
+
+use crate::recorder::{Recorder, RecorderHandle};
+use crate::report::{HistogramSummary, MetricsReport, SpanEntry, StageSummary};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets: bucket `i` counts observations
+/// in `[2^i, 2^{i+1})` nanoseconds (bucket 0 additionally holds 0 ns).
+/// 2^63 ns ≈ 292 years — the top bucket cannot overflow in practice.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-bucket latency histogram over nanosecond observations.
+///
+/// Buckets are powers of two, so recording is a `leading_zeros` and an
+/// increment — no allocation, no floating point. Quantiles are estimated
+/// by linear interpolation within the winning bucket, which is exact to
+/// within a factor of two (plenty for "where did the time go").
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, nanos: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(nanos);
+        self.min_ns = self.min_ns.min(nanos);
+        self.max_ns = self.max_ns.max(nanos);
+        self.buckets[bucket_index(nanos)] += 1;
+    }
+
+    /// Folds another histogram into this one (commutative, associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating), in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest observation (`0` when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest observation (`0` when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) in nanoseconds, by linear
+    /// interpolation inside the bucket where the rank lands; exact to
+    /// within the bucket's factor-of-two width. `0` when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                // The estimate is bucket-local; clamp to observed extrema
+                // so tiny histograms never report impossible values.
+                return (est as u64).clamp(self.min_ns(), self.max_ns.max(self.min_ns()));
+            }
+            seen += n;
+        }
+        self.max_ns
+    }
+
+    /// Snapshot for reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum_ns: self.sum_ns,
+            min_ns: self.min_ns(),
+            max_ns: self.max_ns,
+            p50_ns: self.quantile_ns(0.50),
+            p90_ns: self.quantile_ns(0.90),
+            p99_ns: self.quantile_ns(0.99),
+            buckets: self.buckets.to_vec(),
+        }
+    }
+}
+
+/// Bucket for an observation: `floor(log2(ns))`, with 0 ns in bucket 0.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        (63 - nanos.leading_zeros()) as usize
+    }
+}
+
+/// One completed span as stored by the recorder.
+#[derive(Debug, Clone)]
+struct RawSpan {
+    path: &'static str,
+    label: Option<u64>,
+    start_ns: u64,
+    wall_ns: u64,
+    thread: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: Vec<RawSpan>,
+}
+
+/// A [`Recorder`] that accumulates everything in memory.
+///
+/// All updates serialize behind one mutex whose critical sections are a
+/// handful of arithmetic operations; the instrumentation discipline (hot
+/// loops batch locally, flush per query) keeps contention negligible.
+/// Snapshot with [`InMemoryRecorder::report`] at any time — including
+/// while other threads are still recording.
+#[derive(Debug)]
+pub struct InMemoryRecorder {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        InMemoryRecorder {
+            epoch: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+}
+
+impl InMemoryRecorder {
+    /// A fresh recorder with its epoch at "now".
+    pub fn new() -> Self {
+        InMemoryRecorder::default()
+    }
+
+    /// A fresh recorder behind an [`Arc`], ready for
+    /// [`RecorderHandle::from_arc`] / [`InMemoryRecorder::handle`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(InMemoryRecorder::new())
+    }
+
+    /// A [`RecorderHandle`] feeding this recorder.
+    pub fn handle(self: &Arc<Self>) -> RecorderHandle {
+        RecorderHandle::from_arc(self.clone() as Arc<dyn Recorder>)
+    }
+
+    /// Clears every accumulated metric and span (the epoch is kept).
+    pub fn reset(&self) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        *s = State::default();
+    }
+
+    /// Snapshots everything recorded so far into a [`MetricsReport`]:
+    /// counters and gauges verbatim, histogram summaries, spans both raw
+    /// (start-ordered) and aggregated per path into [`StageSummary`] rows
+    /// (total-time-descending).
+    pub fn report(&self) -> MetricsReport {
+        let s = self.state.lock().expect("recorder poisoned");
+
+        let mut stages: BTreeMap<&'static str, StageSummary> = BTreeMap::new();
+        for span in &s.spans {
+            let e = stages.entry(span.path).or_insert_with(|| StageSummary {
+                path: span.path.to_string(),
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            e.count += 1;
+            e.total_ns = e.total_ns.saturating_add(span.wall_ns);
+            e.min_ns = e.min_ns.min(span.wall_ns);
+            e.max_ns = e.max_ns.max(span.wall_ns);
+        }
+        let mut stages: Vec<StageSummary> = stages.into_values().collect();
+        for st in &mut stages {
+            if st.count == 0 {
+                st.min_ns = 0;
+            }
+        }
+        stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.path.cmp(&b.path)));
+
+        let mut spans: Vec<SpanEntry> = s
+            .spans
+            .iter()
+            .map(|r| SpanEntry {
+                path: r.path.to_string(),
+                label: r.label,
+                start_ns: r.start_ns,
+                wall_ns: r.wall_ns,
+                thread: r.thread,
+            })
+            .collect();
+        spans.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then_with(|| a.path.cmp(&b.path))
+                .then_with(|| a.label.cmp(&b.label))
+        });
+
+        MetricsReport {
+            counters: s
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: s.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.summary()))
+                .collect(),
+            stages,
+            spans,
+            derived: BTreeMap::new(),
+        }
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        *s.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        s.gauges.insert(name, value);
+    }
+
+    fn observe_ns(&self, name: &'static str, nanos: u64) {
+        let mut s = self.state.lock().expect("recorder poisoned");
+        s.histograms.entry(name).or_default().observe(nanos);
+    }
+
+    fn record_span(&self, path: &'static str, label: Option<u64>, start: Instant, wall_ns: u64) {
+        let start_ns = u64::try_from(
+            start
+                .saturating_duration_since(self.epoch)
+                .as_nanos(),
+        )
+        .unwrap_or(u64::MAX);
+        let mut hasher = DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        let thread = hasher.finish();
+        let mut s = self.state.lock().expect("recorder poisoned");
+        s.spans.push(RawSpan {
+            path,
+            label,
+            start_ns,
+            wall_ns,
+            thread,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_tracks_extrema_and_sum() {
+        let mut h = Histogram::default();
+        for v in [10, 20, 30, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 1060);
+        assert_eq!(h.min_ns(), 10);
+        assert_eq!(h.max_ns(), 1000);
+        // Quantiles stay inside the observed range.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile_ns(q);
+            assert!((10..=1000).contains(&v), "q{q} -> {v}");
+        }
+        assert!(h.quantile_ns(0.25) <= h.quantile_ns(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [5, 15, 25] {
+            a.observe(v);
+        }
+        for v in [100, 200] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.sum_ns(), ba.sum_ns());
+        assert_eq!(ab.min_ns(), ba.min_ns());
+        assert_eq!(ab.max_ns(), ba.max_ns());
+        assert_eq!(ab.summary(), ba.summary());
+    }
+
+    #[test]
+    fn recorder_accumulates_and_resets() {
+        let r = InMemoryRecorder::shared();
+        let h = r.handle();
+        h.counter("c", 2);
+        h.counter("c", 3);
+        h.gauge("g", 7.5);
+        h.observe_ns("lat", 1_000);
+        {
+            let _s = h.span_labeled("stage/a", 4);
+        }
+        let report = r.report();
+        assert_eq!(report.counter("c"), 5);
+        assert_eq!(report.gauges.get("g"), Some(&7.5));
+        assert_eq!(report.histograms["lat"].count, 1);
+        let stage = report.stage("stage/a").expect("span recorded");
+        assert_eq!(stage.count, 1);
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].label, Some(4));
+
+        r.reset();
+        let empty = r.report();
+        assert_eq!(empty.counter("c"), 0);
+        assert!(empty.spans.is_empty());
+    }
+}

@@ -26,5 +26,8 @@ pub mod shared;
 
 pub use catalog::{Catalog, CatalogError, ShotRecord, VideoRecord};
 pub use ids::{ShotId, VideoId};
-pub use persist::{load_binary, load_json, save_binary, save_json, PersistError};
+pub use persist::{
+    load_binary, load_binary_observed, load_json, load_json_observed, save_binary,
+    save_binary_observed, save_json, save_json_observed, PersistError,
+};
 pub use shared::SharedCatalog;

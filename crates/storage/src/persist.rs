@@ -14,12 +14,22 @@
 
 use crate::catalog::Catalog;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hmmm_obs::RecorderHandle;
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"HMMM";
 const VERSION: u32 = 1;
+
+/// Span path for catalog saves (either format).
+pub const SPAN_SAVE: &str = "storage/save";
+/// Span path for catalog loads (either format).
+pub const SPAN_LOAD: &str = "storage/load";
+/// Counter: bytes written by observed saves.
+pub const CTR_BYTES_WRITTEN: &str = "storage.bytes_written";
+/// Counter: bytes read by observed loads.
+pub const CTR_BYTES_READ: &str = "storage.bytes_read";
 
 /// Errors from persistence operations.
 #[derive(Debug)]
@@ -80,7 +90,22 @@ impl From<serde_json::Error> for PersistError {
 ///
 /// I/O or serialization failures.
 pub fn save_json(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    save_json_observed(catalog, path, &RecorderHandle::noop())
+}
+
+/// [`save_json`] timed under [`SPAN_SAVE`], counting [`CTR_BYTES_WRITTEN`].
+///
+/// # Errors
+///
+/// Same as [`save_json`].
+pub fn save_json_observed(
+    catalog: &Catalog,
+    path: impl AsRef<Path>,
+    obs: &RecorderHandle,
+) -> Result<(), PersistError> {
+    let _span = obs.span(SPAN_SAVE);
     let json = serde_json::to_vec_pretty(catalog)?;
+    obs.counter(CTR_BYTES_WRITTEN, json.len() as u64);
     fs::write(path, json)?;
     Ok(())
 }
@@ -92,7 +117,21 @@ pub fn save_json(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), Persis
 /// I/O, parse, or validation failures (validation errors surface as
 /// [`PersistError::Format`]).
 pub fn load_json(path: impl AsRef<Path>) -> Result<Catalog, PersistError> {
+    load_json_observed(path, &RecorderHandle::noop())
+}
+
+/// [`load_json`] timed under [`SPAN_LOAD`], counting [`CTR_BYTES_READ`].
+///
+/// # Errors
+///
+/// Same as [`load_json`].
+pub fn load_json_observed(
+    path: impl AsRef<Path>,
+    obs: &RecorderHandle,
+) -> Result<Catalog, PersistError> {
+    let _span = obs.span(SPAN_LOAD);
     let data = fs::read(path)?;
+    obs.counter(CTR_BYTES_READ, data.len() as u64);
     let catalog: Catalog = serde_json::from_slice(&data)?;
     catalog
         .validate()
@@ -155,7 +194,22 @@ pub fn decode_binary(mut data: Bytes) -> Result<Catalog, PersistError> {
 ///
 /// I/O or encoding failures.
 pub fn save_binary(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    save_binary_observed(catalog, path, &RecorderHandle::noop())
+}
+
+/// [`save_binary`] timed under [`SPAN_SAVE`], counting [`CTR_BYTES_WRITTEN`].
+///
+/// # Errors
+///
+/// Same as [`save_binary`].
+pub fn save_binary_observed(
+    catalog: &Catalog,
+    path: impl AsRef<Path>,
+    obs: &RecorderHandle,
+) -> Result<(), PersistError> {
+    let _span = obs.span(SPAN_SAVE);
     let bytes = encode_binary(catalog)?;
+    obs.counter(CTR_BYTES_WRITTEN, bytes.len() as u64);
     fs::write(path, &bytes)?;
     Ok(())
 }
@@ -166,7 +220,21 @@ pub fn save_binary(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), Pers
 ///
 /// See [`decode_binary`].
 pub fn load_binary(path: impl AsRef<Path>) -> Result<Catalog, PersistError> {
+    load_binary_observed(path, &RecorderHandle::noop())
+}
+
+/// [`load_binary`] timed under [`SPAN_LOAD`], counting [`CTR_BYTES_READ`].
+///
+/// # Errors
+///
+/// Same as [`load_binary`].
+pub fn load_binary_observed(
+    path: impl AsRef<Path>,
+    obs: &RecorderHandle,
+) -> Result<Catalog, PersistError> {
+    let _span = obs.span(SPAN_LOAD);
     let data = fs::read(path)?;
+    obs.counter(CTR_BYTES_READ, data.len() as u64);
     decode_binary(Bytes::from(data))
 }
 

@@ -148,7 +148,7 @@ fn main() {
         "stage 4 · query 'free_kick -> goal': {} candidates in {:.1?} ({} sims)",
         results.len(),
         t.elapsed(),
-        stats.sim_evaluations
+        stats.total_sim_evaluations()
     );
     for (rank, r) in results.iter().enumerate() {
         println!(

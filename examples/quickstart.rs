@@ -56,7 +56,7 @@ fn main() {
     println!("\nquery: {query_text}");
     println!(
         "work: {} videos visited, {} skipped by B2 check, {} sim evaluations",
-        stats.videos_visited, stats.videos_skipped, stats.sim_evaluations
+        stats.videos_visited, stats.videos_skipped, stats.total_sim_evaluations()
     );
     println!("top {} candidates:", results.len());
     for (rank, r) in results.iter().enumerate() {

@@ -80,7 +80,7 @@ fn run_query(
     println!(
         "\nquery: {text}\n  {} candidates in {elapsed:.1?} ({} sims, {} videos visited, {} skipped), {}/{} ground-truth relevant",
         results.len(),
-        stats.sim_evaluations,
+        stats.total_sim_evaluations(),
         stats.videos_visited,
         stats.videos_skipped,
         relevant,

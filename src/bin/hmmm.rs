@@ -4,6 +4,7 @@
 //! hmmm generate --videos 8 --shots 100 --event-rate 0.1 --seed 42 --out db.bin
 //! hmmm inspect db.bin
 //! hmmm query db.bin "free_kick -> goal" --top 8 [--threads N] [--content-only] [--greedy]
+//!                   [--metrics-json out.json] [--trace]
 //! hmmm categories db.bin --k 4
 //! hmmm matn "foul ->[2] yellow_card|red_card -> player_change"
 //! ```
@@ -11,7 +12,10 @@
 //! The catalog file is the checksummed binary container of `hmmm-storage`
 //! (`.json` paths use the JSON codec instead).
 
-use hmmm_core::{build_hmmm, BuildConfig, CategoryLevel, RetrievalConfig, Retriever};
+use hmmm_core::{
+    build_hmmm, build_hmmm_observed, metrics, BuildConfig, CategoryLevel, InMemoryRecorder,
+    RecorderHandle, RetrievalConfig, Retriever,
+};
 use hmmm_media::{ArchiveConfig, EventKind, RenderConfig, SyntheticArchive};
 use hmmm_query::{parse_pattern, Matn, QueryTranslator};
 use hmmm_storage::Catalog;
@@ -50,9 +54,12 @@ USAGE:
   hmmm inspect <file>
       print catalog dimensions and per-event counts
   hmmm query <file> <pattern> [--top N] [--threads N] [--content-only]
-             [--greedy] [--no-sim-cache]
+             [--greedy] [--no-sim-cache] [--metrics-json <out>] [--trace]
       build the HMMM and run a temporal pattern query
       (--threads 0 = all cores, 1 = serial; default all cores)
+      --metrics-json writes the structured observability report (per-stage
+      wall times, counters, cache hit ratio, thread utilization) as JSON;
+      --trace prints the span tree of the whole run to stdout
   hmmm categories <file> [--k N]
       cluster videos into categories (the d=3 extension)
   hmmm matn <pattern>
@@ -85,7 +92,7 @@ fn positional(args: &[String], index: usize) -> Option<&String> {
             // Boolean switches consume one slot; valued flags two.
             let is_switch = matches!(
                 args[i].as_str(),
-                "--content-only" | "--greedy" | "--no-sim-cache"
+                "--content-only" | "--greedy" | "--no-sim-cache" | "--trace"
             );
             i += if is_switch { 1 } else { 2 };
             continue;
@@ -104,10 +111,14 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 }
 
 fn load(path: &str) -> Result<Catalog, String> {
+    load_observed(path, &RecorderHandle::noop())
+}
+
+fn load_observed(path: &str, obs: &RecorderHandle) -> Result<Catalog, String> {
     let catalog = if path.ends_with(".json") {
-        hmmm_storage::load_json(path)
+        hmmm_storage::load_json_observed(path, obs)
     } else {
-        hmmm_storage::load_binary(path)
+        hmmm_storage::load_binary_observed(path, obs)
     };
     catalog.map_err(|e| format!("loading {path}: {e}"))
 }
@@ -176,9 +187,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let path = positional(args, 0).ok_or("query requires a catalog path")?;
     let text = positional(args, 1).ok_or("query requires a pattern string")?;
     let top: usize = parse_num(&flag_value(args, "--top").unwrap_or("8".into()), "--top")?;
+    let metrics_out = flag_value(args, "--metrics-json");
+    let trace = flag_present(args, "--trace");
 
-    let catalog = load(path)?;
-    let model = build_hmmm(&catalog, &BuildConfig::default()).map_err(|e| e.to_string())?;
+    // One recorder observes the whole command — catalog load, model build,
+    // and the retrieval itself — so the report/trace covers end to end.
+    let recorder = (metrics_out.is_some() || trace).then(InMemoryRecorder::shared);
+    let obs = recorder
+        .as_ref()
+        .map(InMemoryRecorder::handle)
+        .unwrap_or_default();
+
+    let catalog = load_observed(path, &obs)?;
+    let model =
+        build_hmmm_observed(&catalog, &BuildConfig::default(), &obs).map_err(|e| e.to_string())?;
     let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
     let pattern = translator.compile(text).map_err(|e| e.to_string())?;
 
@@ -198,6 +220,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if flag_present(args, "--no-sim-cache") {
         config.use_sim_cache = false;
     }
+    config.recorder = obs;
     let retriever = Retriever::new(&model, &catalog, config).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
     let (results, stats) = retriever.retrieve(&pattern, top).map_err(|e| e.to_string())?;
@@ -207,7 +230,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     println!(
         "{} candidates in {elapsed:.2?} ({} sim evals, {}/{} videos visited)",
         results.len(),
-        stats.sim_evaluations,
+        stats.total_sim_evaluations(),
         stats.videos_visited,
         catalog.video_count()
     );
@@ -224,6 +247,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             })
             .collect();
         println!("  #{rank} v{} {:.5}  {}", r.video.index(), r.score, steps.join(" -> "));
+    }
+
+    if let Some(recorder) = recorder {
+        let mut report = recorder.report();
+        metrics::derive_retrieval_metrics(&mut report);
+        if trace {
+            println!("\ntrace:");
+            print!("{}", report.render_trace());
+        }
+        if let Some(out) = metrics_out {
+            let json = report
+                .to_json_pretty()
+                .map_err(|e| format!("encoding metrics: {e}"))?;
+            std::fs::write(&out, json + "\n").map_err(|e| format!("writing {out}: {e}"))?;
+            println!("wrote metrics report to {out}");
+        }
     }
     Ok(())
 }

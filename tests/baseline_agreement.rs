@@ -72,10 +72,10 @@ fn hmmm_examines_fewer_transitions_than_exhaustive() {
     // in the traversal itself: the beam examines far fewer lattice
     // transitions than brute-force enumeration.
     assert!(
-        hs.sim_evaluations <= es.sim_evaluations,
+        hs.total_sim_evaluations() <= es.total_sim_evaluations(),
         "HMMM sims {} > exhaustive sims {}",
-        hs.sim_evaluations,
-        es.sim_evaluations
+        hs.total_sim_evaluations(),
+        es.total_sim_evaluations()
     );
     assert!(
         hs.transitions_examined < es.transitions_examined,

@@ -32,7 +32,7 @@ fn end_to_end_retrieval_finds_true_patterns() {
     let pattern = translator().compile("goal").unwrap();
     let (results, stats) = retriever.retrieve(&pattern, 8).unwrap();
     assert!(!results.is_empty(), "no goals retrieved");
-    assert!(stats.sim_evaluations > 0);
+    assert!(stats.total_sim_evaluations() > 0);
 
     // Every returned single-event candidate must be a true goal shot
     // (ground-truth annotations, so the oracle is exact).
