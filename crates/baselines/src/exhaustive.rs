@@ -1,6 +1,6 @@
 //! Brute-force content scan.
 
-use hmmm_core::{CoreError, Hmmm, RankedPattern, RetrievalStats, SimCache};
+use hmmm_core::{CoreError, Hmmm, QueryBounds, RankedPattern, RetrievalStats, SharedTopK, SimCache};
 use hmmm_query::CompiledPattern;
 use hmmm_storage::{Catalog, ShotId};
 use serde::{Deserialize, Serialize};
@@ -11,12 +11,22 @@ pub struct ExhaustiveConfig {
     /// Hard cap on scored combinations per video (the scan aborts the
     /// video's enumeration beyond it — brute force must stay finite).
     pub max_combinations_per_video: u64,
+    /// Branch-and-bound against the running k-th best score (default
+    /// `false`: the baseline's point is the unpruned cost curve).
+    ///
+    /// Unlike the beam traversal, the DFS has no width trims, so the
+    /// classic frame-level cut is exact here: dropping one enumeration
+    /// frame whose admissible completion bound is below the current k-th
+    /// best cannot change which combinations the other frames reach.
+    /// Rankings are identical either way; only the work counters move.
+    pub prune: bool,
 }
 
 impl Default for ExhaustiveConfig {
     fn default() -> Self {
         ExhaustiveConfig {
             max_combinations_per_video: 5_000_000,
+            prune: false,
         }
     }
 }
@@ -56,6 +66,11 @@ impl<'a> ExhaustiveRetriever<'a> {
 
     /// Scores all combinations; returns the top `limit` and work counters.
     ///
+    /// With [`ExhaustiveConfig::prune`] the rankings are still exact as
+    /// long as the per-video combination budget does not bind (pruning
+    /// saves emissions, so a budget-capped pruned run can reach deeper
+    /// than the capped unpruned run would).
+    ///
     /// # Errors
     ///
     /// [`CoreError::BadQuery`] for empty patterns.
@@ -77,8 +92,11 @@ impl<'a> ExhaustiveRetriever<'a> {
         let cache = SimCache::build(self.model, pattern);
         stats.cache_build_evaluations += cache.build_evaluations();
 
+        // Running k-th-best register for the optional branch-and-bound cut
+        // (same primitive the beam traversal prunes against).
+        let register = self.config.prune.then(|| SharedTopK::new(limit));
+
         for video in self.catalog.videos() {
-            stats.videos_visited += 1;
             let base = video.shot_range.start;
             let n = video.shot_count();
             let local = &self.model.locals[video.id.index()];
@@ -97,6 +115,35 @@ impl<'a> ExhaustiveRetriever<'a> {
                 })
                 .collect();
 
+            // Per-video completion bounds from this video's own step maxima
+            // (tighter than the archive-wide maxima the beam traversal uses,
+            // since `step_sims` is already dense here).
+            let bounds = register.as_ref().map(|_| {
+                let step_max: Vec<f64> = step_sims
+                    .iter()
+                    .map(|col| col.iter().map(|&(_, s)| s).fold(0.0, f64::max))
+                    .collect();
+                let vb = QueryBounds::new(step_max).for_video(local);
+                // Refine the whole-video bound with the exact per-shot
+                // start fold — `step_sims` is dense, so this is free.
+                let chain0 = vb.chain0();
+                let raw_ub = step_sims[0]
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &(_, sim))| {
+                        local.pi1.get(s) * sim * (1.0 + local.a1_row_max[s] * chain0)
+                    })
+                    .fold(0.0, f64::max);
+                vb.with_video_ub(raw_ub)
+            });
+            if let (Some(reg), Some(vb)) = (register.as_ref(), bounds.as_ref()) {
+                if vb.video_ub() < reg.threshold() {
+                    stats.videos_skipped_by_bound += 1;
+                    continue;
+                }
+            }
+            stats.videos_visited += 1;
+
             // Depth-first enumeration of ordered combinations.
             let mut budget = self.config.max_combinations_per_video;
             let mut stack: Vec<SearchFrame> = Vec::new();
@@ -111,9 +158,25 @@ impl<'a> ExhaustiveRetriever<'a> {
                 if budget == 0 {
                     break;
                 }
+                // Frame cut: the best completion of this frame cannot reach
+                // the current k-th best, and the DFS has no trims for the
+                // drop to perturb — skip it and everything below it.
+                if let (Some(reg), Some(vb)) = (register.as_ref(), bounds.as_ref()) {
+                    let from = *path.last().expect("path non-empty");
+                    let row_max = local.a1_row_max[from];
+                    if vb.entry_ub(score, w, depth - 1, row_max) < reg.threshold() {
+                        stats.entries_pruned += 1;
+                        continue;
+                    }
+                }
                 if depth == pattern.steps.len() {
                     budget -= 1;
                     stats.candidates_scored += 1;
+                    if let Some(reg) = register.as_ref() {
+                        if reg.offer(score) {
+                            stats.threshold_raises += 1;
+                        }
+                    }
                     results.push(RankedPattern {
                         video: video.id,
                         shots: path.iter().map(|&s| ShotId(base + s)).collect(),
@@ -245,10 +308,40 @@ mod tests {
         let pattern = translator().compile("goal").unwrap();
         let tight = ExhaustiveConfig {
             max_combinations_per_video: 1,
+            ..ExhaustiveConfig::default()
         };
         let ex = ExhaustiveRetriever::new(&model, &c, tight).unwrap();
         let (_, stats) = ex.retrieve(&pattern, 10).unwrap();
         assert!(stats.candidates_scored <= 1);
+    }
+
+    #[test]
+    fn branch_and_bound_is_ranking_exact() {
+        let mut c = catalog();
+        // A second, weaker video gives the bound something to skip once the
+        // first video has filled the register.
+        c.add_video(
+            "m2",
+            vec![
+                (vec![EventKind::FreeKick], feat(0.2, 0.1)),
+                (vec![EventKind::Goal], feat(0.3, 0.2)),
+            ],
+        );
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("free_kick -> goal").unwrap();
+        let plain = ExhaustiveRetriever::new(&model, &c, ExhaustiveConfig::default()).unwrap();
+        let pruned_cfg = ExhaustiveConfig {
+            prune: true,
+            ..ExhaustiveConfig::default()
+        };
+        let pruned = ExhaustiveRetriever::new(&model, &c, pruned_cfg).unwrap();
+        for limit in [1, 2, 5, 10] {
+            let (a, a_stats) = plain.retrieve(&pattern, limit).unwrap();
+            let (b, b_stats) = pruned.retrieve(&pattern, limit).unwrap();
+            assert_eq!(a, b, "limit {limit}");
+            assert_eq!(a_stats.entries_pruned, 0);
+            assert!(b_stats.transitions_examined <= a_stats.transitions_examined);
+        }
     }
 
     #[test]

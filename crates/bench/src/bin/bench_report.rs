@@ -11,8 +11,14 @@
 //! ```text
 //! cargo run --release -p hmmm-bench --bin bench_report [-- --videos N --shots N --out FILE]
 //! ```
+//!
+//! `--check` additionally runs the exactness smoke for CI: pruned rankings
+//! must match unpruned rankings across threads × cache configurations, and
+//! the pruned serial run on the skewed fixture must actually prune
+//! (nonzero `entries_pruned + videos_skipped_by_bound`) — a silent no-op
+//! prune is as much a regression as a wrong one. Exits nonzero on failure.
 
-use hmmm_bench::{standard_catalog, DataConfig};
+use hmmm_bench::{skewed_catalog, DataConfig};
 use hmmm_core::metrics as m;
 use hmmm_core::{
     build_hmmm, BuildConfig, InMemoryRecorder, MetricsReport, RetrievalConfig, Retriever,
@@ -26,6 +32,8 @@ use serde::Serialize;
 struct Sample {
     threads: usize,
     sim_cache: bool,
+    /// Exact top-k threshold pruning on (`RetrievalConfig::prune`).
+    prune: bool,
     /// Best-of-N wall clock, seconds (min of the latency histogram).
     seconds: f64,
     /// Archive shots scanned per second at that wall clock.
@@ -41,6 +49,12 @@ struct Sample {
     /// Per-stage wall time across all repeats, nanoseconds, keyed by span
     /// path (`retrieve/sim_cache_build`, `retrieve/traverse`, …).
     stage_total_ns: Vec<(String, u64)>,
+    /// Videos skipped whole by the admissible bound, total across repeats.
+    videos_skipped_by_bound: u64,
+    /// Beam entries / candidates cut by the threshold, total across repeats.
+    entries_pruned: u64,
+    /// k-th-best threshold raises, total across repeats.
+    threshold_raises: u64,
 }
 
 /// The whole report.
@@ -57,6 +71,9 @@ struct Report {
     samples: Vec<Sample>,
     /// Serial speedup from the sim cache alone (uncached / cached seconds).
     cache_speedup_serial: f64,
+    /// Serial speedup from the exact top-k prune alone
+    /// (unpruned / pruned seconds, both cached).
+    prune_speedup_serial: f64,
 }
 
 fn arg(name: &str) -> Option<String> {
@@ -90,13 +107,20 @@ fn main() {
     const QUERY: &str = "goal -> goal";
     const REPEATS: u32 = 5;
 
-    eprintln!("building {videos} videos × {shots} shots…");
-    let (_, catalog) = standard_catalog(DataConfig {
-        videos,
-        shots_per_video: shots,
-        event_rate: 0.08,
-        seed: 0xBE7C,
-    });
+    // Skewed archive (half the videos rich in events, half nearly bare):
+    // the realistic shape for top-k retrieval, and the one where the
+    // whole-video bound skip has something to skip — on a uniform archive
+    // every video's upper bound clears the threshold by construction.
+    eprintln!("building {videos} videos × {shots} shots (half weak)…");
+    let catalog = skewed_catalog(
+        DataConfig {
+            videos,
+            shots_per_video: shots,
+            event_rate: 0.08,
+            seed: 0xBE7C,
+        },
+        0.005,
+    );
     let model = build_hmmm(&catalog, &BuildConfig::default()).expect("non-empty");
     let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
     let pattern = translator.compile(QUERY).expect("valid");
@@ -115,11 +139,16 @@ fn main() {
         report
     };
 
-    let sample = |threads: usize, sim_cache: bool, metrics: &MetricsReport, serial_secs: f64| {
+    let sample = |threads: usize,
+                  sim_cache: bool,
+                  prune: bool,
+                  metrics: &MetricsReport,
+                  serial_secs: f64| {
         let secs = best_seconds(metrics);
         Sample {
             threads,
             sim_cache,
+            prune,
             seconds: secs,
             shots_per_sec: total_shots as f64 / secs,
             speedup_vs_serial: serial_secs / secs,
@@ -134,9 +163,19 @@ fn main() {
                 .iter()
                 .map(|s| (s.path.clone(), s.total_ns))
                 .collect(),
+            videos_skipped_by_bound: metrics.counter(m::CTR_VIDEOS_SKIPPED_BY_BOUND),
+            entries_pruned: metrics.counter(m::CTR_ENTRIES_PRUNED),
+            threshold_raises: metrics.counter(m::CTR_THRESHOLD_RAISES),
         }
     };
 
+    if std::env::args().any(|a| a == "--check") {
+        check_pruning_exactness(&model, &catalog, &pattern);
+    }
+
+    // Serial cached runs, pruned (the default) and unpruned, anchor the two
+    // single-knob speedups; the thread sweep runs with pruning on because
+    // that is the production configuration.
     let serial_cfg = RetrievalConfig {
         threads: Some(1),
         ..RetrievalConfig::content_only()
@@ -145,11 +184,19 @@ fn main() {
     let serial_secs = best_seconds(&serial_metrics);
     let uncached_metrics = time(RetrievalConfig {
         use_sim_cache: false,
-        ..serial_cfg
+        ..serial_cfg.clone()
     });
     let uncached_secs = best_seconds(&uncached_metrics);
+    let unpruned_metrics = time(RetrievalConfig {
+        prune: false,
+        ..serial_cfg
+    });
+    let unpruned_secs = best_seconds(&unpruned_metrics);
 
-    let mut samples = vec![sample(1, false, &uncached_metrics, serial_secs)];
+    let mut samples = vec![
+        sample(1, false, true, &uncached_metrics, serial_secs),
+        sample(1, true, false, &unpruned_metrics, serial_secs),
+    ];
     for threads in [1usize, 2, 4, 8] {
         let metrics = if threads == 1 {
             serial_metrics.clone()
@@ -159,7 +206,7 @@ fn main() {
                 ..RetrievalConfig::content_only()
             })
         };
-        samples.push(sample(threads, true, &metrics, serial_secs));
+        samples.push(sample(threads, true, true, &metrics, serial_secs));
     }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -171,23 +218,32 @@ fn main() {
         host_cpus,
         repeats: REPEATS,
         cache_speedup_serial: uncached_secs / serial_secs,
+        prune_speedup_serial: unpruned_secs / serial_secs,
         samples,
     };
 
     for s in &report.samples {
         println!(
-            "threads {} cache {:<3}: {:>8.2} ms, {:>12.0} shots/s, {:.2}x vs serial, util {:.2}",
+            "threads {} cache {:<3} prune {:<3}: {:>8.2} ms, {:>12.0} shots/s, {:.2}x vs serial, \
+             util {:.2}, {} bound-skips, {} pruned",
             s.threads,
             if s.sim_cache { "on" } else { "off" },
+            if s.prune { "on" } else { "off" },
             s.seconds * 1e3,
             s.shots_per_sec,
             s.speedup_vs_serial,
             s.thread_utilization,
+            s.videos_skipped_by_bound,
+            s.entries_pruned,
         );
     }
     println!(
         "sim cache alone (serial): {:.2}x",
         report.cache_speedup_serial
+    );
+    println!(
+        "top-k prune alone (serial): {:.2}x",
+        report.prune_speedup_serial
     );
     println!(
         "host cpus: {host_cpus}{}",
@@ -202,4 +258,73 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, json + "\n").expect("write report");
     println!("wrote {out}");
+}
+
+/// CI smoke for the exact top-k prune: pruned rankings must equal unpruned
+/// rankings on this fixture across threads × cache × regime, and the
+/// serial pruned run must show nonzero pruning work. Aborts the process
+/// with exit code 1 on any violation.
+fn check_pruning_exactness(
+    model: &hmmm_core::Hmmm,
+    catalog: &hmmm_storage::Catalog,
+    pattern: &hmmm_query::CompiledPattern,
+) {
+    eprintln!("checking pruned vs unpruned rankings…");
+    let mut failures = 0usize;
+    for content_only in [true, false] {
+        for (threads, cache) in [(1usize, true), (1, false), (4, true)] {
+            let base = if content_only {
+                RetrievalConfig::content_only()
+            } else {
+                RetrievalConfig::default()
+            };
+            let pruned_cfg = RetrievalConfig {
+                threads: Some(threads),
+                use_sim_cache: cache,
+                prune: true,
+                ..base
+            };
+            let unpruned_cfg = RetrievalConfig {
+                prune: false,
+                ..pruned_cfg.clone()
+            };
+            let (pruned, p_stats) = Retriever::new(model, catalog, pruned_cfg)
+                .expect("consistent")
+                .retrieve(pattern, 10)
+                .expect("valid");
+            let (unpruned, _) = Retriever::new(model, catalog, unpruned_cfg)
+                .expect("consistent")
+                .retrieve(pattern, 10)
+                .expect("valid");
+            if pruned != unpruned {
+                eprintln!(
+                    "FAIL: pruned ranking differs (content_only={content_only} \
+                     threads={threads} cache={cache})"
+                );
+                failures += 1;
+            }
+            // The skewed fixture is adversarial by construction: far more
+            // candidates than k and half the videos nearly bare of events,
+            // so a healthy prune must fire somewhere.
+            if content_only && threads == 1 && cache {
+                let work = p_stats.entries_pruned + p_stats.videos_skipped_by_bound as u64;
+                if work == 0 {
+                    eprintln!("FAIL: serial pruned run pruned nothing (prune is a no-op?)");
+                    failures += 1;
+                } else {
+                    eprintln!(
+                        "  serial prune work: {} entries, {} video skips, {} raises",
+                        p_stats.entries_pruned,
+                        p_stats.videos_skipped_by_bound,
+                        p_stats.threshold_raises
+                    );
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("pruning exactness check FAILED ({failures} violations)");
+        std::process::exit(1);
+    }
+    eprintln!("pruning exactness check passed");
 }

@@ -112,6 +112,55 @@ fn main() {
     }
     println!("{t}");
 
+    // --- Sweep 4: exact top-k pruning on/off across threads and the sim
+    // cache. Rankings are identical by construction (the prune is exact);
+    // the table shows what the admissible bounds buy in raw work.
+    println!("\n## cost vs top-k pruning (20 videos × 200 shots, content-only 'goal -> free_kick', top-10)\n");
+    let mut t = Table::new(&[
+        "prune",
+        "threads",
+        "sim cache",
+        "latency",
+        "sim evals",
+        "transitions",
+        "bound skips",
+        "pruned",
+        "top score",
+    ]);
+    for (prune, threads, cached) in [
+        (false, Some(1), true),
+        (true, Some(1), true),
+        (false, Some(1), false),
+        (true, Some(1), false),
+        (false, Some(4), true),
+        (true, Some(4), true),
+    ] {
+        let cfg = RetrievalConfig {
+            threads,
+            use_sim_cache: cached,
+            prune,
+            ..RetrievalConfig::content_only()
+        };
+        let r = Retriever::new(&model, &catalog, cfg).expect("consistent");
+        let t0 = Instant::now();
+        let (results, stats) = r.retrieve(&two_step, 10).expect("valid");
+        let dt = t0.elapsed();
+        t.row_owned(vec![
+            if prune { "on" } else { "off" }.to_string(),
+            threads.map_or("auto".into(), |n| n.to_string()),
+            if cached { "on" } else { "off" }.to_string(),
+            format!("{dt:.2?}"),
+            stats.total_sim_evaluations().to_string(),
+            stats.transitions_examined.to_string(),
+            stats.videos_skipped_by_bound.to_string(),
+            stats.entries_pruned.to_string(),
+            results
+                .first()
+                .map_or("—".into(), |r| format!("{:.5}", r.score)),
+        ]);
+    }
+    println!("{t}");
+
     // --- Ablation: beam width.
     println!("\n## beam-width ablation (query: 'free_kick -> goal -> corner_kick')\n");
     let pattern = translator

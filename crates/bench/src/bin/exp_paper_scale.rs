@@ -80,8 +80,13 @@ fn main() {
 
     let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
     let pattern = translator.compile("goal -> free_kick").expect("valid");
+    // Pruning off for the serial/parallel comparison: the fan-out is a pure
+    // scheduling change only then, so *stats* compare equal too. With the
+    // prune on the counters race the shared threshold across workers
+    // (rankings never do — asserted separately below).
     let serial_cfg = RetrievalConfig {
         threads: Some(1),
+        prune: false,
         ..RetrievalConfig::default()
     };
     let retriever = Retriever::new(&model, &catalog, serial_cfg).expect("consistent");
@@ -102,6 +107,7 @@ fn main() {
 
     let parallel_cfg = RetrievalConfig {
         threads,
+        prune: false,
         ..RetrievalConfig::default()
     };
     let retriever = Retriever::new(&model, &catalog, parallel_cfg).expect("consistent");
@@ -116,4 +122,18 @@ fn main() {
     );
     assert_eq!(p_results, results, "parallel ranking must match serial");
     assert_eq!(p_stats, stats, "parallel stats must match serial");
+
+    // And the production default (exact top-k pruning on) returns the same
+    // ranking at paper scale — the prune only moves work counters.
+    let pruned_cfg = RetrievalConfig {
+        threads,
+        ..RetrievalConfig::default()
+    };
+    let retriever = Retriever::new(&model, &catalog, pruned_cfg).expect("consistent");
+    let (pr_results, pr_stats) = retriever.retrieve(&pattern, 8).expect("valid");
+    assert_eq!(pr_results, results, "pruned ranking must match unpruned");
+    println!(
+        "pruned default run: {} bound-skipped videos, {} entries pruned",
+        pr_stats.videos_skipped_by_bound, pr_stats.entries_pruned
+    );
 }

@@ -56,6 +56,43 @@ pub fn standard_catalog(config: DataConfig) -> (SyntheticArchive, Catalog) {
     (archive, catalog)
 }
 
+/// A *skewed* archive: half the videos at the configured event rate, half
+/// at `weak_rate` (interleaved, so visit order carries no information).
+///
+/// `standard_catalog` gives every video the same event density, which makes
+/// whole-video retrieval bounds structurally unprunable — each video's best
+/// start candidate is about as good as every other's, so no admissible
+/// upper bound can dip below the running top-k threshold. Real archives are
+/// skewed: most videos barely exhibit any given queried event. This is the
+/// fixture for measuring (and smoke-testing) the whole-video bound skip.
+pub fn skewed_catalog(config: DataConfig, weak_rate: f64) -> Catalog {
+    let weak_videos = config.videos / 2;
+    let (_, strong) = standard_catalog(DataConfig {
+        videos: config.videos - weak_videos,
+        ..config
+    });
+    let (_, weak) = standard_catalog(DataConfig {
+        videos: weak_videos,
+        event_rate: weak_rate,
+        seed: config.seed ^ 0x5EED_CAFE,
+        ..config
+    });
+    let mut merged = Catalog::new();
+    for i in 0..config.videos.div_ceil(2) {
+        for (tag, part) in [("strong", &strong), ("weak", &weak)] {
+            if let Some(video) = part.videos().get(i) {
+                let shots = part
+                    .shots_of_video(video.id)
+                    .iter()
+                    .map(|s| (s.events.clone(), s.features))
+                    .collect();
+                merged.add_video(format!("{tag}{i}"), shots);
+            }
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +106,35 @@ mod tests {
         });
         assert_eq!(catalog.shot_count(), archive.total_shots());
         assert!(catalog.validate().is_ok());
+    }
+
+    #[test]
+    fn skewed_catalog_interleaves_strong_and_weak() {
+        let c = skewed_catalog(
+            DataConfig {
+                videos: 6,
+                shots_per_video: 12,
+                ..DataConfig::default()
+            },
+            0.0,
+        );
+        assert_eq!(c.videos().len(), 6);
+        assert!(c.validate().is_ok());
+        assert!(c.videos()[0].name.starts_with("strong"));
+        assert!(c.videos()[1].name.starts_with("weak"));
+        // At weak_rate 0 the weak half carries no annotations at all.
+        let weak_events: usize = c
+            .videos()
+            .iter()
+            .filter(|v| v.name.starts_with("weak"))
+            .map(|v| {
+                c.shots_of_video(v.id)
+                    .iter()
+                    .map(|s| s.events.len())
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(weak_events, 0);
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod data;
 pub mod metrics;
 pub mod table;
 
-pub use data::{standard_catalog, DataConfig};
+pub use data::{skewed_catalog, standard_catalog, DataConfig};
 pub use metrics::{mean_reciprocal_rank, precision_at_k, QualityReport};
 pub use table::Table;

@@ -217,7 +217,7 @@ pub fn build_hmmm_observed(
                     .collect();
                 let a1 = a1_initial_from_counts(&ne)?;
                 let pi1 = ProbVector::uniform(ne.len())?;
-                Ok(LocalMmm { a1, pi1 })
+                Ok(LocalMmm::new(a1, pi1))
             })
             .collect::<Result<Vec<_>, CoreError>>()?
     };

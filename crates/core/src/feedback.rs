@@ -289,6 +289,9 @@ impl FeedbackLog {
                 }
             }
             local.pi1 = ProbVector::from_counts(&blended)?;
+            // Both matrices just moved; stale maxima would make the top-k
+            // pruning bounds inadmissible (validate_against checks this).
+            local.refresh_bounds();
             videos_updated += 1;
         }
 

@@ -29,6 +29,9 @@
 //!   traversal (Figure 3) with edge weights (Eqs. 12–13), pattern scores
 //!   (Eq. 15), `A_2`-guided video ordering (optionally fanned across a
 //!   scoped-thread worker pool), and cost accounting.
+//! * [`bounds`] / [`topk`] — the exact top-k pruning machinery: admissible
+//!   Eq.-13 completion bounds and the lock-free shared k-th-best-score
+//!   register the traversal prunes against.
 //! * [`feedback`] — positive-pattern logging and the offline learning
 //!   updates (Eqs. 1–2, 4, 5–6, 8–10).
 //! * [`simulate`] — a ground-truth relevance oracle standing in for the
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod cluster;
 pub mod construct;
 pub mod error;
@@ -51,10 +55,12 @@ pub mod retrieve;
 pub mod sim;
 pub mod simcache;
 pub mod simulate;
+pub mod topk;
 
 pub use hmmm_obs as obs;
 pub use hmmm_obs::{InMemoryRecorder, MetricsReport, RecorderHandle};
 
+pub use bounds::{QueryBounds, VideoBounds};
 pub use cluster::CategoryLevel;
 pub use construct::{build_hmmm, build_hmmm_observed, BuildConfig};
 pub use error::CoreError;
@@ -64,4 +70,5 @@ pub use model::{Hmmm, LocalMmm, ModelSummary};
 pub use retrieve::{RankedPattern, RetrievalConfig, RetrievalStats, Retriever};
 pub use sim::similarity;
 pub use simcache::SimCache;
+pub use topk::SharedTopK;
 pub use simulate::{FeedbackSimulator, OracleConfig};

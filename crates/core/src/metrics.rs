@@ -43,6 +43,24 @@ pub const CTR_CANDIDATES: &str = "retrieve.candidates_scored";
 /// Ranked patterns actually returned (after Step 9's `limit`).
 pub const CTR_RESULTS: &str = "retrieve.results_returned";
 
+// --- Exact top-k pruning ---------------------------------------------------
+
+/// Videos skipped whole because their admissible upper bound fell below the
+/// shared top-k threshold (`RetrievalStats::videos_skipped_by_bound`).
+pub const CTR_VIDEOS_SKIPPED_BY_BOUND: &str = "retrieve.videos_skipped_by_bound";
+/// Beam entries and selected candidates dropped by the threshold cut
+/// (`RetrievalStats::entries_pruned`).
+pub const CTR_ENTRIES_PRUNED: &str = "retrieve.entries_pruned";
+/// Times an emitted candidate raised the shared k-th-best threshold
+/// (`RetrievalStats::threshold_raises`).
+pub const CTR_THRESHOLD_RAISES: &str = "retrieve.threshold_raises";
+/// Eq.-(14) evaluations spent deriving per-event bound maxima without a
+/// cache (`RetrievalStats::bound_evaluations`).
+pub const CTR_BOUND_EVALS: &str = "sim.bound_evaluations";
+/// Final value of the shared k-th-best threshold after the last pruned
+/// retrieve (0.0 until `limit` positive-score candidates were found).
+pub const GAUGE_PRUNE_THRESHOLD: &str = "retrieve.prune_threshold";
+
 /// Worker threads used by the last retrieve call.
 pub const GAUGE_THREADS: &str = "retrieve.threads";
 /// Busy-time / (fan-out wall × workers) of the last parallel retrieve:
@@ -107,12 +125,19 @@ pub const CTR_FEEDBACK_VIDEOS: &str = "feedback.videos_updated";
 ///   lookups (`simcache.lookups / (simcache.lookups +
 ///   sim.direct_evaluations)`);
 /// * `videos_visited_ratio` — traversed over eligible-plus-pruned videos
-///   (how much work the Step-2 `B_2` check saved).
+///   (how much work the Step-2 `B_2` check saved);
+/// * `bound_skip_ratio` — bound-skipped over bound-skipped-plus-traversed
+///   videos (how much traversal the exact top-k threshold cut saved).
 pub fn derive_retrieval_metrics(report: &mut hmmm_obs::MetricsReport) {
     report.derive_ratio("cache_hit_ratio", &[CTR_CACHE_LOOKUPS], &[CTR_SIM_DIRECT_EVALS]);
     report.derive_ratio(
         "videos_visited_ratio",
         &[CTR_VIDEOS_VISITED],
         &[CTR_VIDEOS_SKIPPED],
+    );
+    report.derive_ratio(
+        "bound_skip_ratio",
+        &[CTR_VIDEOS_SKIPPED_BY_BOUND],
+        &[CTR_VIDEOS_VISITED],
     );
 }

@@ -16,9 +16,49 @@ pub struct LocalMmm {
     pub a1: StochasticMatrix,
     /// `Π_1` — initial-state distribution over the video's shots.
     pub pi1: ProbVector,
+    /// Per-shot forward transition maxima: `a1_row_max[s] = max_{t ≥ s}
+    /// A_1(s, t)`. The Eq.-13 walk only ever moves forward through the
+    /// lattice (`t ≥ s`, with `t = s` allowed for double-annotated shots),
+    /// so this is the admissible one-step factor for an entry *sitting on*
+    /// shot `s` — much tighter than the whole-matrix maximum, which is
+    /// routinely poisoned to ≈1 by a trailing self-loop row. Maintained by
+    /// [`LocalMmm::new`]/[`LocalMmm::refresh_bounds`]; construction and
+    /// every feedback update keep it in sync with `a1`.
+    pub a1_row_max: Vec<f64>,
+    /// Largest forward transition factor anywhere in the video
+    /// (`max` of [`LocalMmm::a1_row_max`]) — the admissible per-hop factor
+    /// when the source shot of a future hop is not yet known (the deeper
+    /// steps of the completion-bound chain).
+    pub a1_max: f64,
+    /// Largest entry of `Π_1` — the admissible Eq.-12 start factor.
+    pub pi1_max: f64,
 }
 
 impl LocalMmm {
+    /// Builds a local MMM, deriving the pruning bound factors
+    /// (`a1_row_max`, `a1_max`, `pi1_max`) from the matrices.
+    pub fn new(a1: StochasticMatrix, pi1: ProbVector) -> Self {
+        let mut local = LocalMmm {
+            a1,
+            pi1,
+            a1_row_max: Vec::new(),
+            a1_max: 0.0,
+            pi1_max: 0.0,
+        };
+        local.refresh_bounds();
+        local
+    }
+
+    /// Recomputes `a1_row_max`/`a1_max`/`pi1_max` from the current
+    /// matrices. Must be called after any in-place mutation of `a1`/`pi1`
+    /// (the feedback updates do), otherwise the retrieval pruning bounds
+    /// go stale and the exactness guarantee is void.
+    pub fn refresh_bounds(&mut self) {
+        self.a1_row_max = forward_row_maxima(&self.a1);
+        self.a1_max = max_of(&self.a1_row_max);
+        self.pi1_max = max_of(self.pi1.as_slice());
+    }
+
     /// Number of shot states.
     pub fn len(&self) -> usize {
         self.pi1.len()
@@ -28,6 +68,22 @@ impl LocalMmm {
     pub fn is_empty(&self) -> bool {
         self.pi1.is_empty()
     }
+}
+
+/// Max of a non-negative slice (`0.0` when empty). Probability entries are
+/// never NaN, so plain `f64::max` folding is total here.
+fn max_of(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// `max_{t ≥ s} A_1(s, t)` per row — only the forward (upper-triangle,
+/// diagonal included) entries matter, because the lattice walk never moves
+/// backwards through a video's shots.
+fn forward_row_maxima(a1: &StochasticMatrix) -> Vec<f64> {
+    let m = a1.as_matrix();
+    (0..m.rows())
+        .map(|s| (s..m.cols()).map(|t| m[(s, t)]).fold(0.0, f64::max))
+        .collect()
 }
 
 /// A fully constructed two-level HMMM (Definition 1 with `d = 2`).
@@ -141,6 +197,20 @@ impl Hmmm {
                     v.id,
                     local.a1.rows(),
                     local.a1.cols()
+                )));
+            }
+            // Stale bound factors would make the top-k pruning bounds
+            // inadmissible (silently wrong rankings), so they are checked
+            // here rather than trusted. They are derived by the exact same
+            // fold `refresh_bounds` uses, so fresh values compare equal.
+            if local.a1_row_max != forward_row_maxima(&local.a1)
+                || local.a1_max != max_of(&local.a1_row_max)
+                || local.pi1_max != max_of(local.pi1.as_slice())
+            {
+                return Err(CoreError::Inconsistent(format!(
+                    "stale A1/Π1 bound factors on {} (refresh_bounds not \
+                     called after mutation?)",
+                    v.id
                 )));
             }
         }

@@ -15,12 +15,61 @@
 //! The paper traverses greedily ("always tries to traverse the right
 //! path"); [`RetrievalConfig::beam_width`] generalizes that to a beam
 //! (`1` = paper-greedy) — the beam-width ablation is one of the benches.
+//!
+//! # Exact top-k pruning
+//!
+//! With [`RetrievalConfig::prune`] on (the default), retrieval runs a
+//! Fagin-style threshold cut: a lock-free [`SharedTopK`] register tracks the
+//! running k-th best Eq.-15 score across *all* traversal workers, and
+//! admissible completion bounds ([`crate::bounds`]) skip work that provably
+//! cannot reach the returned top-`limit` prefix. The rankings are
+//! **byte-identical** to `prune: false` (proptest-enforced); only the work
+//! counters change.
+//!
+//! Which prune sites are exact is subtler than classic branch-and-bound,
+//! because every lattice step ends in a *width* trim: dropping one hopeless
+//! entry (bound below threshold) can change which entries the trim backfills,
+//! and a backfilled entry's descendants may legitimately out-score the
+//! threshold — producing candidates the unpruned search never generated.
+//! Individual mid-beam drops are therefore **unsafe**, and pruning is
+//! restricted to the three sites where no backfill can happen:
+//!
+//! 1. **Whole-video skip** — `UB(video) < threshold` before `traverse_video`
+//!    (every candidate the video could emit is below the settled k-th
+//!    score), counted in [`RetrievalStats::videos_skipped_by_bound`];
+//! 2. **Whole-beam abandon** — after a trim, *every* surviving entry has
+//!    `score + w_j · rem_j < threshold`: no candidate from this video can
+//!    reach the prefix, so the traversal stops (there is nothing left for a
+//!    trim to backfill), counted in [`RetrievalStats::entries_pruned`];
+//! 3. **Emission filter** — fully-selected per-video candidates scoring
+//!    below the threshold are dropped instead of offered to the global rank
+//!    (anything their removal pulls up scores even lower).
+//!
+//! Dropped candidates are strictly below the threshold, the threshold never
+//! exceeds the settled k-th best score (see [`crate::topk`]), and ties at
+//! the k-th score are never dropped (strict `<`) — so the top-`limit`
+//! prefix, including its deterministic tie-breaks, is unchanged. In
+//! parallel runs the *counters* are timing-dependent (workers race the
+//! threshold); the rankings are not.
+//!
+//! Bound tightness depends on the similarity source: with the query cache
+//! up, each video gets *per-video* step maxima and an exact whole-video
+//! bound folded from per-shot start weights and forward `A_1` row maxima,
+//! read straight from the table (free — the table is already built);
+//! without it, one archive-wide scan per unique event feeds a single looser
+//! [`QueryBounds`] shared by all videos. Both are admissible, so rankings
+//! never depend on the cache — but the *pruning decisions* (and counters)
+//! do. Entry bounds charge the entry's own shot's forward row maximum
+//! ([`crate::LocalMmm::a1_row_max`]) for the next hop rather than the
+//! whole-matrix maximum, which a trailing self-loop row would pin near 1.
 
+use crate::bounds::{QueryBounds, VideoBounds};
 use crate::error::CoreError;
 use crate::metrics as m;
 use crate::model::Hmmm;
-use crate::sim::best_alternative;
+use crate::sim::{best_alternative, max_calibrated_similarity};
 use crate::simcache::SimCache;
+use crate::topk::SharedTopK;
 use hmmm_media::EventKind;
 use hmmm_obs::RecorderHandle;
 use hmmm_query::CompiledPattern;
@@ -67,6 +116,16 @@ pub struct RetrievalConfig {
     /// pay. `false` forces direct evaluation everywhere (the
     /// cached-vs-uncached cost benches).
     pub use_sim_cache: bool,
+    /// Exact top-k pruning (`true`, the default): share the running k-th
+    /// best Eq.-15 score across workers and skip videos/beams whose
+    /// admissible upper bound falls strictly below it. Rankings are
+    /// byte-identical at either setting; only the work counters differ
+    /// (and, in parallel runs, the pruning counters are timing-dependent).
+    /// `false` forces the exhaustive traversal — the pruning on/off sweep
+    /// and the exactness proptests use it as ground truth. Pruning
+    /// auto-disables for `limit > 65 536`: the threshold register scales
+    /// with `limit`, and a cut that deep could never pay for itself.
+    pub prune: bool,
     /// Observability sink for every retrieval this config drives: spans
     /// (per-stage and per-video timings), counters, and the cache/thread
     /// gauges — see [`crate::metrics`] for the emitted names. The default
@@ -97,6 +156,7 @@ impl Serialize for RetrievalConfig {
             ("annotated_first".into(), self.annotated_first.to_value()),
             ("threads".into(), self.threads.to_value()),
             ("use_sim_cache".into(), self.use_sim_cache.to_value()),
+            ("prune".into(), self.prune.to_value()),
         ])
     }
 }
@@ -114,6 +174,13 @@ impl Deserialize for RetrievalConfig {
             annotated_first: serde::__field(obj, "annotated_first", "RetrievalConfig")?,
             threads: serde::__field(obj, "threads", "RetrievalConfig")?,
             use_sim_cache: serde::__field(obj, "use_sim_cache", "RetrievalConfig")?,
+            // Tolerant: configs persisted before the pruning PR lack the
+            // field and should keep loading (defaulting to pruning on,
+            // which is ranking-neutral).
+            prune: match obj.iter().find(|(k, _)| k == "prune") {
+                Some((_, v)) => bool::from_value(v)?,
+                None => true,
+            },
             recorder: RecorderHandle::noop(),
         })
     }
@@ -129,6 +196,7 @@ impl Default for RetrievalConfig {
             annotated_first: true,
             threads: None,
             use_sim_cache: true,
+            prune: true,
             recorder: RecorderHandle::noop(),
         }
     }
@@ -207,6 +275,24 @@ pub struct RetrievalStats {
     pub transitions_examined: u64,
     /// Candidate sequences scored (`k − 1` in Step 8).
     pub candidates_scored: usize,
+    /// Videos skipped whole because their admissible upper bound fell below
+    /// the shared top-k threshold — before any traversal work was spent.
+    /// Timing-dependent in parallel runs (see the module docs); zero with
+    /// [`RetrievalConfig::prune`] off.
+    pub videos_skipped_by_bound: usize,
+    /// Beam entries and selected candidates dropped by the threshold cut
+    /// (whole-beam abandons plus emission filtering). Timing-dependent in
+    /// parallel runs; zero with pruning off.
+    pub entries_pruned: u64,
+    /// Times an emitted candidate raised the shared k-th-best threshold.
+    /// Timing-dependent in parallel runs; zero with pruning off.
+    pub threshold_raises: u64,
+    /// Eq.-(14) evaluations spent deriving the per-event bound maxima when
+    /// no [`SimCache`] was available (the cache derives them for free from
+    /// its column maxima). Kept apart from
+    /// [`RetrievalStats::sim_evaluations`] so hot-path scoring and bound
+    /// derivation are never conflated.
+    pub bound_evaluations: u64,
 }
 
 impl RetrievalStats {
@@ -219,6 +305,10 @@ impl RetrievalStats {
         self.cache_lookups += other.cache_lookups;
         self.transitions_examined += other.transitions_examined;
         self.candidates_scored += other.candidates_scored;
+        self.videos_skipped_by_bound += other.videos_skipped_by_bound;
+        self.entries_pruned += other.entries_pruned;
+        self.threshold_raises += other.threshold_raises;
+        self.bound_evaluations += other.bound_evaluations;
     }
 
     /// Total Eq.-(14) evaluations this query paid for, wherever they were
@@ -264,23 +354,74 @@ impl Scorer<'_> {
             Scorer::Direct(_) => stats.sim_evaluations += 1,
         }
     }
+
 }
 
-/// One partial path through a video's lattice.
-#[derive(Debug, Clone)]
-struct BeamEntry {
-    /// Local shot index of the current step.
-    local: usize,
-    /// Running product `w_j`.
+/// Where the admissible per-step similarity maxima come from (see the
+/// module docs on bound tightness).
+enum PruneBounds {
+    /// Query cache up: per-video maxima and the exact start-weight bound
+    /// are read from the table as each candidate video is reached.
+    PerVideo,
+    /// No cache: one archive-wide [`QueryBounds`] shared by every video
+    /// (paid for with [`RetrievalStats::bound_evaluations`] up front).
+    Archive(QueryBounds),
+}
+
+/// Pruning auto-disables above this `limit`: the [`SharedTopK`] register
+/// scales with `limit`, and a threshold that deep could never pay.
+const PRUNE_LIMIT_CAP: usize = 65_536;
+
+/// Sentinel parent index for first-step lattice nodes.
+const NO_PARENT: u32 = u32::MAX;
+
+/// One lattice node in the arena-backed beam.
+///
+/// The seed's `BeamEntry` cloned three `Vec`s (path, events, weights) per
+/// child expansion — O(path-len) heap traffic on the hottest loop. A node
+/// instead records only its own step (shot, event, edge weight `w_j`,
+/// running Eq.-15 sum) plus a parent *index* into the per-video arena; full
+/// paths are materialized by walking parent chains, and only for the
+/// handful of entries that survive to emission. Trim survivors are the only
+/// nodes ever pushed into the arena, so its length is bounded by
+/// `beam_width × steps`, not by the expansion fan-out.
+#[derive(Debug, Clone, Copy)]
+struct BeamNode {
+    /// Arena index of the previous step's node (`NO_PARENT` at step 0).
+    parent: u32,
+    /// Local shot index of this step.
+    local: u32,
+    /// Matched event alternative at this step.
+    event: u32,
+    /// This step's edge weight `w_j` (Eqs. 12–13).
     weight: f64,
-    /// Running sum `Σ w_j` (the eventual Eq.-15 score).
+    /// Running sum `Σ w_i` up to this step (the eventual Eq.-15 score).
     score: f64,
-    /// Local shot indices of the path so far.
-    path: Vec<usize>,
-    /// Matched event per step.
-    events: Vec<usize>,
-    /// Edge weight `w_j` of every step so far.
-    weights: Vec<f64>,
+}
+
+/// Root-first lexicographic order of two equal-depth parent chains — equal
+/// to `Vec::cmp` on the materialized paths, without materializing them.
+/// Shared parents short-circuit at the index compare, so the common case
+/// (siblings) costs one integer compare per shared prefix step at most.
+fn cmp_chain(arena: &[BeamNode], a: u32, b: u32) -> Ordering {
+    if a == b {
+        return Ordering::Equal; // same node, or both NO_PARENT roots
+    }
+    // Depths are equal by construction (same lattice step), so neither
+    // side can run out of chain before the other.
+    let (na, nb) = (&arena[a as usize], &arena[b as usize]);
+    match cmp_chain(arena, na.parent, nb.parent) {
+        Ordering::Equal => na.local.cmp(&nb.local),
+        other => other,
+    }
+}
+
+/// Path order of two pending children (own shot breaks parent-chain ties).
+fn cmp_paths(arena: &[BeamNode], a: &BeamNode, b: &BeamNode) -> Ordering {
+    match cmp_chain(arena, a.parent, b.parent) {
+        Ordering::Equal => a.local.cmp(&b.local),
+        other => other,
+    }
 }
 
 /// The retrieval engine: an [`Hmmm`] plus its catalog.
@@ -425,6 +566,41 @@ impl<'a> Retriever<'a> {
             None => Scorer::Direct(self.model),
         };
 
+        // Tentpole layer 3: the exact top-k threshold cut. One shared
+        // register holds the running k-th best score; admissible completion
+        // bounds feed the three exact prune sites (see the module docs).
+        // With the cache up the bounds are derived per video at traversal
+        // time (tighter, free table reads); otherwise one archive scan per
+        // unique event builds a shared set here, charged to
+        // `bound_evaluations`.
+        let prune_ctx = (self.config.prune && limit <= PRUNE_LIMIT_CAP).then(|| {
+            let bounds = match &scorer {
+                Scorer::Cached(_) => PruneBounds::PerVideo,
+                Scorer::Direct(model) => {
+                    let mut memo: [Option<f64>; EventKind::COUNT] = [None; EventKind::COUNT];
+                    let mut step_max = Vec::with_capacity(pattern.steps.len());
+                    for step in &pattern.steps {
+                        let mut best = 0.0f64;
+                        for &e in &step.alternatives {
+                            let me = match memo[e] {
+                                Some(v) => v,
+                                None => {
+                                    stats.bound_evaluations += model.shot_count() as u64;
+                                    let v = max_calibrated_similarity(model, e);
+                                    memo[e] = Some(v);
+                                    v
+                                }
+                            };
+                            best = best.max(me);
+                        }
+                        step_max.push(best);
+                    }
+                    PruneBounds::Archive(QueryBounds::new(step_max))
+                }
+            };
+            (SharedTopK::new(limit), bounds)
+        });
+
         let order = {
             let _order_span = obs.span(m::SPAN_VIDEO_ORDER);
             self.video_order(pattern, videos, &mut stats)
@@ -447,13 +623,15 @@ impl<'a> Retriever<'a> {
         let mut workers_busy_ns: u64 = 0;
         if threads <= 1 {
             for video in order {
-                let found = self.traverse_video(video, pattern, &scorer, &mut stats);
+                let found =
+                    self.traverse_video_bounded(video, pattern, &scorer, &prune_ctx, &mut stats);
                 candidates.extend(found);
             }
         } else {
             let chunk = order.len().div_ceil(threads);
             crossbeam::thread::scope(|s| {
                 let scorer = &scorer;
+                let prune_ctx = &prune_ctx;
                 let handles: Vec<_> = order
                     .chunks(chunk)
                     .enumerate()
@@ -464,8 +642,8 @@ impl<'a> Retriever<'a> {
                             let mut local = RetrievalStats::default();
                             let mut found = Vec::new();
                             for &video in videos {
-                                found.extend(self.traverse_video(
-                                    video, pattern, scorer, &mut local,
+                                found.extend(self.traverse_video_bounded(
+                                    video, pattern, scorer, prune_ctx, &mut local,
                                 ));
                             }
                             let busy_ns = worker_span.elapsed_ns();
@@ -501,6 +679,7 @@ impl<'a> Retriever<'a> {
                 threads,
                 traverse_wall_ns,
                 workers_busy_ns,
+                prune_ctx.as_ref().map(|(register, _)| register.threshold()),
             );
             obs.observe_ns(m::HIST_RETRIEVE_LATENCY, root_span.elapsed_ns());
         }
@@ -520,6 +699,7 @@ impl<'a> Retriever<'a> {
         threads: usize,
         traverse_wall_ns: u64,
         workers_busy_ns: u64,
+        prune_threshold: Option<f64>,
     ) {
         let obs = &self.config.recorder;
         obs.counter(m::CTR_QUERIES, 1);
@@ -531,6 +711,16 @@ impl<'a> Retriever<'a> {
         obs.counter(m::CTR_SIM_DIRECT_EVALS, stats.sim_evaluations);
         obs.counter(m::CTR_CACHE_BUILD_EVALS, stats.cache_build_evaluations);
         obs.counter(m::CTR_CACHE_LOOKUPS, stats.cache_lookups);
+        obs.counter(
+            m::CTR_VIDEOS_SKIPPED_BY_BOUND,
+            stats.videos_skipped_by_bound as u64,
+        );
+        obs.counter(m::CTR_ENTRIES_PRUNED, stats.entries_pruned);
+        obs.counter(m::CTR_THRESHOLD_RAISES, stats.threshold_raises);
+        obs.counter(m::CTR_BOUND_EVALS, stats.bound_evaluations);
+        if let Some(threshold) = prune_threshold {
+            obs.gauge(m::GAUGE_PRUNE_THRESHOLD, threshold);
+        }
         if cache_built {
             obs.counter(m::CTR_CACHE_BUILDS, 1);
         } else if similarity_bound {
@@ -610,12 +800,109 @@ impl<'a> Retriever<'a> {
         order.into_iter().map(VideoId).collect()
     }
 
-    /// Steps 3–6 for one video: beam traversal of the Figure-3 lattice.
+    /// [`Retriever::traverse_video`] behind the whole-video bound check
+    /// (exact prune site 1): a video whose admissible upper bound falls
+    /// strictly below the shared threshold cannot contribute to the
+    /// top-`limit` prefix and is skipped before any traversal work.
+    fn traverse_video_bounded(
+        &self,
+        video: VideoId,
+        pattern: &CompiledPattern,
+        scorer: &Scorer<'_>,
+        prune_ctx: &Option<(SharedTopK, PruneBounds)>,
+        stats: &mut RetrievalStats,
+    ) -> Vec<RankedPattern> {
+        match prune_ctx {
+            Some((register, bounds)) => {
+                let local = &self.model.locals[video.index()];
+                let video_bounds = match (bounds, scorer) {
+                    (PruneBounds::Archive(query_bounds), _) => query_bounds.for_video(local),
+                    (PruneBounds::PerVideo, Scorer::Cached(cache)) => {
+                        match self.per_video_bounds(video, pattern, cache) {
+                            Some(vb) => vb,
+                            None => return Vec::new(), // empty/unknown video
+                        }
+                    }
+                    // PerVideo is only constructed alongside a cached
+                    // scorer; fall back to an unpruned traversal rather
+                    // than panic if that invariant ever breaks.
+                    (PruneBounds::PerVideo, Scorer::Direct(_)) => {
+                        return self.traverse_video(video, pattern, scorer, None, stats)
+                    }
+                };
+                if video_bounds.video_ub() < register.threshold() {
+                    stats.videos_skipped_by_bound += 1;
+                    return Vec::new();
+                }
+                self.traverse_video(video, pattern, scorer, Some((register, &video_bounds)), stats)
+            }
+            None => self.traverse_video(video, pattern, scorer, None, stats),
+        }
+    }
+
+    /// Per-video admissible bounds read from the query cache: step maxima
+    /// over *this video's* shot range, plus the exact whole-video bound
+    /// fold `max_s Π_1(s) · sim(s, step 0) · (1 + a1_row_max[s] · chain_0)`
+    /// — all pure table reads, all far tighter than the archive-wide
+    /// fallback on videos that barely exhibit the queried events (which is
+    /// exactly where the skip pays).
+    /// `None` for empty or unknown videos (nothing to traverse anyway).
+    fn per_video_bounds(
+        &self,
+        video: VideoId,
+        pattern: &CompiledPattern,
+        cache: &SimCache,
+    ) -> Option<VideoBounds> {
+        let record = self.catalog.video(video)?;
+        let range = record.shot_range.clone();
+        if range.is_empty() {
+            return None;
+        }
+        let local = &self.model.locals[video.index()];
+        let mut memo: [Option<f64>; EventKind::COUNT] = [None; EventKind::COUNT];
+        let step_max: Vec<f64> = pattern
+            .steps
+            .iter()
+            .map(|step| {
+                step.alternatives
+                    .iter()
+                    .map(|&e| match memo.get(e).copied().flatten() {
+                        Some(v) => v,
+                        None => {
+                            let v = cache.max_calibrated_in(range.clone(), e);
+                            if let Some(slot) = memo.get_mut(e) {
+                                *slot = Some(v);
+                            }
+                            v
+                        }
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        let vb = QueryBounds::new(step_max).for_video(local);
+        let chain0 = vb.chain0();
+        let first_alts = &pattern.steps[0].alternatives;
+        let raw_ub = (0..range.len())
+            .map(|s| {
+                let sim = first_alts
+                    .iter()
+                    .map(|&e| cache.calibrated(range.start + s, e))
+                    .fold(0.0, f64::max);
+                local.pi1.get(s) * sim * (1.0 + local.a1_row_max[s] * chain0)
+            })
+            .fold(0.0, f64::max);
+        Some(vb.with_video_ub(raw_ub))
+    }
+
+    /// Steps 3–6 for one video: beam traversal of the Figure-3 lattice,
+    /// arena-backed, with the exact-safe threshold cuts (sites 2 and 3 of
+    /// the module docs) when `prune` carries the shared register.
     fn traverse_video(
         &self,
         video: VideoId,
         pattern: &CompiledPattern,
         scorer: &Scorer<'_>,
+        prune: Option<(&SharedTopK, &VideoBounds)>,
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         let record = match self.catalog.video(video) {
@@ -634,17 +921,35 @@ impl<'a> Retriever<'a> {
         stats.videos_visited += 1;
         let local = &self.model.locals[video.index()];
         let shots = self.catalog.shots_of_video(video);
+        let steps_total = pattern.steps.len();
 
-        // Step 4 at j = 1: w_1 = Π_1(s_1) · sim(s_1, e_1)  (Eq. 12).
+        // Trim survivors are the only nodes the arena ever holds, so it
+        // tops out at beam_width × steps — paths, events and weights are
+        // materialized from parent chains only for emitted candidates.
+        let mut arena: Vec<BeamNode> =
+            Vec::with_capacity(self.config.beam_width.max(1) * steps_total);
+        let mut beam: Vec<u32> = Vec::new();
+        let mut pending: Vec<BeamNode> = Vec::new();
+
+        // Step 4 at j = 1: w_1 = Π_1(s_1) · sim(s_1, e_1)  (Eq. 12). Each
+        // start candidate carries its (event, sim) from the selection scan —
+        // the seed re-evaluated Eq. 14 on every fallback survivor and
+        // double-charged the stats for it.
         let first_alts = &pattern.steps[0].alternatives;
-        let mut beam: Vec<BeamEntry> = Vec::new();
-        let mut starts: Vec<usize> = if self.config.annotated_first {
+        let mut starts: Vec<(usize, usize, f64)> = if self.config.annotated_first {
             (0..n)
                 .filter(|&s| {
                     shots[s]
                         .events
                         .iter()
                         .any(|&e| first_alts.contains(&e.index()))
+                })
+                .map(|s| {
+                    scorer.charge(stats);
+                    let (event, sim) = scorer
+                        .best_alternative(base + s, first_alts)
+                        .expect("alternatives checked non-empty");
+                    (s, event, sim)
                 })
                 .collect()
         } else {
@@ -653,49 +958,49 @@ impl<'a> Retriever<'a> {
         if starts.is_empty() {
             // "…or similar to event e_j": fall back to the most similar
             // shots by features.
-            let mut scored: Vec<(usize, f64)> = (0..n)
+            let mut scored: Vec<(usize, usize, f64)> = (0..n)
                 .map(|s| {
                     scorer.charge(stats);
-                    let (_, sim) = scorer
+                    let (event, sim) = scorer
                         .best_alternative(base + s, first_alts)
                         .expect("alternatives checked non-empty");
-                    (s, sim)
+                    (s, event, sim)
                 })
                 .collect();
             scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
+                b.2.partial_cmp(&a.2)
                     .unwrap_or(Ordering::Equal)
                     .then_with(|| a.0.cmp(&b.0))
             });
-            starts = scored
-                .into_iter()
-                .take(self.config.max_start_candidates)
-                .map(|(s, _)| s)
-                .collect();
+            scored.truncate(self.config.max_start_candidates);
+            starts = scored;
         }
-        for s in starts {
-            scorer.charge(stats);
-            if let Some((event, sim)) = scorer.best_alternative(base + s, first_alts) {
-                let w = local.pi1.get(s) * sim;
-                if w > 0.0 {
-                    beam.push(BeamEntry {
-                        local: s,
-                        weight: w,
-                        score: w,
-                        path: vec![s],
-                        events: vec![event],
-                        weights: vec![w],
-                    });
-                }
+        for (s, event, sim) in starts {
+            let w = local.pi1.get(s) * sim;
+            if w > 0.0 {
+                pending.push(BeamNode {
+                    parent: NO_PARENT,
+                    local: s as u32,
+                    event: event as u32,
+                    weight: w,
+                    score: w,
+                });
             }
         }
-        trim_beam(&mut beam, self.config.beam_width);
+        trim_beam(&mut pending, self.config.beam_width, &arena);
+        settle(&mut pending, &mut arena, &mut beam);
+        if beam.is_empty() {
+            return Vec::new();
+        }
+        if beam_is_hopeless(&arena, &beam, prune, 0, &local.a1_row_max, stats) {
+            return Vec::new();
+        }
 
         // Steps 3–5 for j = 2..C: expand through A_1 (Eq. 13). Step 3 is
         // annotated-first: the traversal prefers shots *annotated as* e_j;
         // only when the video has none does it fall back to "or similar to
         // event e_j" over all reachable shots.
-        for step in &pattern.steps[1..] {
+        for (j, step) in pattern.steps.iter().enumerate().skip(1) {
             let step_has_annotation = self.config.annotated_first
                 && (0..n).any(|s| {
                     shots[s]
@@ -703,9 +1008,10 @@ impl<'a> Retriever<'a> {
                         .iter()
                         .any(|&e| step.alternatives.contains(&e.index()))
                 });
-            let mut next: Vec<BeamEntry> = Vec::new();
-            for entry in &beam {
-                let from = entry.local;
+            pending.clear();
+            for &idx in &beam {
+                let entry = arena[idx as usize];
+                let from = entry.local as usize;
                 for (to, shot) in shots.iter().enumerate().take(n).skip(from) {
                     if let Some(gap) = step.max_gap {
                         if to - from > gap {
@@ -725,7 +1031,9 @@ impl<'a> Retriever<'a> {
                     if a <= 0.0 {
                         continue;
                     }
-                    if to == from && !same_shot_revisit_ok(&shot.events, entry, step) {
+                    if to == from
+                        && !same_shot_revisit_ok(&shot.events, entry.event as usize, step)
+                    {
                         continue;
                     }
                     scorer.charge(stats);
@@ -737,57 +1045,157 @@ impl<'a> Retriever<'a> {
                     if w <= 0.0 {
                         continue;
                     }
-                    let mut path = entry.path.clone();
-                    path.push(to);
-                    let mut events = entry.events.clone();
-                    events.push(event);
-                    let mut weights = entry.weights.clone();
-                    weights.push(w);
-                    next.push(BeamEntry {
-                        local: to,
+                    pending.push(BeamNode {
+                        parent: idx,
+                        local: to as u32,
+                        event: event as u32,
                         weight: w,
                         score: entry.score + w,
-                        path,
-                        events,
-                        weights,
                     });
                 }
             }
-            trim_beam(&mut next, self.config.beam_width);
-            beam = next;
+            trim_beam(&mut pending, self.config.beam_width, &arena);
+            settle(&mut pending, &mut arena, &mut beam);
             if beam.is_empty() {
+                return Vec::new();
+            }
+            if beam_is_hopeless(&arena, &beam, prune, j, &local.a1_row_max, stats) {
                 return Vec::new();
             }
         }
 
-        // Step 6: the per-video candidates with Eq.-15 scores. The path
-        // tie-break makes the cut at `per_video_results` deterministic (and
-        // guarantees equal paths are adjacent for the dedup).
-        beam.sort_by(|a, b| {
+        // Step 6: the per-video candidates with Eq.-15 scores, materialized
+        // from the arena. The path tie-break makes the cut at
+        // `per_video_results` deterministic (and guarantees equal paths are
+        // adjacent for the dedup).
+        let mut finals: Vec<Candidate> = beam
+            .iter()
+            .map(|&idx| materialize(&arena, idx))
+            .collect();
+        finals.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(Ordering::Equal)
                 .then_with(|| a.path.cmp(&b.path))
         });
-        beam.dedup_by(|a, b| a.path == b.path);
-        beam.truncate(self.config.per_video_results);
-        beam.into_iter()
-            .map(|entry| RankedPattern {
+        finals.dedup_by(|a, b| a.path == b.path);
+        finals.truncate(self.config.per_video_results);
+
+        // Exact prune site 3: emission filter + threshold offers. Dropping
+        // a selected candidate scoring strictly below the threshold cannot
+        // change the global prefix (anything its removal pulls up ranks —
+        // and scores — below it), and every emitted score is offered so
+        // later videos prune against the best results found anywhere.
+        if let Some((register, _)) = prune {
+            let threshold = register.threshold();
+            let before = finals.len();
+            finals.retain(|c| c.score >= threshold);
+            stats.entries_pruned += (before - finals.len()) as u64;
+            for c in &finals {
+                if register.offer(c.score) {
+                    stats.threshold_raises += 1;
+                }
+            }
+        }
+
+        finals
+            .into_iter()
+            .map(|c| RankedPattern {
                 video,
-                shots: entry.path.iter().map(|&s| ShotId(base + s)).collect(),
-                events: entry.events,
-                score: entry.score,
-                weights: entry.weights,
+                shots: c.path.iter().map(|&s| ShotId(base + s)).collect(),
+                events: c.events,
+                score: c.score,
+                weights: c.weights,
             })
             .collect()
     }
 }
 
+/// A fully materialized per-video candidate (paths walked out of the arena).
+struct Candidate {
+    path: Vec<usize>,
+    events: Vec<usize>,
+    weights: Vec<f64>,
+    score: f64,
+}
+
+/// Walks `idx`'s parent chain into root-first path/events/weights vectors.
+fn materialize(arena: &[BeamNode], idx: u32) -> Candidate {
+    let score = arena[idx as usize].score;
+    let mut path = Vec::new();
+    let mut events = Vec::new();
+    let mut weights = Vec::new();
+    let mut cursor = idx;
+    loop {
+        let node = &arena[cursor as usize];
+        path.push(node.local as usize);
+        events.push(node.event as usize);
+        weights.push(node.weight);
+        if node.parent == NO_PARENT {
+            break;
+        }
+        cursor = node.parent;
+    }
+    path.reverse();
+    events.reverse();
+    weights.reverse();
+    Candidate {
+        path,
+        events,
+        weights,
+        score,
+    }
+}
+
+/// Appends the trimmed survivors to the arena and points `beam` at them.
+fn settle(pending: &mut Vec<BeamNode>, arena: &mut Vec<BeamNode>, beam: &mut Vec<u32>) {
+    beam.clear();
+    for node in pending.drain(..) {
+        beam.push(arena.len() as u32);
+        arena.push(node);
+    }
+}
+
+/// Exact prune site 2: `true` iff pruning is on, the threshold has settled
+/// above zero, and *every* surviving beam entry's admissible completion
+/// bound sits strictly below it — the all-or-nothing abandon. (Dropping a
+/// strict subset would be inexact: the width trims downstream would
+/// backfill entries the unpruned search cuts, and their descendants can
+/// out-score the threshold. See the module docs.)
+fn beam_is_hopeless(
+    arena: &[BeamNode],
+    beam: &[u32],
+    prune: Option<(&SharedTopK, &VideoBounds)>,
+    step: usize,
+    row_max: &[f64],
+    stats: &mut RetrievalStats,
+) -> bool {
+    let Some((register, video_bounds)) = prune else {
+        return false;
+    };
+    let threshold = register.threshold();
+    if threshold <= 0.0 {
+        return false;
+    }
+    let hopeless = beam.iter().all(|&idx| {
+        let node = &arena[idx as usize];
+        let ub = video_bounds.entry_ub(node.score, node.weight, step, row_max[node.local as usize]);
+        ub < threshold
+    });
+    if hopeless {
+        stats.entries_pruned += beam.len() as u64;
+    }
+    hopeless
+}
+
 /// Same-shot continuation is allowed only when the shot carries *distinct*
 /// annotation slots for the previous and current step (the paper's
 /// `T_{s_m} ≤ T_{s_n}` with the double-annotation shots of §4.2.1.1).
-fn same_shot_revisit_ok(events: &[EventKind], entry: &BeamEntry, step: &hmmm_query::CompiledStep) -> bool {
-    let prev_event = *entry.events.last().expect("path is non-empty");
+fn same_shot_revisit_ok(
+    events: &[EventKind],
+    prev_event: usize,
+    step: &hmmm_query::CompiledStep,
+) -> bool {
     step.alternatives.iter().any(|&alt| {
         events.iter().any(|e| e.index() == alt)
             && (alt != prev_event || events.iter().filter(|e| e.index() == alt).count() >= 2)
@@ -806,18 +1214,40 @@ fn rank_order(a: &RankedPattern, b: &RankedPattern) -> Ordering {
         .then_with(|| a.shots.cmp(&b.shots))
 }
 
-fn trim_beam(beam: &mut Vec<BeamEntry>, width: usize) {
-    // Path tie-break: which entries survive an equal-weight cut must not
-    // depend on insertion order, and equal paths must be adjacent for the
-    // dedup to be exhaustive.
-    beam.sort_by(|a, b| {
+/// Width cut over pending children: keep the top `width` by
+/// (weight desc, path asc), sorted, deduplicated by path.
+///
+/// The seed sorted the whole fan-out (O(n log n)) before truncating; the cut
+/// is now `select_nth_unstable_by` (O(n) average) plus a sort of the
+/// surviving prefix only. The comparator is the same total order, so the
+/// surviving set and its order are byte-identical. Paths are unique by
+/// construction — children are distinct `(parent, to)` pairs of parents with
+/// distinct paths — so the path dedup never fires; if it ever would (the
+/// prefix shows adjacent equal paths), the full-sort + dedup semantics of
+/// the seed are restored verbatim rather than guessed at.
+fn trim_beam(pending: &mut Vec<BeamNode>, width: usize, arena: &[BeamNode]) {
+    let width = width.max(1);
+    let cmp = |a: &BeamNode, b: &BeamNode| {
         b.weight
             .partial_cmp(&a.weight)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| a.path.cmp(&b.path))
-    });
-    beam.dedup_by(|a, b| a.path == b.path);
-    beam.truncate(width.max(1));
+            .then_with(|| cmp_paths(arena, a, b))
+    };
+    if pending.len() > width {
+        pending.select_nth_unstable_by(width - 1, cmp);
+        pending[..width].sort_by(cmp);
+        let prefix_has_dup = pending[..width]
+            .windows(2)
+            .any(|pair| cmp_paths(arena, &pair[0], &pair[1]) == Ordering::Equal);
+        if prefix_has_dup {
+            pending.sort_by(cmp);
+            pending.dedup_by(|a, b| cmp_paths(arena, a, b) == Ordering::Equal);
+        }
+        pending.truncate(width);
+    } else {
+        pending.sort_by(cmp);
+        pending.dedup_by(|a, b| cmp_paths(arena, a, b) == Ordering::Equal);
+    }
 }
 
 #[cfg(test)]

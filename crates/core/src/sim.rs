@@ -101,6 +101,21 @@ pub fn calibrated_similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
     }
 }
 
+/// Largest [`calibrated_similarity`] any archive shot attains for `event` —
+/// the admissible per-step similarity factor used by the exact top-k pruning
+/// bounds (no Eq.-13 step involving `event` can multiply by more than this).
+///
+/// This is the *uncached* fallback: when a query runs with the
+/// [`crate::simcache::SimCache`] enabled, the cache derives the identical
+/// value for free from its column maxima ([`crate::simcache::SimCache::max_calibrated`]);
+/// both fold the same scores with `f64::max` in shot order, so cached and
+/// uncached bounds are bit-identical and prune the same candidates.
+pub fn max_calibrated_similarity(model: &Hmmm, event: usize) -> f64 {
+    (0..model.shot_count())
+        .map(|shot| calibrated_similarity(model, shot, event))
+        .fold(0.0, f64::max)
+}
+
 /// Similarity of a shot against the best of several alternative events
 /// (MATN branch arcs), returning `(best_event, similarity)`. Uses the
 /// calibrated score so alternatives with small centroids do not dominate.

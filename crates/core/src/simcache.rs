@@ -36,6 +36,10 @@ pub struct SimCache {
     scores: Vec<f64>,
     /// Memoized `self_similarity` per event (the Eq.-(14) denominator).
     self_sims: [f64; EventKind::COUNT],
+    /// Per-event column maxima over the score table — the admissible
+    /// per-step similarity factor for the exact top-k pruning bounds.
+    /// Zero for events outside the query (matching [`SimCache::calibrated`]).
+    col_max: [f64; EventKind::COUNT],
     /// Eq.-(14) evaluations spent building the table (for [`super::RetrievalStats`]).
     evaluations: u64,
 }
@@ -184,12 +188,53 @@ impl SimCache {
             total
         };
 
+        // Column maxima, folded serially over the settled table in shot
+        // order — the same `f64::max` fold `sim::max_calibrated_similarity`
+        // performs over direct evaluations, so cached and uncached pruning
+        // bounds are bit-identical at any build thread count. Reads only;
+        // the O(shots × slots) pass is free next to the build itself.
+        let mut col_max = [0.0f64; EventKind::COUNT];
+        if slots > 0 {
+            for row in scores.chunks(slots) {
+                for (slot, &cell) in row.iter().enumerate() {
+                    let e = event_slots[slot];
+                    col_max[e] = col_max[e].max(cell);
+                }
+            }
+        }
+
         SimCache {
             event_slots,
             slot_of_event,
             scores,
             self_sims,
+            col_max,
             evaluations,
+        }
+    }
+
+    /// Largest calibrated score any shot attains for `event` — the
+    /// admissible per-step factor for the exact top-k pruning bounds.
+    /// Events outside the query read `0.0`.
+    pub fn max_calibrated(&self, event: usize) -> f64 {
+        self.col_max.get(event).copied().unwrap_or(0.0)
+    }
+
+    /// Largest calibrated score any shot in `shots` (a global shot-id
+    /// range, e.g. one video's `shot_range`) attains for `event` — the
+    /// *per-video* admissible similarity factor. Much tighter than the
+    /// archive-wide [`SimCache::max_calibrated`] on videos that barely
+    /// exhibit the event, which is exactly where whole-video pruning pays.
+    /// Pure table reads; events outside the query read `0.0`.
+    pub fn max_calibrated_in(&self, shots: std::ops::Range<usize>, event: usize) -> f64 {
+        match self.slot_of_event.get(event).copied().flatten() {
+            Some(slot) => {
+                let slots = self.event_slots.len();
+                shots
+                    .map(|shot| self.scores[shot * slots + slot])
+                    .fold(0.0, f64::max)
+            }
+            None => 0.0,
         }
     }
 
@@ -320,6 +365,47 @@ mod tests {
         ] {
             assert_eq!(cache.self_similarity(e), crate::sim::self_similarity(&m, e));
         }
+    }
+
+    #[test]
+    fn column_maxima_match_uncached_bound_bitwise() {
+        let m = model();
+        let p = pattern();
+        let cache = SimCache::build_with_threads(&m, &p, 4);
+        for step in &p.steps {
+            for &e in &step.alternatives {
+                assert_eq!(
+                    cache.max_calibrated(e),
+                    crate::sim::max_calibrated_similarity(&m, e),
+                    "column max diverged for event {e}"
+                );
+            }
+        }
+        // Events outside the query bound to zero, like their scores.
+        assert_eq!(cache.max_calibrated(EventKind::RedCard.index()), 0.0);
+    }
+
+    #[test]
+    fn range_maxima_bound_their_shots_and_refine_the_column() {
+        let m = model();
+        let p = pattern();
+        let cache = SimCache::build(&m, &p);
+        let goal = EventKind::Goal.index();
+        // Video "a" owns shots 0..3, video "b" owns 3..5.
+        for (range, n) in [(0..3usize, 3usize), (3..5, 2)] {
+            let local_max = cache.max_calibrated_in(range.clone(), goal);
+            for shot in range {
+                assert!(local_max >= cache.calibrated(shot, goal));
+            }
+            assert!(local_max <= cache.max_calibrated(goal));
+            assert!(n > 0);
+        }
+        // The two per-video maxima reconstruct the archive-wide column max.
+        let joined = cache
+            .max_calibrated_in(0..3, goal)
+            .max(cache.max_calibrated_in(3..5, goal));
+        assert_eq!(joined, cache.max_calibrated(goal));
+        assert_eq!(cache.max_calibrated_in(0..5, EventKind::RedCard.index()), 0.0);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Property: exact top-k pruning is invisible in the rankings.
+//!
+//! The shared-threshold prune (`RetrievalConfig::prune`) may only change
+//! *cost* counters — for any archive, pattern, beam width, result limit,
+//! thread count and cache setting, the ranked patterns must be
+//! byte-identical to the exhaustive (`prune: false`) run. The unit test at
+//! the bottom pins the admissibility of the bounds themselves on the
+//! paper's §4.2.1.1 worked example.
+
+use hmmm_core::{
+    build_hmmm, sim, BuildConfig, QueryBounds, RetrievalConfig, Retriever,
+};
+use hmmm_features::{FeatureId, FeatureVector, FEATURE_COUNT};
+use hmmm_media::EventKind;
+use hmmm_query::{CompiledPattern, CompiledStep};
+use hmmm_storage::Catalog;
+use proptest::prelude::*;
+
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(0.0f64..1.0, FEATURE_COUNT)
+        .prop_map(|v| FeatureVector::from_slice(&v).expect("exact length"))
+}
+
+fn events() -> impl Strategy<Value = Vec<EventKind>> {
+    proptest::collection::vec(0usize..EventKind::COUNT, 0..3).prop_map(|idx| {
+        let mut out: Vec<EventKind> = idx.into_iter().filter_map(EventKind::from_index).collect();
+        out.dedup();
+        out
+    })
+}
+
+fn catalog() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec(
+        proptest::collection::vec((events(), feature_vector()), 1..10),
+        2..8,
+    )
+    .prop_map(|videos| {
+        let mut c = Catalog::new();
+        for (i, shots) in videos.into_iter().enumerate() {
+            c.add_video(format!("v{i}"), shots);
+        }
+        c
+    })
+}
+
+fn pattern() -> impl Strategy<Value = CompiledPattern> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..EventKind::COUNT, 1..3),
+            proptest::option::of(0usize..6),
+        ),
+        1..4,
+    )
+    .prop_map(|steps| CompiledPattern {
+        steps: steps
+            .into_iter()
+            .map(|(mut alternatives, max_gap)| {
+                alternatives.dedup();
+                CompiledStep {
+                    alternatives,
+                    max_gap,
+                }
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pruned rankings equal exhaustive rankings across the whole config
+    /// grid the engine exposes: thread count × similarity cache ×
+    /// annotation regime × beam width × top-k limit.
+    #[test]
+    fn pruning_is_ranking_exact(
+        cat in catalog(),
+        pat in pattern(),
+        beam in 1usize..5,
+        limit in 1usize..20,
+        threads in 1usize..5,
+        use_cache in proptest::sample::select(vec![false, true]),
+        content_only in proptest::sample::select(vec![false, true]),
+    ) {
+        let model = build_hmmm(&cat, &BuildConfig { unannotated_weight: 0.2, ..BuildConfig::default() }).unwrap();
+        let base = if content_only {
+            RetrievalConfig::content_only()
+        } else {
+            RetrievalConfig::default()
+        };
+        let pruned_cfg = RetrievalConfig {
+            beam_width: beam,
+            threads: Some(threads),
+            use_sim_cache: use_cache,
+            prune: true,
+            ..base
+        };
+        let exhaustive_cfg = RetrievalConfig { prune: false, ..pruned_cfg.clone() };
+        let (p_results, p_stats) =
+            Retriever::new(&model, &cat, pruned_cfg).unwrap().retrieve(&pat, limit).unwrap();
+        let (e_results, e_stats) =
+            Retriever::new(&model, &cat, exhaustive_cfg).unwrap().retrieve(&pat, limit).unwrap();
+        prop_assert_eq!(p_results, e_results);
+        // The exhaustive run never touches the pruning machinery.
+        prop_assert_eq!(e_stats.videos_skipped_by_bound, 0);
+        prop_assert_eq!(e_stats.entries_pruned, 0);
+        prop_assert_eq!(e_stats.threshold_raises, 0);
+        prop_assert_eq!(e_stats.bound_evaluations, 0);
+        // Every B_2-eligible video is either traversed or bound-skipped —
+        // the prune never loses track of a video.
+        prop_assert_eq!(
+            p_stats.videos_visited + p_stats.videos_skipped_by_bound,
+            e_stats.videos_visited
+        );
+        prop_assert_eq!(p_stats.videos_skipped, e_stats.videos_skipped);
+        // Pruning only ever removes traversal work, never adds it.
+        prop_assert!(p_stats.transitions_examined <= e_stats.transitions_examined);
+    }
+
+    /// Serially the prune is fully deterministic: two identical runs agree
+    /// on every counter, threshold raises included.
+    #[test]
+    fn serial_pruning_is_deterministic(cat in catalog(), pat in pattern(), limit in 1usize..20) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let cfg = RetrievalConfig { threads: Some(1), prune: true, ..RetrievalConfig::default() };
+        let (a_results, a_stats) =
+            Retriever::new(&model, &cat, cfg.clone()).unwrap().retrieve(&pat, limit).unwrap();
+        let (b_results, b_stats) =
+            Retriever::new(&model, &cat, cfg).unwrap().retrieve(&pat, limit).unwrap();
+        prop_assert_eq!(a_results, b_results);
+        prop_assert_eq!(a_stats, b_stats);
+    }
+}
+
+/// §4.2.1.1 worked example (three shots annotated [FreeKick],
+/// [FreeKick+Goal], [CornerKick]): the video and per-entry upper bounds
+/// dominate every Eq.-(15) score the traversal can actually produce, so
+/// pruning against them can never discard a true top-k candidate.
+#[test]
+fn bounds_are_admissible_on_worked_example() {
+    let feat = |g: f64, v: f64| {
+        let mut f = FeatureVector::zeros();
+        f[FeatureId::GrassRatio] = g;
+        f[FeatureId::VolumeMean] = v;
+        f
+    };
+    let mut c = Catalog::new();
+    c.add_video(
+        "m1",
+        vec![
+            (vec![EventKind::FreeKick], feat(0.3, 0.2)),
+            (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8, 0.9)),
+            (vec![EventKind::CornerKick], feat(0.5, 0.4)),
+        ],
+    );
+    let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+    let pat = CompiledPattern {
+        steps: vec![
+            CompiledStep {
+                alternatives: vec![EventKind::FreeKick.index()],
+                max_gap: None,
+            },
+            CompiledStep {
+                alternatives: vec![EventKind::Goal.index(), EventKind::CornerKick.index()],
+                max_gap: None,
+            },
+        ],
+    };
+    // The bounds exactly as `retrieve_within` derives them: per-step
+    // maxima over each alternative's archive-wide calibrated similarity.
+    let step_max: Vec<f64> = pat
+        .steps
+        .iter()
+        .map(|s| {
+            s.alternatives
+                .iter()
+                .map(|&e| sim::max_calibrated_similarity(&model, e))
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let qb = QueryBounds::new(step_max);
+    let vb = qb.for_video(&model.locals[0]);
+
+    // Enumerate everything the traversal can produce (wide beam, no
+    // prune) and check domination candidate by candidate.
+    let cfg = RetrievalConfig {
+        beam_width: 16,
+        per_video_results: 16,
+        threads: Some(1),
+        prune: false,
+        ..RetrievalConfig::default()
+    };
+    let (results, _) = Retriever::new(&model, &c, cfg)
+        .unwrap()
+        .retrieve(&pat, 16)
+        .unwrap();
+    assert!(!results.is_empty(), "worked example must match free_kick -> goal");
+    for r in &results {
+        assert!(
+            vb.video_ub() >= r.score,
+            "video bound {} must dominate score {}",
+            vb.video_ub(),
+            r.score
+        );
+        // Every prefix of the walk must bound its own completion: the
+        // entry bound at step j (score-so-far + w_j · row_max · chain_j)
+        // dominates the final Eq.-(15) score. The row maximum charged is
+        // the one the traversal would use — the prefix shot's own forward
+        // `A_1` maximum.
+        let mut prefix = 0.0;
+        for (j, (&w, &shot)) in r.weights.iter().zip(r.shots.iter()).enumerate() {
+            prefix += w;
+            let row_max = model.locals[0].a1_row_max[shot.0];
+            assert!(
+                vb.entry_ub(prefix, w, j, row_max) >= r.score,
+                "entry bound at step {j} ({}) must dominate final score {}",
+                vb.entry_ub(prefix, w, j, row_max),
+                r.score
+            );
+        }
+    }
+}

@@ -98,6 +98,17 @@ impl MetricsReport {
         self.stages.iter().find(|s| s.path == path)
     }
 
+    /// Total wall time recorded under a span path, nanoseconds (0 when the
+    /// path never ran) — the number bench tooling compares across configs.
+    pub fn stage_total_ns(&self, path: &str) -> u64 {
+        self.stage(path).map_or(0, |s| s.total_ns)
+    }
+
+    /// A gauge's last-written value, if the gauge was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
     /// Computes `Σ numerators / (Σ numerators + Σ complements)` over
     /// counter names and stores it under `key` in [`MetricsReport::derived`].
     /// No-op (and no entry) when the denominator is zero — absent metrics
@@ -194,6 +205,23 @@ mod tests {
         assert!((r.derived["hit_ratio"] - 0.9).abs() < 1e-12);
         r.derive_ratio("absent", &["nope"], &["nada"]);
         assert!(!r.derived.contains_key("absent"));
+    }
+
+    #[test]
+    fn stage_total_and_gauge_accessors() {
+        let mut r = sample();
+        r.stages.push(StageSummary {
+            path: "a/b".into(),
+            count: 3,
+            total_ns: 4_500,
+            min_ns: 1_000,
+            max_ns: 2_000,
+        });
+        r.gauges.insert("depth".into(), 2.5);
+        assert_eq!(r.stage_total_ns("a/b"), 4_500);
+        assert_eq!(r.stage_total_ns("never/ran"), 0);
+        assert_eq!(r.gauge("depth"), Some(2.5));
+        assert_eq!(r.gauge("absent"), None);
     }
 
     #[test]

@@ -54,9 +54,12 @@ USAGE:
   hmmm inspect <file>
       print catalog dimensions and per-event counts
   hmmm query <file> <pattern> [--top N] [--threads N] [--content-only]
-             [--greedy] [--no-sim-cache] [--metrics-json <out>] [--trace]
+             [--greedy] [--no-sim-cache] [--no-prune]
+             [--metrics-json <out>] [--trace]
       build the HMMM and run a temporal pattern query
       (--threads 0 = all cores, 1 = serial; default all cores)
+      (--top-k is accepted as an alias of --top; --no-prune disables the
+      exact top-k threshold pruning — rankings are identical either way)
       --metrics-json writes the structured observability report (per-stage
       wall times, counters, cache hit ratio, thread utilization) as JSON;
       --trace prints the span tree of the whole run to stdout
@@ -92,7 +95,7 @@ fn positional(args: &[String], index: usize) -> Option<&String> {
             // Boolean switches consume one slot; valued flags two.
             let is_switch = matches!(
                 args[i].as_str(),
-                "--content-only" | "--greedy" | "--no-sim-cache" | "--trace"
+                "--content-only" | "--greedy" | "--no-sim-cache" | "--no-prune" | "--trace"
             );
             i += if is_switch { 1 } else { 2 };
             continue;
@@ -186,7 +189,12 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let path = positional(args, 0).ok_or("query requires a catalog path")?;
     let text = positional(args, 1).ok_or("query requires a pattern string")?;
-    let top: usize = parse_num(&flag_value(args, "--top").unwrap_or("8".into()), "--top")?;
+    let top: usize = parse_num(
+        &flag_value(args, "--top")
+            .or_else(|| flag_value(args, "--top-k"))
+            .unwrap_or("8".into()),
+        "--top",
+    )?;
     let metrics_out = flag_value(args, "--metrics-json");
     let trace = flag_present(args, "--trace");
 
@@ -220,6 +228,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if flag_present(args, "--no-sim-cache") {
         config.use_sim_cache = false;
     }
+    if flag_present(args, "--no-prune") {
+        config.prune = false;
+    }
     config.recorder = obs;
     let retriever = Retriever::new(&model, &catalog, config).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
@@ -228,11 +239,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     println!("query: {text}");
     println!(
-        "{} candidates in {elapsed:.2?} ({} sim evals, {}/{} videos visited)",
+        "{} candidates in {elapsed:.2?} ({} sim evals, {}/{} videos visited, \
+         {} bound-skipped, {} entries pruned)",
         results.len(),
         stats.total_sim_evaluations(),
         stats.videos_visited,
-        catalog.video_count()
+        catalog.video_count(),
+        stats.videos_skipped_by_bound,
+        stats.entries_pruned,
     );
     for (rank, r) in results.iter().enumerate() {
         let steps: Vec<String> = r
