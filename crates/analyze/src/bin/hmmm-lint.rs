@@ -1,0 +1,41 @@
+//! Workspace lint pass. Usage: `hmmm-lint [--root <dir>]`.
+//!
+//! Scans every first-party `.rs` file for the repo-specific rules in
+//! `hmmm_analyze::lints` and prints one line per violation. Exit code 1
+//! if anything fired — CI treats violations as failures.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => hmmm_analyze::walk::default_repo_root(),
+        [flag, dir] if flag == "--root" => PathBuf::from(dir),
+        _ => {
+            eprintln!("usage: hmmm-lint [--root <dir>]");
+            return ExitCode::from(2);
+        }
+    };
+    match hmmm_analyze::lint_workspace(&root) {
+        Err(e) => {
+            eprintln!("hmmm-lint: {e}");
+            ExitCode::from(2)
+        }
+        Ok((violations, files)) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("hmmm-lint: {files} files scanned, 0 violations");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "hmmm-lint: {files} files scanned, {} violation(s)",
+                    violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! A minimal Rust surface lexer.
+//!
+//! The lints in this crate are lexical, so all they need is a faithful
+//! separation of each source line into *code* and *comment* channels, with
+//! string-literal contents masked out of the code channel (the quotes stay,
+//! the payload goes). That keeps every downstream pattern search honest:
+//!
+//! * a forbidden pattern inside a string literal (e.g. a lint fixture
+//!   embedded in a test) never fires;
+//! * a forbidden pattern inside a comment never fires;
+//! * allow-markers and `// ordering:` rationales are searched in the
+//!   comment channel only, so a string containing the marker text cannot
+//!   suppress a lint.
+//!
+//! Handled syntax: `//` line comments, nested `/* */` block comments,
+//! string literals with escapes, raw strings `r"…"`/`r#"…"#` (any hash
+//! depth, with `b`/`br` prefixes), and char literals vs. lifetimes
+//! (`'a'` vs `'a`). This is not a full lexer — it is exactly enough to
+//! classify bytes into code/comment/string for line-oriented lints.
+
+/// One scanned source file, split line-by-line into channels.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Original source lines, verbatim.
+    pub raw: Vec<String>,
+    /// Code channel: comments removed, string contents masked (delimiters
+    /// kept so call-shape patterns like `.counter("` still match).
+    pub code: Vec<String>,
+    /// Comment channel: the comment text present on each line (including
+    /// the `//` / `/*` markers), empty where there is none.
+    pub comments: Vec<String>,
+}
+
+enum State {
+    Code,
+    LineComment,
+    Block(usize),
+    Str,
+    RawStr(usize),
+}
+
+/// `true` for characters that can be part of an identifier.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `source` into per-line code and comment channels.
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut raw = Vec::new();
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut raw_line = String::new();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut state = State::Code;
+    let mut prev_code_char = '\n';
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A newline ends the line in every state; line comments also
+            // end, block comments and (raw) strings continue.
+            raw.push(std::mem::take(&mut raw_line));
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut comment_line));
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        raw_line.push(c);
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied().unwrap_or('\0');
+                if c == '/' && next == '/' {
+                    state = State::LineComment;
+                    comment_line.push_str("//");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == '*' {
+                    state = State::Block(1);
+                    comment_line.push_str("/*");
+                    raw_line.push('*');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code_line.push('"');
+                    state = State::Str;
+                    prev_code_char = '"';
+                    i += 1;
+                    continue;
+                }
+                // Raw-string openers: r" r#" br" rb… — only when the
+                // prefix letter is not the tail of a longer identifier.
+                if (c == 'r' || c == 'b') && !is_ident(prev_code_char) {
+                    let mut j = i;
+                    if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    if chars.get(j).copied() == Some('r') || c == 'r' {
+                        let mut k = if c == 'b' { j + 1 } else { i + 1 };
+                        let mut hashes = 0usize;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if chars.get(k) == Some(&'"') {
+                            // Emit the opener (prefix, hashes, quote) into
+                            // both channels; `raw_line` already holds `c`.
+                            for &oc in &chars[i..=k] {
+                                code_line.push(oc);
+                            }
+                            for &oc in &chars[i + 1..=k] {
+                                raw_line.push(oc);
+                            }
+                            state = State::RawStr(hashes);
+                            prev_code_char = '"';
+                            i = k + 1;
+                            continue;
+                        }
+                    }
+                    code_line.push(c);
+                    prev_code_char = c;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime. `'\…'` and `'x'` are char
+                    // literals; `'ident` (no closing quote right after one
+                    // char) is a lifetime or loop label.
+                    if next == '\\' {
+                        // Escape: consume until the closing quote.
+                        code_line.push('\'');
+                        let mut k = i + 1;
+                        while k < chars.len() && chars[k] != '\'' {
+                            if chars[k] == '\\' {
+                                k += 1; // skip the escaped character
+                            }
+                            k += 1;
+                            if k > i + 12 {
+                                break; // malformed; bail out of the literal
+                            }
+                        }
+                        for &cc in chars.get(i + 1..=k.min(chars.len() - 1)).unwrap_or(&[]) {
+                            raw_line.push(cc);
+                        }
+                        code_line.push('\'');
+                        prev_code_char = '\'';
+                        i = k + 1;
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') && next != '\'' {
+                        // Simple char literal 'x': mask the payload.
+                        code_line.push('\'');
+                        code_line.push('\'');
+                        raw_line.push(next);
+                        raw_line.push('\'');
+                        prev_code_char = '\'';
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime / label: plain code.
+                    code_line.push('\'');
+                    prev_code_char = '\'';
+                    i += 1;
+                    continue;
+                }
+                code_line.push(c);
+                prev_code_char = c;
+                i += 1;
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied().unwrap_or('\0');
+                if c == '*' && next == '/' {
+                    comment_line.push_str("*/");
+                    raw_line.push('/');
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    comment_line.push_str("/*");
+                    raw_line.push('*');
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped character (mask both).
+                    if let Some(&nc) = chars.get(i + 1) {
+                        if nc != '\n' {
+                            raw_line.push(nc);
+                        }
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    code_line.push('"');
+                    state = State::Code;
+                    prev_code_char = '"';
+                    i += 1;
+                } else {
+                    i += 1; // masked payload
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if chars.get(i + 1 + h) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code_line.push('"');
+                        for _ in 0..hashes {
+                            code_line.push('#');
+                            raw_line.push('#');
+                        }
+                        state = State::Code;
+                        prev_code_char = '"';
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                i += 1; // masked payload
+            }
+        }
+    }
+    if !raw_line.is_empty() || !code_line.is_empty() || !comment_line.is_empty() {
+        raw.push(raw_line);
+        code.push(code_line);
+        comments.push(comment_line);
+    }
+    ScannedFile {
+        raw,
+        code,
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let s = scan("let x = foo(\"secret_pattern\", 1);\n");
+        assert_eq!(s.code[0], "let x = foo(\"\", 1);");
+        assert!(s.comments[0].is_empty());
+    }
+
+    #[test]
+    fn separates_line_comments() {
+        let s = scan("let y = 1; // trailing note\n");
+        assert_eq!(s.code[0], "let y = 1; ");
+        assert_eq!(s.comments[0], "// trailing note");
+    }
+
+    #[test]
+    fn nested_block_comments_stay_comments() {
+        let s = scan("a /* one /* two */ still comment */ b\n");
+        assert_eq!(s.code[0].replace(' ', ""), "ab");
+        assert!(s.comments[0].contains("still comment"));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "let q = r#\"inner \"quoted\" payload\"#;\n";
+        let s = scan(src);
+        assert!(!s.code[0].contains("payload"));
+        assert!(s.code[0].contains("r#\"\"#") || s.code[0].contains("\"#"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_strings() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(s.code[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literals_are_masked() {
+        let s = scan("let c = 'x'; let nl = '\\n'; let lt: &'static str = \"\";\n");
+        assert!(!s.code[0].contains('x'));
+        assert!(s.code[0].contains("'static"));
+    }
+
+    #[test]
+    fn multiline_strings_span_lines() {
+        let s = scan("let m = \"line one\nline two\";\nlet after = 1;\n");
+        assert!(!s.code[0].contains("line one"));
+        assert!(!s.code[1].contains("line two"));
+        assert_eq!(s.code[2], "let after = 1;");
+    }
+}

@@ -1,0 +1,398 @@
+//! The repo-specific lint rules.
+//!
+//! Each lint encodes a convention the retrieval suite's correctness
+//! arguments lean on (see the crate docs for the mapping to PRs 1–3).
+//! Rules are lexical: they run over the [`crate::lexer`] code/comment
+//! channels, so patterns inside strings or comments never fire.
+//!
+//! Suppression: a comment `hmmm-lint: allow(<lint-name>)` on the same line
+//! or the line above suppresses that lint for that line; a comment
+//! `hmmm-lint: allow-file(<lint-name>)` anywhere suppresses it for the
+//! whole file. Both must state a reason to survive review — the marker is
+//! grep-able precisely so exemptions stay visible.
+
+use crate::lexer::ScannedFile;
+
+/// Raw `f64` comparison outside the blessed total-order helper.
+pub const LINT_RAW_FLOAT_CMP: &str = "raw-float-cmp";
+/// `HashMap`/`HashSet` in ranking/emission paths (iteration order races).
+pub const LINT_HASH_ITERATION: &str = "hash-iteration";
+/// Atomic access without an `// ordering:` rationale comment.
+pub const LINT_ATOMIC_ORDERING: &str = "atomic-ordering-comment";
+/// Metric/span name passed as a string literal instead of a registry const.
+pub const LINT_METRIC_LITERAL: &str = "metric-literal";
+/// Registered paper-equation fn lacking an equation-anchored rustdoc.
+pub const LINT_EQUATION_DOC: &str = "equation-doc";
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired (one of the `LINT_*` constants).
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Files allowed to touch the raw float-compare primitives: the blessed
+/// helper itself.
+const BLESSED_FLOAT_CMP_FILES: &[&str] = &["crates/matrix/src/order.rs"];
+
+/// Path prefixes whose code is a ranking or emission path: hash-order
+/// iteration there can change observable output between runs.
+const HASH_FORBIDDEN_PREFIXES: &[&str] =
+    &["crates/core/src/", "crates/obs/src/", "crates/baselines/src/"];
+
+/// Path prefixes where metric/span names must come from the registry
+/// (`crates/core/src/metrics.rs`).
+const METRIC_SCOPE_PREFIXES: &[&str] = &[
+    "crates/core/",
+    "crates/obs/src/",
+    "crates/bench/",
+    "src/",
+    "tests/",
+    "examples/",
+];
+
+/// Recorder-call heads whose first argument is a metric/span name.
+const METRIC_CALL_HEADS: &[&str] = &[
+    ".span(",
+    ".span_labeled(",
+    ".counter(",
+    ".gauge(",
+    ".observe_ns(",
+    ".histogram(",
+];
+
+/// Variants of `std::sync::atomic::Ordering`. Lexically disjoint from
+/// `std::cmp::Ordering`'s `Less`/`Equal`/`Greater`, so matching on the
+/// variant name alone cannot misfire on comparison code.
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::SeqCst",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::Relaxed",
+    "Ordering::AcqRel",
+];
+
+/// How many preceding lines may carry the `ordering:` rationale for an
+/// atomic access (multi-line `compare_exchange` calls push the variant a
+/// few lines below the comment).
+const ORDERING_COMMENT_WINDOW: usize = 8;
+
+/// Registry of public fns that implement numbered paper equations and must
+/// say so in their rustdoc. Matching is `pub fn <name>(`, so sibling names
+/// sharing a prefix do not collide.
+pub const EQUATION_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/core/src/sim.rs",
+        &[
+            "similarity",
+            "self_similarity",
+            "calibrated_similarity",
+            "max_calibrated_similarity",
+            "best_alternative",
+        ],
+    ),
+    (
+        "crates/core/src/construct.rs",
+        &[
+            "a1_initial_from_counts",
+            "build_hmmm",
+            "build_hmmm_observed",
+            "event_centroids",
+            "learn_p12",
+        ],
+    ),
+    (
+        "crates/core/src/bounds.rs",
+        &["new", "for_video", "with_video_ub", "entry_ub"],
+    ),
+    ("crates/core/src/feedback.rs", &["apply", "apply_observed"]),
+    (
+        "crates/core/src/simcache.rs",
+        &[
+            "build",
+            "max_calibrated",
+            "max_calibrated_in",
+            "self_similarity",
+            "calibrated",
+            "best_alternative",
+        ],
+    ),
+    (
+        "crates/core/src/audit.rs",
+        &["audit_numeric", "audit_links"],
+    ),
+];
+
+/// Anchor substrings accepted as an equation reference in rustdoc.
+const EQUATION_ANCHORS: &[&str] = &["Eq.", "Eqs.", "§", "Definition", "Figure", "Table", "Step"];
+
+fn has_allow(scan: &ScannedFile, line: usize, lint: &str) -> bool {
+    let marker = format!("hmmm-lint: allow({lint})");
+    let file_marker = format!("hmmm-lint: allow-file({lint})");
+    if scan.comments.iter().any(|c| c.contains(&file_marker)) {
+        return true;
+    }
+    let same = scan.comments.get(line).is_some_and(|c| c.contains(&marker));
+    let above = line > 0
+        && scan
+            .comments
+            .get(line - 1)
+            .is_some_and(|c| c.contains(&marker));
+    same || above
+}
+
+/// `true` if `needle` occurs in `hay` delimited by non-identifier chars.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Marks lines belonging to `#[cfg(test)] mod … { … }` regions. Unit-test
+/// modules are exempt from the metric-literal lint: they exercise recorder
+/// *mechanics* with ad-hoc names by design, while integration tests under
+/// `tests/` assert on real pipeline metrics and stay in scope.
+fn cfg_test_lines(scan: &ScannedFile) -> Vec<bool> {
+    let n = scan.code.len();
+    let mut in_test = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if scan.code[i].trim().starts_with("#[cfg(test)]") {
+            // Find the `mod … {` opener within the next few lines, then
+            // mark lines until its braces balance out.
+            let mut j = i + 1;
+            while j < n && j <= i + 3 && !scan.code[j].contains("mod ") {
+                j += 1;
+            }
+            if j < n && j <= i + 3 && scan.code[j].contains("mod ") {
+                let mut depth = 0i64;
+                let mut opened = false;
+                let mut k = j;
+                while k < n {
+                    in_test[k] = true;
+                    for c in scan.code[k].chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Runs every applicable lint over one scanned file. `rel` is the
+/// repo-relative path with `/` separators.
+pub fn lint_file(rel: &str, scan: &ScannedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    lint_raw_float_cmp(rel, scan, &mut out);
+    lint_hash_iteration(rel, scan, &mut out);
+    lint_atomic_ordering(rel, scan, &mut out);
+    lint_metric_literal(rel, scan, &mut out);
+    lint_equation_doc(rel, scan, &mut out);
+    out
+}
+
+fn lint_raw_float_cmp(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    if BLESSED_FLOAT_CMP_FILES.contains(&rel) {
+        return;
+    }
+    for (idx, line) in scan.code.iter().enumerate() {
+        for needle in ["partial_cmp", "total_cmp"] {
+            if contains_word(line, needle) && !has_allow(scan, idx, LINT_RAW_FLOAT_CMP) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    lint: LINT_RAW_FLOAT_CMP,
+                    message: format!(
+                        "raw `{needle}` outside the blessed helper — use \
+                         hmmm_matrix::order::cmp_f64 / cmp_f64_desc so every \
+                         ranking agrees on one total order"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn lint_hash_iteration(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    if !HASH_FORBIDDEN_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    for (idx, line) in scan.code.iter().enumerate() {
+        for needle in ["HashMap", "HashSet"] {
+            if contains_word(line, needle) && !has_allow(scan, idx, LINT_HASH_ITERATION) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    lint: LINT_HASH_ITERATION,
+                    message: format!(
+                        "`{needle}` in a ranking/emission path — iteration \
+                         order is nondeterministic; use BTreeMap/BTreeSet or \
+                         index-keyed Vecs (byte-identical output contract)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn lint_atomic_ordering(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    for (idx, line) in scan.code.iter().enumerate() {
+        if !ATOMIC_ORDERINGS.iter().any(|o| line.contains(o)) {
+            continue;
+        }
+        let lo = idx.saturating_sub(ORDERING_COMMENT_WINDOW);
+        let justified = (lo..=idx).any(|j| {
+            scan.comments
+                .get(j)
+                .is_some_and(|c| c.contains("ordering:"))
+        });
+        if !justified && !has_allow(scan, idx, LINT_ATOMIC_ORDERING) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                lint: LINT_ATOMIC_ORDERING,
+                message: "atomic access without an `// ordering:` rationale \
+                          comment within the preceding lines — state why this \
+                          memory ordering is sufficient"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn lint_metric_literal(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    if !METRIC_SCOPE_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    // The registry itself defines the literals.
+    if rel == "crates/core/src/metrics.rs" {
+        return;
+    }
+    let in_test = cfg_test_lines(scan);
+    for (idx, line) in scan.code.iter().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for head in METRIC_CALL_HEADS {
+            let mut search = 0usize;
+            while let Some(pos) = line[search..].find(head) {
+                let after = search + pos + head.len();
+                let rest = line[after..].trim_start();
+                if rest.starts_with('"') && !has_allow(scan, idx, LINT_METRIC_LITERAL) {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        lint: LINT_METRIC_LITERAL,
+                        message: format!(
+                            "string literal passed to `{}` — metric/span \
+                             names must be constants from \
+                             crates/core/src/metrics.rs (drift between emit \
+                             and read sites is silent)",
+                            head.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    });
+                }
+                search = after;
+            }
+        }
+    }
+}
+
+fn lint_equation_doc(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    let Some((_, fns)) = EQUATION_FNS.iter().find(|(f, _)| rel == *f) else {
+        return;
+    };
+    for fname in *fns {
+        let sig = format!("pub fn {fname}(");
+        let sig_generic = format!("pub fn {fname}<");
+        let found = scan
+            .code
+            .iter()
+            .position(|l| l.contains(&sig) || l.contains(&sig_generic));
+        let Some(line) = found else {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: 1,
+                lint: LINT_EQUATION_DOC,
+                message: format!(
+                    "registered equation fn `{fname}` not found — update the \
+                     EQUATION_FNS registry in hmmm-analyze"
+                ),
+            });
+            continue;
+        };
+        // Collect the contiguous rustdoc/attribute block above the signature.
+        let mut doc = String::new();
+        let mut j = line;
+        while j > 0 {
+            j -= 1;
+            let raw = scan.raw[j].trim();
+            if raw.starts_with("///") || raw.starts_with("#[") || raw.starts_with("//") {
+                doc.push_str(raw);
+                doc.push('\n');
+            } else {
+                break;
+            }
+        }
+        let anchored = EQUATION_ANCHORS.iter().any(|a| doc.contains(a));
+        if !anchored && !has_allow(scan, line, LINT_EQUATION_DOC) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line + 1,
+                lint: LINT_EQUATION_DOC,
+                message: format!(
+                    "`{fname}` implements a paper equation but its rustdoc \
+                     names no anchor (Eq./§/Definition/Figure/Table/Step)"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Workspace file discovery for the lint pass.
+
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: vendored stubs, build output, VCS internals.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".claude", "node_modules"];
+
+/// Top-level roots that hold first-party Rust sources.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches"];
+
+/// Best-effort repo root: the workspace directory two levels above this
+/// crate's manifest. Binaries accept an explicit override instead.
+pub fn default_repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// All first-party `.rs` files under `root`, as (absolute, repo-relative)
+/// pairs, sorted by relative path so output order is deterministic.
+pub fn rust_sources(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut out = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, root, &mut out);
+        }
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    out
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect(&path, root, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((path, rel));
+        }
+    }
+}

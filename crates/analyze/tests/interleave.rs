@@ -1,0 +1,100 @@
+//! The interleaving checker's own contracts: the standard suite passes,
+//! the explorer genuinely enumerates schedules, and the step-driven model
+//! agrees with the real `hmmm_core::SharedTopK` on serial executions
+//! (model faithfulness — a checker of a divergent model proves nothing).
+
+use hmmm_analyze::interleave::{explore, run_standard_suite, Scenario};
+use hmmm_core::SharedTopK;
+
+#[test]
+fn standard_suite_upholds_all_invariants() {
+    let reports = run_standard_suite().expect("no interleaving violates the invariants");
+    assert_eq!(reports.len(), 10);
+    for (name, r) in &reports {
+        assert!(r.states > 0, "{name}: no states explored");
+        assert!(r.schedules >= 1, "{name}: no schedules counted");
+    }
+}
+
+#[test]
+fn schedule_count_matches_closed_form_for_tiny_case() {
+    // k=1, one offer each. Per thread: Idle-start, scan slot0, CAS (or
+    // raise), rescan, raise-load [, raise-CAS] — the DAG's path count is
+    // fixed by the model, and a regression here means the step structure
+    // changed (which would silently weaken the exhaustiveness claim).
+    let r = explore(&Scenario {
+        k: 1,
+        offers: [vec![0.9], vec![0.5]],
+    })
+    .unwrap();
+    // Both threads together take a bounded number of steps; every
+    // interleaving of two fixed sequences of lengths m and n is C(m+n, m).
+    // The exact value is pinned as a golden number (verified once by
+    // unmemoized enumeration): any drift flags a model change.
+    assert_eq!(r.schedules, 1061);
+    assert_eq!(r.finals, 1);
+}
+
+#[test]
+fn zero_capacity_register_never_moves() {
+    let r = explore(&Scenario {
+        k: 0,
+        offers: [vec![0.4], vec![0.6]],
+    })
+    .unwrap();
+    // Both offers hit the empty-slots fast path: two scheduling steps,
+    // one final state, threshold pinned at +inf (checked inside explore).
+    assert_eq!(r.finals, 1);
+    assert_eq!(r.schedules, 2);
+}
+
+#[test]
+fn rejects_invalid_scores() {
+    assert!(explore(&Scenario {
+        k: 1,
+        offers: [vec![f64::NAN], vec![]],
+    })
+    .is_err());
+    assert!(explore(&Scenario {
+        k: 1,
+        offers: [vec![-1.0], vec![]],
+    })
+    .is_err());
+}
+
+/// Serial replays: the model must agree with the real register when one
+/// thread runs to completion before the other starts. (Concurrent
+/// equivalence is exactly what the explorer proves *about the model*; this
+/// pins the model to the implementation.)
+#[test]
+fn model_matches_real_register_serially() {
+    let cases: Vec<(usize, Vec<f64>, Vec<f64>)> = vec![
+        (1, vec![0.9], vec![0.5]),
+        (2, vec![0.5, 0.9], vec![0.7]),
+        (2, vec![0.5, 0.5], vec![0.5]),
+        (3, vec![0.2, 0.9], vec![0.4, 0.6]),
+        (3, vec![0.5], vec![0.7]),
+        (2, vec![0.0, 0.8], vec![0.6, 0.0]),
+        (4, vec![0.1, 0.2, 0.3], vec![0.9, 0.8]),
+    ];
+    for (k, a, b) in cases {
+        let real = SharedTopK::new(k);
+        for &s in a.iter().chain(b.iter()) {
+            real.offer(s);
+        }
+        // The model's final threshold is checked against the exact k-th
+        // best inside `explore` for *every* schedule — serial ones
+        // included — so equality with the real register's serial result
+        // follows if both match the same k-th best.
+        let mut all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_by(|x, y| hmmm_core::order::cmp_f64_desc(*x, *y));
+        let expected = all.get(k.wrapping_sub(1)).copied().unwrap_or(0.0);
+        assert_eq!(
+            real.threshold(),
+            expected,
+            "real SharedTopK diverges from exact k-th best for k={k}"
+        );
+        explore(&Scenario { k, offers: [a, b] })
+            .expect("model upholds invariants on the same scenario");
+    }
+}

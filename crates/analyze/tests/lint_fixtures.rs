@@ -1,0 +1,157 @@
+//! Seeded-violation fixtures: every lint must fire on a minimal bad input
+//! and stay quiet on the corresponding good input. The fixtures are inline
+//! strings, which doubles as a regression test of the lexer's masking —
+//! when `hmmm-lint` scans *this* file, the embedded patterns are string
+//! payloads and must not fire.
+
+use hmmm_analyze::lexer::scan;
+use hmmm_analyze::lints::{
+    lint_file, LINT_ATOMIC_ORDERING, LINT_EQUATION_DOC, LINT_HASH_ITERATION, LINT_METRIC_LITERAL,
+    LINT_RAW_FLOAT_CMP,
+};
+
+fn fired(rel: &str, src: &str, lint: &str) -> usize {
+    lint_file(rel, &scan(src))
+        .iter()
+        .filter(|v| v.lint == lint)
+        .count()
+}
+
+#[test]
+fn raw_float_cmp_fires_on_partial_cmp() {
+    let bad = "fn f(xs: &mut Vec<f64>) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    assert_eq!(fired("crates/core/src/retrieve.rs", bad, LINT_RAW_FLOAT_CMP), 1);
+}
+
+#[test]
+fn raw_float_cmp_fires_on_total_cmp() {
+    // total_cmp would silently reorder -0.0/NaN ties vs the recorded
+    // rankings, so it is just as forbidden as partial_cmp.
+    let bad = "fn f(xs: &mut Vec<f64>) {\n    xs.sort_by(f64::total_cmp);\n}\n";
+    assert_eq!(fired("crates/core/src/cluster.rs", bad, LINT_RAW_FLOAT_CMP), 1);
+}
+
+#[test]
+fn raw_float_cmp_blessed_file_is_exempt() {
+    let helper = "pub fn cmp_f64(a: f64, b: f64) -> Ordering {\n    a.partial_cmp(&b).unwrap_or(Ordering::Equal)\n}\n";
+    assert_eq!(fired("crates/matrix/src/order.rs", helper, LINT_RAW_FLOAT_CMP), 0);
+    // …but only that exact path is blessed.
+    assert_eq!(fired("crates/core/src/order.rs", helper, LINT_RAW_FLOAT_CMP), 1);
+}
+
+#[test]
+fn raw_float_cmp_respects_allow_marker() {
+    let allowed = "// hmmm-lint: allow(raw-float-cmp) — fixture\nlet o = a.partial_cmp(&b);\n";
+    assert_eq!(fired("crates/core/src/sim.rs", allowed, LINT_RAW_FLOAT_CMP), 0);
+}
+
+#[test]
+fn raw_float_cmp_ignores_strings_and_comments() {
+    let quiet = "// partial_cmp is mentioned here\nlet s = \"partial_cmp\";\n";
+    assert_eq!(fired("crates/core/src/sim.rs", quiet, LINT_RAW_FLOAT_CMP), 0);
+}
+
+#[test]
+fn hash_iteration_fires_in_ranking_paths_only() {
+    let bad = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f64> = HashMap::new(); }\n";
+    // Two mentions on the use/decl lines each count.
+    assert!(fired("crates/core/src/retrieve.rs", bad, LINT_HASH_ITERATION) >= 2);
+    assert!(fired("crates/obs/src/memory.rs", bad, LINT_HASH_ITERATION) >= 2);
+    // Out of scope: the query translator's name index is allowed.
+    assert_eq!(fired("crates/query/src/translate.rs", bad, LINT_HASH_ITERATION), 0);
+}
+
+#[test]
+fn hash_iteration_does_not_fire_on_btree() {
+    let good = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, f64> = BTreeMap::new(); }\n";
+    assert_eq!(fired("crates/core/src/retrieve.rs", good, LINT_HASH_ITERATION), 0);
+}
+
+#[test]
+fn atomic_ordering_fires_without_rationale() {
+    let bad = "fn f(x: &AtomicU64) -> u64 {\n    x.load(Ordering::SeqCst)\n}\n";
+    assert_eq!(fired("crates/core/src/topk.rs", bad, LINT_ATOMIC_ORDERING), 1);
+}
+
+#[test]
+fn atomic_ordering_satisfied_by_comment() {
+    let good = "fn f(x: &AtomicU64) -> u64 {\n    // ordering: SeqCst — fixture rationale\n    x.load(Ordering::SeqCst)\n}\n";
+    assert_eq!(fired("crates/core/src/topk.rs", good, LINT_ATOMIC_ORDERING), 0);
+}
+
+#[test]
+fn atomic_ordering_not_confused_by_cmp_ordering() {
+    // std::cmp::Ordering variants are lexically disjoint from the atomic
+    // ones; ranking code must not need rationale comments.
+    let good = "fn f(a: u32, b: u32) -> Ordering {\n    a.cmp(&b).then(Ordering::Equal)\n}\n";
+    assert_eq!(fired("crates/core/src/retrieve.rs", good, LINT_ATOMIC_ORDERING), 0);
+}
+
+#[test]
+fn metric_literal_fires_on_inline_name() {
+    let bad = "fn f(h: &RecorderHandle) {\n    h.counter(\"retrieve.queries\", 1);\n}\n";
+    assert_eq!(fired("crates/core/src/retrieve.rs", bad, LINT_METRIC_LITERAL), 1);
+}
+
+#[test]
+fn metric_literal_quiet_on_registry_constant() {
+    let good = "fn f(h: &RecorderHandle) {\n    h.counter(metrics::CTR_QUERIES, 1);\n}\n";
+    assert_eq!(fired("crates/core/src/retrieve.rs", good, LINT_METRIC_LITERAL), 0);
+}
+
+#[test]
+fn metric_literal_skips_cfg_test_modules() {
+    let unit_test = "fn emit() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { h.counter(\"ad.hoc\", 1); }\n}\n";
+    assert_eq!(fired("crates/obs/src/recorder.rs", unit_test, LINT_METRIC_LITERAL), 0);
+    // Outside the test module the same call fires.
+    let src_code = "fn emit(h: &H) { h.counter(\"ad.hoc\", 1); }\n";
+    assert_eq!(fired("crates/obs/src/recorder.rs", src_code, LINT_METRIC_LITERAL), 1);
+}
+
+#[test]
+fn metric_literal_registry_file_is_exempt() {
+    let defs = "pub fn derived(r: &R) -> u64 { r.counter(\"anything\") }\n";
+    assert_eq!(fired("crates/core/src/metrics.rs", defs, LINT_METRIC_LITERAL), 0);
+}
+
+#[test]
+fn metric_literal_file_marker_suppresses() {
+    let marked = "// hmmm-lint: allow-file(metric-literal) — fixture\nfn f(h: &H) { h.gauge(\"x\", 1.0); }\n";
+    assert_eq!(fired("crates/core/tests/some_test.rs", marked, LINT_METRIC_LITERAL), 0);
+}
+
+#[test]
+fn equation_doc_fires_on_missing_anchor() {
+    let bad = "/// Computes the similarity.\npub fn similarity(a: f64) -> f64 { a }\n";
+    // The registry expects several fns in sim.rs; `similarity` present but
+    // unanchored fires once, the absent registered names fire as stale
+    // registry entries.
+    let violations = lint_file("crates/core/src/sim.rs", &scan(bad));
+    assert!(violations
+        .iter()
+        .any(|v| v.lint == LINT_EQUATION_DOC && v.message.contains("no anchor")));
+}
+
+#[test]
+fn equation_doc_quiet_with_anchor() {
+    let good = "/// The Eq. 14 similarity.\npub fn similarity(a: f64) -> f64 { a }\n";
+    let violations = lint_file("crates/core/src/sim.rs", &scan(good));
+    assert!(!violations
+        .iter()
+        .any(|v| v.lint == LINT_EQUATION_DOC && v.message.contains("similarity` implements")));
+}
+
+#[test]
+fn equation_doc_flags_stale_registry() {
+    let empty = "// nothing here\n";
+    let violations = lint_file("crates/core/src/audit.rs", &scan(empty));
+    assert!(violations
+        .iter()
+        .any(|v| v.lint == LINT_EQUATION_DOC && v.message.contains("not found")));
+}
+
+#[test]
+fn unregistered_files_not_checked_for_equation_docs() {
+    let bad = "/// Undocumented equation impl.\npub fn mystery(a: f64) -> f64 { a }\n";
+    assert_eq!(fired("crates/media/src/lib.rs", bad, LINT_EQUATION_DOC), 0);
+}

@@ -1,0 +1,22 @@
+//! The workspace must lint clean — the same gate CI's `analyze` job runs,
+//! enforced from `cargo test` too so a violation cannot land unnoticed
+//! between CI configs.
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = hmmm_analyze::walk::default_repo_root();
+    let (violations, files) = hmmm_analyze::lint_workspace(&root).expect("workspace readable");
+    assert!(
+        files > 50,
+        "suspiciously few files scanned ({files}) — walker broken?"
+    );
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -155,7 +155,7 @@ fn build(
     for feature in 0..FEATURE_COUNT {
         values.clear();
         values.extend(idx.iter().map(|&i| data[i].0[feature]));
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.sort_by(|a, b| hmmm_matrix::order::cmp_f64(*a, *b));
         values.dedup();
         if values.len() < 2 {
             continue;

@@ -102,7 +102,7 @@ impl<'a> EventIndexRetriever<'a> {
         }
         stats.videos_visited = self.catalog.video_count();
 
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.sort_by(|a, b| hmmm_core::order::cmp_f64_desc(a.score, b.score));
         results.truncate(limit);
         Ok((results, stats))
     }

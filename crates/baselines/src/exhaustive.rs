@@ -224,9 +224,7 @@ impl<'a> ExhaustiveRetriever<'a> {
 /// Total order matching the HMMM retriever's ranking: score desc, then
 /// video asc, then shot sequence asc — equal scores rank deterministically.
 fn total_rank(a: &RankedPattern, b: &RankedPattern) -> std::cmp::Ordering {
-    b.score
-        .partial_cmp(&a.score)
-        .unwrap_or(std::cmp::Ordering::Equal)
+    hmmm_core::order::cmp_f64_desc(a.score, b.score)
         .then_with(|| a.video.cmp(&b.video))
         .then_with(|| a.shots.cmp(&b.shots))
 }

@@ -100,7 +100,7 @@ impl<'a> GreedyRetriever<'a> {
             }
         }
 
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.sort_by(|a, b| hmmm_core::order::cmp_f64_desc(a.score, b.score));
         results.truncate(limit);
         Ok((results, stats))
     }

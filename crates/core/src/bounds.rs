@@ -63,7 +63,8 @@ pub struct QueryBounds {
 }
 
 impl QueryBounds {
-    /// Wraps precomputed per-step maxima (one entry per pattern step).
+    /// Wraps precomputed per-step maxima of the Eq.-14 similarity factor
+    /// (one entry `sm_j` per pattern step).
     /// The caller derives them from the similarity source in use: with the
     /// query cache they can be *per-video* maxima
     /// ([`crate::simcache::SimCache::max_calibrated_in`] over the video's
@@ -83,8 +84,9 @@ impl QueryBounds {
         self.step_max[step]
     }
 
-    /// Specializes the query bounds to one video, bounding the start
-    /// weight by the separable `pi1_max · sm_0` product and the first hop
+    /// Specializes the query bounds to one video, bounding the Eq.-12
+    /// start weight by the separable `pi1_max · sm_0` product and the
+    /// first Eq.-13 hop
     /// by the video-wide forward maximum `a1_max`. Tight enough for the
     /// uncached fallback; callers holding the query cache should refine
     /// the whole-video bound with [`VideoBounds::with_video_ub`].
@@ -137,7 +139,8 @@ impl VideoBounds {
 
     /// Replaces the whole-video bound with a caller-computed admissible
     /// `raw_ub` (the [`BOUND_SLACK`] inflation is applied here). With the
-    /// query cache the caller can fold `max_s Π_1(s) · sim(s, step 0) ·
+    /// query cache the caller can fold the joint Eq.-12/13 factor
+    /// `max_s Π_1(s) · sim(s, step 0) ·
     /// (1 + a1_row_max[s] · chain[0])` in one pass of table reads — far
     /// tighter than the separable product of [`QueryBounds::for_video`],
     /// since `Π_1` mass, high similarity and a strong outgoing transition

@@ -144,7 +144,7 @@ fn k_medoids(b2: &[[usize; EventKind::COUNT]], k: usize) -> (Vec<usize>, Vec<usi
             .max_by(|&a, &b| {
                 let da = medoids.iter().map(|&med| dist(&b2[a], &b2[med])).fold(f64::INFINITY, f64::min);
                 let db = medoids.iter().map(|&med| dist(&b2[b], &b2[med])).fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                crate::order::cmp_f64(da, db)
             });
         match next {
             Some(v) => medoids.push(v),
@@ -162,9 +162,7 @@ fn k_medoids(b2: &[[usize; EventKind::COUNT]], k: usize) -> (Vec<usize>, Vec<usi
                 .iter()
                 .enumerate()
                 .min_by(|(_, &a), (_, &b)| {
-                    dist(&b2[v], &b2[a])
-                        .partial_cmp(&dist(&b2[v], &b2[b]))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    crate::order::cmp_f64(dist(&b2[v], &b2[a]), dist(&b2[v], &b2[b]))
                 })
                 .map(|(c, _)| c)
                 .expect("k >= 1");
@@ -181,7 +179,7 @@ fn k_medoids(b2: &[[usize; EventKind::COUNT]], k: usize) -> (Vec<usize>, Vec<usi
                 .min_by(|&&a, &&b| {
                     let da: f64 = members.iter().map(|&x| dist(&b2[a], &b2[x])).sum();
                     let db: f64 = members.iter().map(|&x| dist(&b2[b], &b2[x])).sum();
-                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    crate::order::cmp_f64(da, db)
                 })
                 .expect("members non-empty");
             if best != *medoid {

@@ -168,7 +168,8 @@ pub fn build_hmmm(catalog: &Catalog, config: &BuildConfig) -> Result<Hmmm, CoreE
 /// [`build_hmmm`] with per-stage observability: wraps each construction
 /// stage (`B_1` normalization, local MMMs, level-2 matrices, cross-level
 /// glue) in a span and counts model size — see [`crate::metrics`] for the
-/// names. With a noop handle this is exactly `build_hmmm`.
+/// names. With a noop handle this is exactly `build_hmmm` (the §4.2
+/// construction, Eqs. 1–3, 7, 11).
 ///
 /// # Errors
 ///

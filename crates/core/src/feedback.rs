@@ -195,7 +195,8 @@ impl FeedbackLog {
         self.apply_observed(model, catalog, config, &RecorderHandle::noop())
     }
 
-    /// [`FeedbackLog::apply`] with per-stage observability: spans around
+    /// [`FeedbackLog::apply`] (Eqs. 1–2, 4, 5–6, 8–10) with per-stage
+    /// observability: spans around
     /// the `A_1`/`Π_1`, `A_2`/`Π_2` and `P_{1,2}` updates plus the
     /// `feedback.*` counters — see [`crate::metrics`]. With a noop handle
     /// this is exactly `apply`.
@@ -249,7 +250,19 @@ impl FeedbackLog {
             if video_patterns.is_empty() {
                 continue;
             }
-            let base = catalog.video(VideoId(v)).expect("validated above").shot_range.start;
+            // The pattern-validation loop above only proves that every
+            // *referenced* video exists; a catalog with fewer videos than
+            // the model has locals (stale snapshot passed alongside a newer
+            // model) would still reach this lookup. Error out instead of
+            // panicking the feedback path.
+            let Some(record) = catalog.video(VideoId(v)) else {
+                return Err(CoreError::Inconsistent(format!(
+                    "feedback update: model video {v} missing from catalog \
+                     of {} videos (stale catalog?)",
+                    catalog.video_count()
+                )));
+            };
+            let base = record.shot_range.start;
             let n = local.len();
 
             // Eq. (1): counts weighted by the *current* A_1 entries, plus

@@ -36,6 +36,12 @@
 //!   updates (Eqs. 1–2, 4, 5–6, 8–10).
 //! * [`simulate`] — a ground-truth relevance oracle standing in for the
 //!   paper's human feedback (see DESIGN.md substitutions).
+//! * [`audit`] — the λ-invariant deep auditor: numeric Definition-1
+//!   well-formedness checks (row-stochastic `A_n`, unit-mass `Π_n`/`P_{1,2}`,
+//!   the `L_{1,2}` partition, `B_1'` sanity, fresh pruning bounds) behind
+//!   [`model::Hmmm::deep_audit`] and the `hmmm check` CLI subcommand.
+//! * [`order`] — the blessed total-order float comparators every ranking
+//!   sort goes through (re-exported from `hmmm_matrix::order`).
 //! * [`metrics`] — the canonical metric/span names this crate records
 //!   through [`hmmm_obs`] (attach a recorder via
 //!   [`retrieve::RetrievalConfig::recorder`] to observe the hot path).
@@ -43,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bounds;
 pub mod cluster;
 pub mod construct;
@@ -51,6 +58,7 @@ pub mod feedback;
 pub mod io;
 pub mod metrics;
 pub mod model;
+pub mod order;
 pub mod retrieve;
 pub mod sim;
 pub mod simcache;
@@ -60,7 +68,9 @@ pub mod topk;
 pub use hmmm_obs as obs;
 pub use hmmm_obs::{InMemoryRecorder, MetricsReport, RecorderHandle};
 
+pub use audit::AuditSummary;
 pub use bounds::{QueryBounds, VideoBounds};
+pub use order::{cmp_f64, cmp_f64_desc};
 pub use cluster::CategoryLevel;
 pub use construct::{build_hmmm, build_hmmm_observed, BuildConfig};
 pub use error::CoreError;

@@ -234,6 +234,13 @@ impl Hmmm {
                 )));
             }
         }
+        // Debug builds escalate every shape validation into the full
+        // numeric λ-audit (row-stochastic A_n, unit-mass Π/P_{1,2}, B_1'
+        // ranges) — `Retriever::new` calls through here, so the invariants
+        // get re-proven constantly while tests run. Release builds keep
+        // validation O(shapes); run `hmmm check` / `deep_audit` explicitly.
+        #[cfg(debug_assertions)]
+        crate::audit::audit_numeric(self)?;
         Ok(())
     }
 }

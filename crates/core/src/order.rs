@@ -1,0 +1,10 @@
+//! Re-export of the blessed total-order float comparators.
+//!
+//! The comparators live in [`hmmm_matrix::order`] (the lowest layer that
+//! sorts floats, so `annotate`/`baselines` can share them without a `core`
+//! dependency); this module re-exports them so `core` call sites and
+//! downstream crates can write `hmmm_core::order::cmp_f64_desc`. See the
+//! `raw-float-cmp` lint in `hmmm-analyze` for why the underlying
+//! `partial_cmp` pattern is forbidden everywhere else.
+
+pub use hmmm_matrix::order::{cmp_f64, cmp_f64_desc};

@@ -790,11 +790,7 @@ impl<'a> Retriever<'a> {
 
         let mut order = eligible;
         order.sort_by(|&a, &b| {
-            self.model
-                .pi2
-                .get(b)
-                .partial_cmp(&self.model.pi2.get(a))
-                .unwrap_or(Ordering::Equal)
+            crate::order::cmp_f64_desc(self.model.pi2.get(a), self.model.pi2.get(b))
                 .then_with(|| a.cmp(&b))
         });
         order.into_iter().map(VideoId).collect()
@@ -968,9 +964,7 @@ impl<'a> Retriever<'a> {
                 })
                 .collect();
             scored.sort_by(|a, b| {
-                b.2.partial_cmp(&a.2)
-                    .unwrap_or(Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
+                crate::order::cmp_f64_desc(a.2, b.2).then_with(|| a.0.cmp(&b.0))
             });
             scored.truncate(self.config.max_start_candidates);
             starts = scored;
@@ -1073,10 +1067,7 @@ impl<'a> Retriever<'a> {
             .map(|&idx| materialize(&arena, idx))
             .collect();
         finals.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.path.cmp(&b.path))
+            crate::order::cmp_f64_desc(a.score, b.score).then_with(|| a.path.cmp(&b.path))
         });
         finals.dedup_by(|a, b| a.path == b.path);
         finals.truncate(self.config.per_video_results);
@@ -1207,9 +1198,7 @@ fn same_shot_revisit_ok(
 /// candidates from different videos would rank by arrival order, which the
 /// parallel merge does not preserve.
 fn rank_order(a: &RankedPattern, b: &RankedPattern) -> Ordering {
-    b.score
-        .partial_cmp(&a.score)
-        .unwrap_or(Ordering::Equal)
+    crate::order::cmp_f64_desc(a.score, b.score)
         .then_with(|| a.video.cmp(&b.video))
         .then_with(|| a.shots.cmp(&b.shots))
 }
@@ -1228,10 +1217,7 @@ fn rank_order(a: &RankedPattern, b: &RankedPattern) -> Ordering {
 fn trim_beam(pending: &mut Vec<BeamNode>, width: usize, arena: &[BeamNode]) {
     let width = width.max(1);
     let cmp = |a: &BeamNode, b: &BeamNode| {
-        b.weight
-            .partial_cmp(&a.weight)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| cmp_paths(arena, a, b))
+        crate::order::cmp_f64_desc(a.weight, b.weight).then_with(|| cmp_paths(arena, a, b))
     };
     if pending.len() > width {
         pending.select_nth_unstable_by(width - 1, cmp);

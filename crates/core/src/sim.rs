@@ -118,7 +118,8 @@ pub fn max_calibrated_similarity(model: &Hmmm, event: usize) -> f64 {
 
 /// Similarity of a shot against the best of several alternative events
 /// (MATN branch arcs), returning `(best_event, similarity)`. Uses the
-/// calibrated score so alternatives with small centroids do not dominate.
+/// calibrated Eq.-14 score so alternatives with small centroids do not
+/// dominate.
 /// Ties keep the *earliest* alternative — a total tie-break, so the choice
 /// is reproducible and agrees with [`crate::simcache::SimCache`]. Returns
 /// `None` for an empty alternative list.

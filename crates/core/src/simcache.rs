@@ -213,14 +213,14 @@ impl SimCache {
         }
     }
 
-    /// Largest calibrated score any shot attains for `event` — the
+    /// Largest calibrated Eq.-14 score any shot attains for `event` — the
     /// admissible per-step factor for the exact top-k pruning bounds.
     /// Events outside the query read `0.0`.
     pub fn max_calibrated(&self, event: usize) -> f64 {
         self.col_max.get(event).copied().unwrap_or(0.0)
     }
 
-    /// Largest calibrated score any shot in `shots` (a global shot-id
+    /// Largest calibrated Eq.-14 score any shot in `shots` (a global shot-id
     /// range, e.g. one video's `shot_range`) attains for `event` — the
     /// *per-video* admissible similarity factor. Much tighter than the
     /// archive-wide [`SimCache::max_calibrated`] on videos that barely
@@ -248,12 +248,14 @@ impl SimCache {
         self.event_slots.len()
     }
 
-    /// Memoized [`self_similarity`] — exact, not re-derived per call.
+    /// Memoized [`crate::sim::self_similarity`] (the Eq.-14 calibration
+    /// denominator) — exact, not re-derived per call.
     pub fn self_similarity(&self, event: usize) -> f64 {
         self.self_sims[event]
     }
 
-    /// Cached [`crate::sim::calibrated_similarity`]. Events outside the query
+    /// Cached [`crate::sim::calibrated_similarity`] (Eq. 14, rescaled by
+    /// the event's self-similarity). Events outside the query
     /// pattern score `0.0` (they cannot occur on the traversal hot path).
     pub fn calibrated(&self, shot: usize, event: usize) -> f64 {
         match self.slot_of_event.get(event).copied().flatten() {
@@ -263,7 +265,8 @@ impl SimCache {
     }
 
     /// Cached [`crate::sim::best_alternative`]: best `(event, score)` among
-    /// `events` for `shot`. Ties keep the earliest alternative, matching the
+    /// `events` for `shot` by calibrated Eq.-14 score. Ties keep the
+    /// earliest alternative, matching the
     /// direct implementation's deterministic tie-break.
     pub fn best_alternative(&self, shot: usize, events: &[usize]) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;

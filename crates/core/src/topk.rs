@@ -64,6 +64,10 @@ impl SharedTopK {
     /// so far (`0.0` until `k` positive scores have been offered). Bounds
     /// strictly below this can never reach the returned top-k prefix.
     pub fn threshold(&self) -> f64 {
+        // ordering: SeqCst — a pruning read must sit in the single total
+        // order with every slot CAS and threshold raise, so a worker can
+        // never observe a threshold older than a raise it already observed
+        // indirectly (e.g. via a beam another worker trimmed).
         f64::from_bits(self.threshold.load(Ordering::SeqCst))
     }
 
@@ -85,6 +89,10 @@ impl SharedTopK {
                 // minimum in case the cached threshold lags it.
                 return self.raise_threshold(min);
             }
+            // ordering: SeqCst — the slot CAS must be totally ordered with
+            // the min-scan loads and the threshold raise so two concurrent
+            // offers cannot both displace the same minimum (the admissibility
+            // proof in the interleaving checker relies on this total order).
             if self.slots[idx]
                 .compare_exchange(min, bits, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
@@ -102,6 +110,10 @@ impl SharedTopK {
         let mut idx = 0;
         let mut min = u64::MAX;
         for (i, slot) in self.slots.iter().enumerate() {
+            // ordering: SeqCst — scan loads participate in the same total
+            // order as the slot CASes; a stale load is harmless only because
+            // the subsequent CAS re-checks the value, and that argument
+            // needs the load and CAS to agree on one modification order.
             let v = slot.load(Ordering::SeqCst);
             if v < min {
                 idx = i;
@@ -113,8 +125,15 @@ impl SharedTopK {
 
     /// Monotone CAS-raise of the cached threshold; `true` iff it moved.
     fn raise_threshold(&self, candidate: u64) -> bool {
+        // ordering: SeqCst — pairs with the SeqCst load in `threshold()`;
+        // the raise must become visible before any later prune decision
+        // that could have been influenced by the offer that triggered it.
         let mut current = self.threshold.load(Ordering::SeqCst);
         while candidate > current {
+            // ordering: SeqCst — the monotonicity argument (threshold never
+            // decreases) is a statement about the variable's modification
+            // order; keeping every raise in the single total order makes
+            // the `candidate > current` guard airtight against reordering.
             match self.threshold.compare_exchange_weak(
                 current,
                 candidate,
@@ -136,7 +155,7 @@ mod tests {
     /// The k-th largest of `scores` (counting multiplicity), 0.0 if fewer.
     fn kth_best(scores: &[f64], k: usize) -> f64 {
         let mut sorted: Vec<f64> = scores.to_vec();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| crate::order::cmp_f64_desc(*a, *b));
         sorted.get(k.wrapping_sub(1)).copied().unwrap_or(0.0)
     }
 

@@ -9,6 +9,10 @@
 //!    worker join;
 //! 3. the default (noop) configuration leaves a live recorder untouched.
 
+// hmmm-lint: allow-file(metric-literal) — contract 1 exercises recorder
+// *mechanics* with deliberately ad-hoc names; everything that touches the
+// retrieval pipeline below goes through `hmmm_core::metrics` constants.
+
 use hmmm_core::metrics as m;
 use hmmm_core::{build_hmmm, BuildConfig, InMemoryRecorder, RetrievalConfig, Retriever};
 use hmmm_features::{FeatureVector, FEATURE_COUNT};

@@ -178,6 +178,62 @@ proptest! {
         }
     }
 
+    /// The λ-invariant deep audit accepts every freshly built model and
+    /// every feedback-updated model — the auditor must never cry wolf on
+    /// states the library itself can produce.
+    #[test]
+    fn deep_audit_accepts_library_produced_models(
+        cat in catalog(),
+        picks in proptest::collection::vec((0usize..4, proptest::collection::vec(0usize..12, 1..4), 0.1f64..5.0), 0..10),
+    ) {
+        let mut model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let summary = model.deep_audit(&cat).unwrap();
+        prop_assert_eq!(summary.videos, cat.video_count());
+        prop_assert_eq!(summary.shots, cat.shot_count());
+        prop_assert_eq!(summary.a1_rows, cat.shot_count());
+        prop_assert_eq!(summary.links, cat.shot_count());
+
+        let mut log = FeedbackLog::new();
+        for (q, (v, shots, access)) in picks.into_iter().enumerate() {
+            let video = VideoId(v % cat.video_count());
+            let record = cat.video(video).unwrap();
+            let n = record.shot_count();
+            let mut locals: Vec<usize> = shots.into_iter().map(|s| s % n).collect();
+            locals.sort_unstable();
+            log.record(PositivePattern {
+                query: q as u64,
+                video,
+                shots: locals.iter().map(|&s| ShotId(record.shot_range.start + s)).collect(),
+                events: locals.iter().map(|_| 0).collect(),
+                access,
+            }).unwrap();
+        }
+        log.apply(&mut model, &cat, &FeedbackConfig::default()).unwrap();
+        prop_assert!(model.deep_audit(&cat).is_ok(), "audit rejected a feedback-updated model");
+    }
+
+    /// …and the audit is not vacuous: perturbing any single A1 row of any
+    /// video past the tolerance is always caught, and the error names A1.
+    #[test]
+    fn deep_audit_rejects_any_perturbed_a1_row(
+        cat in catalog(),
+        vsel in 0usize..4,
+        rsel in 0usize..12,
+        bump in 0.01f64..0.75,
+    ) {
+        let mut model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let v = vsel % model.locals.len();
+        let row = rsel % model.locals[v].len();
+        let mut dense: hmmm_matrix::Matrix = model.locals[v].a1.as_matrix().clone();
+        dense[(row, row)] += bump; // row sum now 1 + bump > 1 + tolerance
+        model.locals[v].a1 = hmmm_matrix::StochasticMatrix::new_unchecked(dense);
+        model.locals[v].refresh_bounds(); // keep caches fresh: the row-sum
+                                          // check itself must fire
+        let err = model.deep_audit(&cat).unwrap_err();
+        let msg = err.to_string();
+        prop_assert!(msg.contains("A1"), "error did not name A1: {msg}");
+    }
+
     /// Model serde round-trip is lossless for any catalog.
     #[test]
     fn model_serde_round_trip(cat in catalog()) {

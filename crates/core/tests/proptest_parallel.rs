@@ -151,7 +151,7 @@ proptest! {
         prop_assert_eq!(q_stats, o_stats);
         // And the recorder really saw the query.
         let report = recorder.report();
-        prop_assert_eq!(report.counter("retrieve.queries"), 1);
-        prop_assert_eq!(report.counter("retrieve.videos_visited"), q_stats.videos_visited as u64);
+        prop_assert_eq!(report.counter(hmmm_core::metrics::CTR_QUERIES), 1);
+        prop_assert_eq!(report.counter(hmmm_core::metrics::CTR_VIDEOS_VISITED), q_stats.videos_visited as u64);
     }
 }

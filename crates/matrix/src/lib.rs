@@ -29,12 +29,14 @@
 pub mod accumulate;
 pub mod dense;
 pub mod error;
+pub mod order;
 pub mod prob;
 pub mod stochastic;
 
 pub use accumulate::AffinityAccumulator;
 pub use dense::Matrix;
 pub use error::MatrixError;
+pub use order::{cmp_f64, cmp_f64_desc};
 pub use prob::ProbVector;
 pub use stochastic::StochasticMatrix;
 

@@ -1,0 +1,70 @@
+//! The blessed total-order comparators for `f64` scores and probabilities.
+//!
+//! Byte-identical rankings across serial, parallel, and pruned retrieval
+//! runs (§4.2's Eq. 12–15 scoring) require every float comparison in the
+//! suite to agree on one total order, including the tie/NaN fallback. Raw
+//! `partial_cmp(..).unwrap()` / `unwrap_or(Equal)` chains scattered across
+//! call sites are exactly the drift `hmmm-lint` forbids (`raw-float-cmp`):
+//! this module is the single place allowed to touch `partial_cmp` on `f64`,
+//! and every ranking sort in the workspace compares through it.
+//!
+//! Semantics: NaN compares `Equal` to everything — identical to the
+//! `partial_cmp(..).unwrap_or(Ordering::Equal)` idiom the call sites used
+//! before consolidation, so historical rankings are bit-for-bit unchanged.
+//! (Scores and probabilities are never NaN in practice; the fallback exists
+//! only so the order is total.) `f64::total_cmp` is deliberately *not* used:
+//! it orders `-0.0 < +0.0`, which would reorder ties relative to the
+//! recorded rankings the exactness proptests pin down.
+
+use std::cmp::Ordering;
+
+/// Ascending total order on `f64`; NaN ties as `Equal`.
+///
+/// This is the one blessed wrapper around `partial_cmp` — see the module
+/// docs for why call sites must not inline the raw pattern.
+#[allow(clippy::disallowed_methods)]
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+/// Descending total order on `f64` — the ranking direction (best score
+/// first). Exactly `cmp_f64` with the arguments flipped.
+pub fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
+    cmp_f64(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_and_descending_agree() {
+        assert_eq!(cmp_f64(0.25, 0.75), Ordering::Less);
+        assert_eq!(cmp_f64(0.75, 0.25), Ordering::Greater);
+        assert_eq!(cmp_f64(0.5, 0.5), Ordering::Equal);
+        assert_eq!(cmp_f64_desc(0.25, 0.75), Ordering::Greater);
+        assert_eq!(cmp_f64_desc(0.75, 0.25), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_ties_equal_like_the_historical_idiom() {
+        assert_eq!(cmp_f64(f64::NAN, 1.0), Ordering::Equal);
+        assert_eq!(cmp_f64(1.0, f64::NAN), Ordering::Equal);
+        assert_eq!(cmp_f64_desc(f64::NAN, f64::NAN), Ordering::Equal);
+    }
+
+    #[test]
+    fn negative_zero_ties_positive_zero() {
+        // The reason `total_cmp` would change behaviour: -0.0 must remain a
+        // tie with +0.0 so sorts stay stable across the switch.
+        assert_eq!(cmp_f64(-0.0, 0.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn sorts_descending_with_index_tiebreak() {
+        let mut v = [(0usize, 0.1), (1, 0.9), (2, 0.9), (3, 0.4)];
+        v.sort_by(|a, b| cmp_f64_desc(a.1, b.1).then(a.0.cmp(&b.0)));
+        let order: Vec<usize> = v.iter().map(|e| e.0).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+}

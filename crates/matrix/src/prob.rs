@@ -134,10 +134,7 @@ impl ProbVector {
     pub fn ranked(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.0.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.0[b]
-                .partial_cmp(&self.0[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            crate::order::cmp_f64_desc(self.0[a], self.0[b]).then(a.cmp(&b))
         });
         idx
     }

@@ -58,6 +58,17 @@ impl StochasticMatrix {
         Ok(StochasticMatrix(m))
     }
 
+    /// Wraps `m` **without** validating the row-stochastic invariant.
+    ///
+    /// This deliberately punches a hole in the newtype so the λ-invariant
+    /// auditor's negative tests can manufacture invalid models and prove the
+    /// audit rejects them. Never use it on real data: everything downstream
+    /// (Eq. 12–13 traversal weights, the admissible pruning bounds) assumes
+    /// the invariant holds.
+    pub fn new_unchecked(m: Matrix) -> Self {
+        StochasticMatrix(m)
+    }
+
     /// Row-normalizes `m` (per the given zero-row policy) and validates.
     ///
     /// This is the paper's Eq. (2)/(6) step: turning an affinity count matrix
@@ -146,7 +157,7 @@ impl StochasticMatrix {
             .enumerate()
             .filter(|&(_, p)| p > 0.0)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| crate::order::cmp_f64_desc(a.1, b.1));
         out
     }
 

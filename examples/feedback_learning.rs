@@ -86,7 +86,7 @@ fn main() {
     let mut weights: Vec<(usize, f64)> = (0..hmmm_features::FEATURE_COUNT)
         .map(|f| (f, model.p12.get(goal, f)))
         .collect();
-    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    weights.sort_by(|a, b| hmmm_core::order::cmp_f64_desc(a.1, b.1));
     for (f, w) in weights.into_iter().take(5) {
         let name = hmmm_features::FeatureId::from_index(f).expect("valid").name();
         println!("  {name:<22} {w:.4}");

@@ -13,7 +13,8 @@
 //! (`.json` paths use the JSON codec instead).
 
 use hmmm_core::{
-    build_hmmm, build_hmmm_observed, metrics, BuildConfig, CategoryLevel, InMemoryRecorder,
+    build_hmmm, build_hmmm_observed, metrics, BuildConfig, CategoryLevel, FeedbackConfig,
+    FeedbackLog, FeedbackSimulator, InMemoryRecorder, OracleConfig, PositivePattern,
     RecorderHandle, RetrievalConfig, Retriever,
 };
 use hmmm_media::{ArchiveConfig, EventKind, RenderConfig, SyntheticArchive};
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("categories") => cmd_categories(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("matn") => cmd_matn(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -65,6 +67,12 @@ USAGE:
       --trace prints the span tree of the whole run to stdout
   hmmm categories <file> [--k N]
       cluster videos into categories (the d=3 extension)
+  hmmm check <file> [--feedback-rounds N]
+      build the HMMM and run the λ-invariant deep audit: A1/A2
+      row-stochastic, Π1/Π2/P12 unit mass, L12 strictly 0/1, B1'
+      centroid sanity, pruning-bound caches exactly fresh; with
+      --feedback-rounds the audit is repeated after N simulated
+      feedback/learning updates (exit 1 on any violation)
   hmmm matn <pattern>
       print the MATN view and Graphviz dot of a query
   hmmm help
@@ -300,6 +308,64 @@ fn cmd_categories(args: &[String]) -> Result<(), String> {
             cats.medoids[c],
             members.len(),
             profile.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("check requires a catalog path")?;
+    let rounds: usize = parse_num(
+        &flag_value(args, "--feedback-rounds").unwrap_or("0".into()),
+        "--feedback-rounds",
+    )?;
+
+    let catalog = load(path)?;
+    let mut model = build_hmmm(&catalog, &BuildConfig::default()).map_err(|e| e.to_string())?;
+    let summary = model
+        .deep_audit(&catalog)
+        .map_err(|e| format!("λ-invariant audit failed on the freshly built model: {e}"))?;
+    println!("freshly built model audits clean: {summary}");
+    if rounds == 0 {
+        return Ok(());
+    }
+
+    // Re-audit under churn: run the Eqs. 1–10 learning loop with the
+    // simulated user and prove Definition 1 still holds after every update.
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    let pattern = translator
+        .compile("free_kick -> goal")
+        .map_err(|e| e.to_string())?;
+    let fb_cfg = FeedbackConfig::default();
+    let mut oracle = FeedbackSimulator::new(OracleConfig { noise: 0.05, seed: 7 });
+    let mut log = FeedbackLog::new();
+    for round in 1..=rounds {
+        let retriever = Retriever::new(&model, &catalog, RetrievalConfig::default())
+            .map_err(|e| e.to_string())?;
+        let (results, _) = retriever.retrieve(&pattern, 8).map_err(|e| e.to_string())?;
+        let mut confirmed = 0usize;
+        for r in &results {
+            if oracle.judge(&catalog, &pattern, r) {
+                log.record(PositivePattern {
+                    query: round as u64,
+                    video: r.video,
+                    shots: r.shots.clone(),
+                    events: r.events.clone(),
+                    access: 1.0,
+                })
+                .map_err(|e| e.to_string())?;
+                confirmed += 1;
+            }
+        }
+        let report = log
+            .apply(&mut model, &catalog, &fb_cfg)
+            .map_err(|e| e.to_string())?;
+        let summary = model
+            .deep_audit(&catalog)
+            .map_err(|e| format!("λ-invariant audit failed after feedback round {round}: {e}"))?;
+        println!(
+            "round {round}: {confirmed} confirmed, A1 drift {:.4}, P12 drift {:.4} — audits clean: {summary}",
+            report.a1_drift, report.p12_drift
         );
     }
     Ok(())
