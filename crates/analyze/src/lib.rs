@@ -6,7 +6,9 @@
 //! compares and no hash-order iteration on ranking paths; the exact top-k
 //! pruning needs admissible bounds over row-stochastic `A_n`/`Π_n`
 //! (Definition 1, Eqs. 12–15); the metrics registry only prevents
-//! emit/read drift if every site uses it. This crate turns those
+//! emit/read drift if every site uses it; crash-safe persistence only
+//! holds if every durable byte goes through the atomic
+//! write-fsync-rename helper. This crate turns those
 //! conventions into machine-checked rules, with zero external
 //! dependencies so it runs in the same offline vendored-stub build as the
 //! rest of the workspace:
@@ -14,8 +16,8 @@
 //! * [`lexer`] — a hand-rolled code/comment/string-channel scanner (no
 //!   `syn`), exactly enough lexing for line-oriented lints.
 //! * [`lints`] — the rules (`raw-float-cmp`, `hash-iteration`,
-//!   `atomic-ordering-comment`, `metric-literal`, `equation-doc`) and
-//!   their allow-markers.
+//!   `atomic-ordering-comment`, `metric-literal`, `equation-doc`,
+//!   `naked-persist-write`) and their allow-markers.
 //! * [`walk`] — deterministic workspace file discovery.
 //! * [`interleave`] — the `SharedTopK` interleaving explorer: a
 //!   step-driven mock of the CAS-raise loop, exhaustively scheduled over

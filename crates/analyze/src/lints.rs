@@ -23,6 +23,8 @@ pub const LINT_ATOMIC_ORDERING: &str = "atomic-ordering-comment";
 pub const LINT_METRIC_LITERAL: &str = "metric-literal";
 /// Registered paper-equation fn lacking an equation-anchored rustdoc.
 pub const LINT_EQUATION_DOC: &str = "equation-doc";
+/// Direct file write in a persistence path outside the atomic helper.
+pub const LINT_NAKED_PERSIST_WRITE: &str = "naked-persist-write";
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +78,21 @@ const METRIC_CALL_HEADS: &[&str] = &[
     ".observe_ns(",
     ".histogram(",
 ];
+
+/// Path prefixes (or exact files) that persist durable artifacts: every
+/// byte written there must go through the crash-safe
+/// `hmmm_storage::atomic_write` helper so a crash can never leave a torn
+/// generation on disk.
+const PERSIST_SCOPE_PREFIXES: &[&str] = &["crates/storage/src/", "crates/core/src/io.rs"];
+
+/// The one file allowed to open/write files directly: the atomic helper
+/// itself (tempfile + fsync + rename lives here by definition).
+const BLESSED_PERSIST_FILES: &[&str] = &["crates/storage/src/atomic.rs"];
+
+/// Write-path heads that bypass the atomic helper. `fs::write` and
+/// `File::create` truncate in place — a crash mid-call tears the
+/// artifact; `OpenOptions::new` is the general escape hatch to the same.
+const NAKED_WRITE_HEADS: &[&str] = &["fs::write", "File::create", "OpenOptions::new"];
 
 /// Variants of `std::sync::atomic::Ordering`. Lexically disjoint from
 /// `std::cmp::Ordering`'s `Less`/`Equal`/`Greater`, so matching on the
@@ -236,6 +253,7 @@ pub fn lint_file(rel: &str, scan: &ScannedFile) -> Vec<Violation> {
     lint_atomic_ordering(rel, scan, &mut out);
     lint_metric_literal(rel, scan, &mut out);
     lint_equation_doc(rel, scan, &mut out);
+    lint_naked_persist_write(rel, scan, &mut out);
     out
 }
 
@@ -341,6 +359,38 @@ fn lint_metric_literal(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) 
                     });
                 }
                 search = after;
+            }
+        }
+    }
+}
+
+fn lint_naked_persist_write(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    if !PERSIST_SCOPE_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    if BLESSED_PERSIST_FILES.contains(&rel) {
+        return;
+    }
+    // Unit-test modules stay exempt: tests *corrupt* artifacts on purpose
+    // (torn JSON, truncated containers) and direct writes are the point.
+    let in_test = cfg_test_lines(scan);
+    for (idx, line) in scan.code.iter().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for needle in NAKED_WRITE_HEADS {
+            if line.contains(needle) && !has_allow(scan, idx, LINT_NAKED_PERSIST_WRITE) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    lint: LINT_NAKED_PERSIST_WRITE,
+                    message: format!(
+                        "`{needle}` in a persistence path — durable artifacts \
+                         must publish through hmmm_storage::atomic_write \
+                         (tempfile + fsync + rename) or a crash can leave a \
+                         torn generation"
+                    ),
+                });
             }
         }
     }

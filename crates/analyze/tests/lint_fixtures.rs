@@ -7,7 +7,7 @@
 use hmmm_analyze::lexer::scan;
 use hmmm_analyze::lints::{
     lint_file, LINT_ATOMIC_ORDERING, LINT_EQUATION_DOC, LINT_HASH_ITERATION, LINT_METRIC_LITERAL,
-    LINT_RAW_FLOAT_CMP,
+    LINT_NAKED_PERSIST_WRITE, LINT_RAW_FLOAT_CMP,
 };
 
 fn fired(rel: &str, src: &str, lint: &str) -> usize {
@@ -118,6 +118,67 @@ fn metric_literal_registry_file_is_exempt() {
 fn metric_literal_file_marker_suppresses() {
     let marked = "// hmmm-lint: allow-file(metric-literal) — fixture\nfn f(h: &H) { h.gauge(\"x\", 1.0); }\n";
     assert_eq!(fired("crates/core/tests/some_test.rs", marked, LINT_METRIC_LITERAL), 0);
+}
+
+#[test]
+fn naked_persist_write_fires_in_persistence_paths() {
+    let bad = "fn save(p: &Path, b: &[u8]) {\n    fs::write(p, b).unwrap();\n}\n";
+    assert_eq!(
+        fired("crates/storage/src/persist.rs", bad, LINT_NAKED_PERSIST_WRITE),
+        1
+    );
+    assert_eq!(fired("crates/core/src/io.rs", bad, LINT_NAKED_PERSIST_WRITE), 1);
+    let create = "fn save(p: &Path) {\n    let f = File::create(p).unwrap();\n}\n";
+    assert_eq!(
+        fired("crates/storage/src/catalog.rs", create, LINT_NAKED_PERSIST_WRITE),
+        1
+    );
+    let opts = "fn save(p: &Path) {\n    let f = OpenOptions::new().write(true).open(p);\n}\n";
+    assert_eq!(
+        fired("crates/storage/src/persist.rs", opts, LINT_NAKED_PERSIST_WRITE),
+        1
+    );
+}
+
+#[test]
+fn naked_persist_write_blessed_helper_is_exempt() {
+    let helper = "pub fn atomic_write(p: &Path, b: &[u8]) {\n    let f = File::create(tmp).unwrap();\n}\n";
+    assert_eq!(
+        fired("crates/storage/src/atomic.rs", helper, LINT_NAKED_PERSIST_WRITE),
+        0
+    );
+}
+
+#[test]
+fn naked_persist_write_out_of_scope_paths_are_quiet() {
+    // Non-persistence crates write scratch files freely (bench reports,
+    // CLI output, …) — that is not this lint's concern.
+    let bench = "fn dump(p: &Path, b: &[u8]) {\n    fs::write(p, b).unwrap();\n}\n";
+    assert_eq!(
+        fired("crates/bench/src/bin/bench_report.rs", bench, LINT_NAKED_PERSIST_WRITE),
+        0
+    );
+    assert_eq!(fired("src/bin/hmmm.rs", bench, LINT_NAKED_PERSIST_WRITE), 0);
+}
+
+#[test]
+fn naked_persist_write_skips_cfg_test_modules() {
+    // Tests corrupt artifacts on purpose (torn JSON, truncated
+    // containers); direct writes there are the point of the test.
+    let unit_test = "fn save() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { fs::write(&p, b\"garbage\").unwrap(); }\n}\n";
+    assert_eq!(
+        fired("crates/storage/src/persist.rs", unit_test, LINT_NAKED_PERSIST_WRITE),
+        0
+    );
+}
+
+#[test]
+fn naked_persist_write_respects_allow_marker() {
+    let allowed = "// hmmm-lint: allow(naked-persist-write) — fixture\nfs::write(p, b).unwrap();\n";
+    assert_eq!(
+        fired("crates/core/src/io.rs", allowed, LINT_NAKED_PERSIST_WRITE),
+        0
+    );
 }
 
 #[test]

@@ -1,9 +1,13 @@
 //! Brute-force content scan.
 
-use hmmm_core::{CoreError, Hmmm, QueryBounds, RankedPattern, RetrievalStats, SharedTopK, SimCache};
+use hmmm_core::{
+    CoreError, DeadlineConfig, Degraded, DegradedReason, Hmmm, QueryBounds, RankedPattern,
+    RetrievalStats, SharedTopK, SimCache,
+};
 use hmmm_query::CompiledPattern;
 use hmmm_storage::{Catalog, ShotId};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Limits for the exhaustive scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,6 +24,15 @@ pub struct ExhaustiveConfig {
     /// best cannot change which combinations the other frames reach.
     /// Rankings are identical either way; only the work counters move.
     pub prune: bool,
+    /// Optional wall-clock budget, checked at video granularity: once it
+    /// elapses the scan stops admitting videos and returns the
+    /// best-so-far ranking marked [`Degraded`] — the same anytime
+    /// contract as [`hmmm_core::RetrievalConfig::deadline`], minus the
+    /// mid-traversal beam checks the DFS has no beams for. Keeping the
+    /// baseline deadline-aware keeps head-to-head latency sweeps honest:
+    /// both engines answer within the same budget and report how much of
+    /// the archive they covered.
+    pub deadline: Option<DeadlineConfig>,
 }
 
 impl Default for ExhaustiveConfig {
@@ -27,6 +40,7 @@ impl Default for ExhaustiveConfig {
         ExhaustiveConfig {
             max_combinations_per_video: 5_000_000,
             prune: false,
+            deadline: None,
         }
     }
 }
@@ -96,7 +110,19 @@ impl<'a> ExhaustiveRetriever<'a> {
         // (same primitive the beam traversal prunes against).
         let register = self.config.prune.then(|| SharedTopK::new(limit));
 
-        for video in self.catalog.videos() {
+        // Deadline is read once per video — the coarsest anytime
+        // granularity, matching how this scan admits work.
+        let expires_at = self.config.deadline.map(|d| Instant::now() + d.budget);
+
+        let videos = self.catalog.videos();
+        for (vi, video) in videos.iter().enumerate() {
+            if let Some(at) = expires_at {
+                if Instant::now() >= at {
+                    stats.deadline_expired = true;
+                    stats.videos_unvisited += videos.len() - vi;
+                    break;
+                }
+            }
             let base = video.shot_range.start;
             let n = video.shot_count();
             let local = &self.model.locals[video.id.index()];
@@ -217,6 +243,13 @@ impl<'a> ExhaustiveRetriever<'a> {
 
         results.sort_by(total_rank);
         results.truncate(limit);
+        if stats.deadline_expired {
+            stats.degraded = Some(Degraded {
+                videos_unvisited: stats.videos_unvisited,
+                videos_failed: 0,
+                reason: DegradedReason::DeadlineExpired,
+            });
+        }
         Ok((results, stats))
     }
 }
@@ -340,6 +373,46 @@ mod tests {
             assert_eq!(a_stats.entries_pruned, 0);
             assert!(b_stats.transitions_examined <= a_stats.transitions_examined);
         }
+    }
+
+    #[test]
+    fn zero_deadline_degrades_before_any_video() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("free_kick -> goal").unwrap();
+        let cfg = ExhaustiveConfig {
+            deadline: Some(hmmm_core::DeadlineConfig::new(std::time::Duration::ZERO)),
+            ..ExhaustiveConfig::default()
+        };
+        let ex = ExhaustiveRetriever::new(&model, &c, cfg).unwrap();
+        let (results, stats) = ex.retrieve(&pattern, 10).unwrap();
+        assert!(results.is_empty());
+        assert!(stats.deadline_expired);
+        assert_eq!(stats.videos_unvisited, c.video_count());
+        assert_eq!(stats.videos_visited, 0);
+        let degraded = stats.degraded.expect("degraded marker");
+        assert_eq!(degraded.reason, hmmm_core::DegradedReason::DeadlineExpired);
+        assert_eq!(degraded.videos_unvisited, c.video_count());
+    }
+
+    #[test]
+    fn generous_deadline_is_a_no_op() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("free_kick -> goal").unwrap();
+        let plain = ExhaustiveRetriever::new(&model, &c, ExhaustiveConfig::default()).unwrap();
+        let cfg = ExhaustiveConfig {
+            deadline: Some(hmmm_core::DeadlineConfig::new(std::time::Duration::from_secs(
+                3600,
+            ))),
+            ..ExhaustiveConfig::default()
+        };
+        let bounded = ExhaustiveRetriever::new(&model, &c, cfg).unwrap();
+        let (a, a_stats) = plain.retrieve(&pattern, 10).unwrap();
+        let (b, b_stats) = bounded.retrieve(&pattern, 10).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a_stats, b_stats);
+        assert!(b_stats.degraded.is_none());
     }
 
     #[test]

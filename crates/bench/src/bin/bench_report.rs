@@ -55,6 +55,25 @@ struct Sample {
     entries_pruned: u64,
     /// k-th-best threshold raises, total across repeats.
     threshold_raises: u64,
+    /// Panic-isolated videos across repeats — must be 0 in a healthy
+    /// bench (no fault plan attached); nonzero flags a real traversal bug.
+    videos_failed: u64,
+    /// Queries whose deadline expired across repeats — likewise 0 here.
+    deadline_expired: u64,
+}
+
+/// Crash-safe persistence counters from one save+load round trip of the
+/// bench catalog, so `BENCH_retrieval.json` tracks the storage path's
+/// health alongside retrieval.
+#[derive(Debug, Serialize)]
+struct PersistenceSample {
+    /// Atomic-writer transient-error retries (0 on a healthy filesystem).
+    atomic_write_retries: u64,
+    /// `.bak`-generation load fallbacks (nonzero means the freshly written
+    /// primary was unreadable — a red flag, not a perf number).
+    bak_fallbacks: u64,
+    /// Wall clock of the save+load round trip, seconds.
+    seconds: f64,
 }
 
 /// The whole report.
@@ -74,6 +93,8 @@ struct Report {
     /// Serial speedup from the exact top-k prune alone
     /// (unpruned / pruned seconds, both cached).
     prune_speedup_serial: f64,
+    /// Crash-safe persistence round trip of the bench catalog.
+    persistence: PersistenceSample,
 }
 
 fn arg(name: &str) -> Option<String> {
@@ -166,6 +187,8 @@ fn main() {
             videos_skipped_by_bound: metrics.counter(m::CTR_VIDEOS_SKIPPED_BY_BOUND),
             entries_pruned: metrics.counter(m::CTR_ENTRIES_PRUNED),
             threshold_raises: metrics.counter(m::CTR_THRESHOLD_RAISES),
+            videos_failed: metrics.counter(m::CTR_VIDEOS_FAILED),
+            deadline_expired: metrics.counter(m::CTR_DEADLINE_EXPIRED),
         }
     };
 
@@ -209,6 +232,30 @@ fn main() {
         samples.push(sample(threads, true, true, &metrics, serial_secs));
     }
 
+    // One observed save+load round trip through the crash-safe path: the
+    // retry/fallback counters belong in the snapshot so a flaky disk or a
+    // storage regression shows up next to the retrieval numbers.
+    let persistence = {
+        let rec = InMemoryRecorder::shared();
+        let opts = hmmm_storage::PersistOptions {
+            recorder: rec.handle(),
+            ..hmmm_storage::PersistOptions::default()
+        };
+        let dir = hmmm_storage::TestDir::new("hmmm_bench_persist");
+        let path = dir.file("catalog.bin");
+        let start = std::time::Instant::now();
+        hmmm_storage::save_binary_with(&catalog, &path, &opts).expect("save catalog");
+        let back = hmmm_storage::load_binary_with(&path, &opts).expect("load catalog");
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(back, catalog, "persistence round trip changed the catalog");
+        let metrics = rec.report();
+        PersistenceSample {
+            atomic_write_retries: metrics.counter(m::CTR_ATOMIC_WRITE_RETRIES),
+            bak_fallbacks: metrics.counter(m::CTR_BAK_FALLBACKS),
+            seconds,
+        }
+    };
+
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = Report {
         videos,
@@ -219,6 +266,7 @@ fn main() {
         repeats: REPEATS,
         cache_speedup_serial: uncached_secs / serial_secs,
         prune_speedup_serial: unpruned_secs / serial_secs,
+        persistence,
         samples,
     };
 
@@ -244,6 +292,12 @@ fn main() {
     println!(
         "top-k prune alone (serial): {:.2}x",
         report.prune_speedup_serial
+    );
+    println!(
+        "persistence round trip: {:.2} ms, {} retries, {} bak fallbacks",
+        report.persistence.seconds * 1e3,
+        report.persistence.atomic_write_retries,
+        report.persistence.bak_fallbacks,
     );
     println!(
         "host cpus: {host_cpus}{}",

@@ -1,0 +1,378 @@
+//! Deterministic fault injection for the retrieval stack.
+//!
+//! The degraded paths this PR hardens — panic isolation, deadline expiry,
+//! transient-I/O retry, `.bak` recovery — are exactly the paths ordinary
+//! tests never exercise. A [`FaultPlan`] makes them reproducible: a seeded,
+//! serializable schedule of injected failures (panic on video *k*, I/O
+//! error on the *n*-th filesystem op, latency before lattice step *j*)
+//! that the engine consults through a [`FaultHandle`].
+//!
+//! The handle mirrors the PR-2 recorder pattern
+//! ([`hmmm_obs::RecorderHandle`]): `Option<Arc<…>>` inside, so the default
+//! [`FaultHandle::noop`] is an inlined `None` check on the hot path —
+//! production configs pay (almost) nothing for the hook's existence.
+//!
+//! Determinism matters more than realism here: every injection decision is
+//! a pure function of the plan plus a stable key (video index, global I/O
+//! ticket, step index), never of wall time or scheduling — so a failing
+//! fault-matrix run replays exactly, in serial and parallel alike, and the
+//! `faults.rs` / `proptest_faults.rs` suites can assert the degraded
+//! contract byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A seeded, serializable schedule of injected failures.
+///
+/// The default plan injects nothing. Plans compose: every field acts
+/// independently, so one plan can panic a video, fail an I/O op, *and*
+/// stall a lattice step.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic fields (only [`FaultPlan::panic_rate`]
+    /// today). Decisions are keyed on `seed × video`, not on scheduling,
+    /// so the same plan fails the same videos in every configuration.
+    pub seed: u64,
+    /// Videos (catalog indices) whose traversal panics on entry.
+    pub panic_on_videos: Vec<usize>,
+    /// Probability in `[0, 1]` that any *other* video panics on entry,
+    /// decided per video by a seeded hash (deterministic, schedule-free).
+    pub panic_rate: f64,
+    /// Global I/O-operation tickets (0-based, counted across the process
+    /// lifetime of the handle) that fail with a transient
+    /// [`std::io::ErrorKind::Interrupted`] error — exercises the atomic
+    /// writer's retry/backoff.
+    pub io_error_on_ops: Vec<u64>,
+    /// Lattice step index to stall before (`None` = no latency).
+    pub latency_step: Option<usize>,
+    /// Stall duration in nanoseconds (ignored when
+    /// [`FaultPlan::latency_step`] is `None`).
+    pub latency_ns: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_on_videos: Vec::new(),
+            panic_rate: 0.0,
+            io_error_on_ops: Vec::new(),
+            latency_step: None,
+            latency_ns: 0,
+        }
+    }
+}
+
+// Tolerant by hand (the vendored serde derive has no `#[serde(default)]`):
+// every field is optional so CLI plans can be as terse as
+// `{"panic_on_videos":[0,2]}`.
+impl Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::DeError::new(format!("FaultPlan: expected object, found {}", v.kind()))
+        })?;
+        let mut plan = FaultPlan::default();
+        for (key, value) in obj {
+            match key.as_str() {
+                "seed" => plan.seed = u64::from_value(value)?,
+                "panic_on_videos" => plan.panic_on_videos = Vec::from_value(value)?,
+                "panic_rate" => plan.panic_rate = f64::from_value(value)?,
+                "io_error_on_ops" => plan.io_error_on_ops = Vec::from_value(value)?,
+                "latency_step" => plan.latency_step = Option::from_value(value)?,
+                "latency_ns" => plan.latency_ns = u64::from_value(value)?,
+                other => {
+                    return Err(serde::DeError::new(format!(
+                        "FaultPlan: unknown field {other:?}"
+                    )))
+                }
+            }
+        }
+        if !(0.0..=1.0).contains(&plan.panic_rate) {
+            return Err(serde::DeError::new(format!(
+                "FaultPlan.panic_rate: {} outside [0, 1]",
+                plan.panic_rate
+            )));
+        }
+        Ok(plan)
+    }
+}
+
+impl FaultPlan {
+    /// A plan that panics exactly the given videos (everything else off).
+    pub fn panicking(videos: impl IntoIterator<Item = usize>) -> Self {
+        FaultPlan {
+            panic_on_videos: videos.into_iter().collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// `true` when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_on_videos.is_empty()
+            && self.panic_rate == 0.0
+            && self.io_error_on_ops.is_empty()
+            && self.latency_step.is_none()
+    }
+
+    /// Whether this plan panics `video`'s traversal: the explicit list
+    /// first, then the seeded per-video Bernoulli draw. Pure in
+    /// `(plan, video)` — independent of thread count or visit order.
+    pub fn panics_on(&self, video: usize) -> bool {
+        if self.panic_on_videos.contains(&video) {
+            return true;
+        }
+        if self.panic_rate <= 0.0 {
+            return false;
+        }
+        if self.panic_rate >= 1.0 {
+            return true;
+        }
+        // splitmix64 of (seed, video) → uniform in [0, 1): the top 53 bits
+        // make an exact double, the standard Bernoulli-from-bits draw.
+        let draw = (splitmix64(self.seed ^ (video as u64).wrapping_add(1)) >> 11) as f64
+            / (1u64 << 53) as f64;
+        draw < self.panic_rate
+    }
+}
+
+/// splitmix64 — the statistically solid 64-bit mixer (Steele et al.),
+/// used here as a keyed hash for the per-video Bernoulli draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shared mutable state behind an enabled handle: the plan plus the global
+/// I/O ticket counter.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    io_ops: AtomicU64,
+}
+
+/// The zero-cost handle instrumented code carries (mirror of
+/// [`hmmm_obs::RecorderHandle`]).
+///
+/// `Default` (and [`FaultHandle::noop`]) is the disabled state: every hook
+/// is an inlined `Option::None` check. Cloning shares the underlying state
+/// (the I/O ticket counter is global to the plan, not per clone).
+#[derive(Clone, Default)]
+pub struct FaultHandle {
+    inner: Option<Arc<FaultState>>,
+}
+
+impl FaultHandle {
+    /// The disabled handle: injects nothing, costs (almost) nothing.
+    pub fn noop() -> Self {
+        FaultHandle { inner: None }
+    }
+
+    /// An enabled handle driving the given plan.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        FaultHandle {
+            inner: Some(Arc::new(FaultState {
+                plan,
+                io_ops: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// `true` when a plan is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The attached plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.inner.as_ref().map(|s| &s.plan)
+    }
+
+    /// Hook at the entry of one video's traversal. Panics (with a
+    /// recognizable payload) when the plan schedules this video to fail —
+    /// the per-video `catch_unwind` in the retrieval fan-out turns that
+    /// into a `videos_failed` entry instead of a crashed query.
+    #[inline]
+    pub fn on_video_enter(&self, video: usize) {
+        if let Some(state) = &self.inner {
+            if state.plan.panics_on(video) {
+                panic!("injected fault: panic on video {video}");
+            }
+        }
+    }
+
+    /// Hook before lattice step `step` of any video: stalls when the plan
+    /// schedules latency there (exercises deadline expiry mid-traversal).
+    #[inline]
+    pub fn before_step(&self, step: usize) {
+        if let Some(state) = &self.inner {
+            if state.plan.latency_step == Some(step) && state.plan.latency_ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(state.plan.latency_ns));
+            }
+        }
+    }
+
+    /// Hook before one filesystem operation (see
+    /// [`hmmm_storage::IoFault`]): draws the next global ticket and fails
+    /// with a transient `Interrupted` error when the plan schedules it.
+    #[inline]
+    pub fn next_io_error(&self, op: &'static str) -> Option<std::io::Error> {
+        let state = self.inner.as_ref()?;
+        if state.plan.io_error_on_ops.is_empty() {
+            return None;
+        }
+        // ordering: Relaxed — the ticket is a uniqueness/sequence draw, not
+        // a synchronization point; fetch_add is atomic at any ordering and
+        // no other memory access depends on it.
+        let ticket = state.io_ops.fetch_add(1, Ordering::Relaxed);
+        state.plan.io_error_on_ops.contains(&ticket).then(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected fault: io error on op {ticket} ({op})"),
+            )
+        })
+    }
+}
+
+/// The storage-facing face of the handle: lets `PersistOptions::fault`
+/// thread a core [`FaultPlan`] into the atomic writer without storage
+/// depending on core.
+impl hmmm_storage::IoFault for FaultHandle {
+    fn inject(&self, op: &'static str) -> Option<std::io::Error> {
+        self.next_io_error(op)
+    }
+}
+
+impl std::fmt::Debug for FaultHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("FaultHandle(noop)"),
+            Some(s) => write!(f, "FaultHandle({:?})", s.plan),
+        }
+    }
+}
+
+/// Handles compare by state identity (like [`hmmm_obs::RecorderHandle`]):
+/// two noops are equal, enabled handles only when they share state. Keeps
+/// `PartialEq`/`Eq` derivable on configs embedding a handle.
+impl PartialEq for FaultHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for FaultHandle {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_injects_nothing() {
+        let h = FaultHandle::noop();
+        assert!(!h.is_enabled());
+        h.on_video_enter(0);
+        h.before_step(3);
+        assert!(h.next_io_error("write").is_none());
+        assert_eq!(FaultHandle::default(), FaultHandle::noop());
+    }
+
+    #[test]
+    fn explicit_video_list_panics() {
+        let h = FaultHandle::from_plan(FaultPlan::panicking([2]));
+        h.on_video_enter(0);
+        h.on_video_enter(1);
+        let err = std::panic::catch_unwind(|| h.on_video_enter(2)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected fault: panic on video 2"), "payload: {msg}");
+    }
+
+    #[test]
+    fn panic_rate_is_deterministic_and_seeded() {
+        let plan = FaultPlan {
+            seed: 42,
+            panic_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        let a: Vec<bool> = (0..64).map(|v| plan.panics_on(v)).collect();
+        let b: Vec<bool> = (0..64).map(|v| plan.panics_on(v)).collect();
+        assert_eq!(a, b, "same plan, same draws");
+        assert!(a.iter().any(|&x| x), "rate 0.5 over 64 videos fires");
+        assert!(a.iter().any(|&x| !x), "rate 0.5 over 64 videos spares");
+
+        let reseeded = FaultPlan { seed: 43, ..plan };
+        let c: Vec<bool> = (0..64).map(|v| reseeded.panics_on(v)).collect();
+        assert_ne!(a, c, "different seed, different draws");
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let never = FaultPlan::default();
+        let always = FaultPlan {
+            panic_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        for v in 0..32 {
+            assert!(!never.panics_on(v));
+            assert!(always.panics_on(v));
+        }
+    }
+
+    #[test]
+    fn io_tickets_fire_in_sequence() {
+        let h = FaultHandle::from_plan(FaultPlan {
+            io_error_on_ops: vec![1, 3],
+            ..FaultPlan::default()
+        });
+        assert!(h.next_io_error("a").is_none()); // ticket 0
+        let e = h.next_io_error("b").expect("ticket 1 fails");
+        assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+        assert!(h.next_io_error("c").is_none()); // ticket 2
+        assert!(h.next_io_error("d").is_some()); // ticket 3
+        assert!(h.next_io_error("e").is_none()); // ticket 4
+    }
+
+    #[test]
+    fn serde_round_trip_and_tolerant_parse() {
+        let plan = FaultPlan {
+            seed: 7,
+            panic_on_videos: vec![1, 4],
+            panic_rate: 0.25,
+            io_error_on_ops: vec![0],
+            latency_step: Some(2),
+            latency_ns: 1_000,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+
+        // Terse CLI-style plans parse with defaults for absent fields.
+        let terse: FaultPlan = serde_json::from_str(r#"{"panic_on_videos":[0,2]}"#).unwrap();
+        assert_eq!(terse.panic_on_videos, vec![0, 2]);
+        assert_eq!(terse.panic_rate, 0.0);
+        assert!(terse.latency_step.is_none());
+
+        // Unknown fields and out-of-range rates are rejected, not ignored.
+        assert!(serde_json::from_str::<FaultPlan>(r#"{"panic_rates":[1]}"#).is_err());
+        assert!(serde_json::from_str::<FaultPlan>(r#"{"panic_rate":1.5}"#).is_err());
+    }
+
+    #[test]
+    fn empty_plan_detection() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(!FaultPlan::panicking([0]).is_empty());
+        assert!(!FaultPlan {
+            latency_step: Some(0),
+            ..FaultPlan::default()
+        }
+        .is_empty());
+    }
+}

@@ -4,35 +4,113 @@
 //! (expensive, offline) learning survives restarts. Models serialize as
 //! JSON; loading re-validates against the catalog the caller pairs them
 //! with, so a stale model cannot silently serve a grown archive.
+//!
+//! Saves publish through the crash-safe atomic writer
+//! ([`hmmm_storage::atomic_write`]): a crash mid-save never leaves a torn
+//! file, the previous generation is kept at `<path>.bak`, and transient
+//! I/O errors are retried with bounded backoff. Loads fall back to that
+//! `.bak` generation when the primary file is unreadable or unparseable —
+//! but **not** when it parses fine and merely fails catalog validation
+//! (a stale model is a caller error, not corruption; silently serving an
+//! even older generation would compound it). Fallbacks and retries are
+//! counted under [`hmmm_storage::CTR_BAK_FALLBACKS`] /
+//! [`hmmm_storage::CTR_ATOMIC_WRITE_RETRIES`] via the
+//! [`PersistOptions`] recorder.
 
 use crate::error::CoreError;
 use crate::model::Hmmm;
-use hmmm_storage::Catalog;
+use hmmm_storage::{atomic_write, bak_path, Catalog, PersistOptions};
 use std::path::Path;
 
-/// Saves a model as JSON.
+/// Saves a model as JSON (atomically, keeping a `.bak` generation).
 ///
 /// # Errors
 ///
 /// [`CoreError::Inconsistent`] wrapping I/O or serialization failures.
 pub fn save_model(model: &Hmmm, path: impl AsRef<Path>) -> Result<(), CoreError> {
-    let json = serde_json::to_vec(model)
-        .map_err(|e| CoreError::Inconsistent(format!("serialize: {e}")))?;
-    std::fs::write(path, json).map_err(|e| CoreError::Inconsistent(format!("write: {e}")))
+    save_model_with(model, path, &PersistOptions::default())
 }
 
-/// Loads a model and validates it against `catalog`.
+/// [`save_model`] with [`PersistOptions`] control (recorder, retry
+/// budget, fault hook).
+///
+/// # Errors
+///
+/// Same as [`save_model`].
+pub fn save_model_with(
+    model: &Hmmm,
+    path: impl AsRef<Path>,
+    opts: &PersistOptions<'_>,
+) -> Result<(), CoreError> {
+    let json = serde_json::to_vec(model)
+        .map_err(|e| CoreError::Inconsistent(format!("serialize: {e}")))?;
+    let report = atomic_write(
+        path,
+        &json,
+        &hmmm_storage::AtomicWriteOptions {
+            retries: opts.retries,
+            backoff: opts.backoff,
+            fault: opts.fault,
+        },
+    )
+    .map_err(|e| CoreError::Inconsistent(format!("write: {e}")))?;
+    if report.retries > 0 {
+        opts.recorder
+            .counter(hmmm_storage::CTR_ATOMIC_WRITE_RETRIES, u64::from(report.retries));
+    }
+    Ok(())
+}
+
+/// Loads a model and validates it against `catalog`, falling back to the
+/// `.bak` generation when the primary file is unreadable or unparseable.
 ///
 /// # Errors
 ///
 /// [`CoreError::Inconsistent`] for I/O, parse, or shape-mismatch failures.
 pub fn load_model(path: impl AsRef<Path>, catalog: &Catalog) -> Result<Hmmm, CoreError> {
-    let data =
-        std::fs::read(path).map_err(|e| CoreError::Inconsistent(format!("read: {e}")))?;
-    let model: Hmmm = serde_json::from_slice(&data)
-        .map_err(|e| CoreError::Inconsistent(format!("parse: {e}")))?;
+    load_model_with(path, catalog, &PersistOptions::default())
+}
+
+/// [`load_model`] with [`PersistOptions`] control; `.bak` recoveries are
+/// counted under [`hmmm_storage::CTR_BAK_FALLBACKS`].
+///
+/// # Errors
+///
+/// Same as [`load_model`]; when both generations fail, the primary file's
+/// error is returned. Validation failure (a model that parses but does
+/// not match `catalog`) never triggers the fallback.
+pub fn load_model_with(
+    path: impl AsRef<Path>,
+    catalog: &Catalog,
+    opts: &PersistOptions<'_>,
+) -> Result<Hmmm, CoreError> {
+    let path = path.as_ref();
+    let model = match read_model(path) {
+        Ok(model) => model,
+        Err(primary) => {
+            // Read/parse failure is what the kept generation can repair
+            // (corruption, or the atomic writer's rotate window). Whether
+            // the recovered model matches the catalog is still checked
+            // below, same as the primary path.
+            let bak = bak_path(path);
+            match bak.exists().then(|| read_model(&bak)) {
+                Some(Ok(model)) => {
+                    opts.recorder.counter(hmmm_storage::CTR_BAK_FALLBACKS, 1);
+                    model
+                }
+                _ => return Err(primary),
+            }
+        }
+    };
     model.validate_against(catalog)?;
     Ok(model)
+}
+
+/// One generation's read + parse (no validation, no fallback).
+fn read_model(path: &Path) -> Result<Hmmm, CoreError> {
+    let data =
+        std::fs::read(path).map_err(|e| CoreError::Inconsistent(format!("read: {e}")))?;
+    serde_json::from_slice(&data).map_err(|e| CoreError::Inconsistent(format!("parse: {e}")))
 }
 
 #[cfg(test)]
@@ -41,6 +119,7 @@ mod tests {
     use crate::construct::{build_hmmm, BuildConfig};
     use hmmm_features::FeatureVector;
     use hmmm_media::EventKind;
+    use hmmm_storage::TestDir;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -58,22 +137,19 @@ mod tests {
     fn save_load_round_trip() {
         let c = catalog();
         let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
-        let dir = std::env::temp_dir().join("hmmm_model_io");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
+        let dir = TestDir::new("hmmm_model_io");
+        let path = dir.file("model.json");
         save_model(&model, &path).unwrap();
         let back = load_model(&path, &c).unwrap();
         assert_eq!(model, back);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn load_rejects_stale_model() {
         let c = catalog();
         let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
-        let dir = std::env::temp_dir().join("hmmm_model_io_stale");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
+        let dir = TestDir::new("hmmm_model_io");
+        let path = dir.file("model.json");
         save_model(&model, &path).unwrap();
         // The archive grows; the stored model must be refused.
         let mut grown = c.clone();
@@ -82,12 +158,41 @@ mod tests {
             load_model(&path, &grown),
             Err(CoreError::Inconsistent(_))
         ));
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn load_missing_file_errors() {
         let c = catalog();
         assert!(load_model("/nonexistent/model.json", &c).is_err());
+    }
+
+    #[test]
+    fn corrupt_primary_recovers_from_bak() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let dir = TestDir::new("hmmm_model_io");
+        let path = dir.file("model.json");
+        save_model(&model, &path).unwrap();
+        save_model(&model, &path).unwrap(); // second generation → .bak kept
+        std::fs::write(&path, b"{ torn json").unwrap();
+        assert_eq!(load_model(&path, &c).unwrap(), model);
+    }
+
+    #[test]
+    fn stale_model_never_falls_back() {
+        // A model that *parses* but fails validation must be refused even
+        // when a .bak generation exists — staleness is not corruption.
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let dir = TestDir::new("hmmm_model_io");
+        let path = dir.file("model.json");
+        save_model(&model, &path).unwrap();
+        save_model(&model, &path).unwrap();
+        let mut grown = c.clone();
+        grown.add_video("new", vec![(vec![], FeatureVector::zeros())]);
+        assert!(matches!(
+            load_model(&path, &grown),
+            Err(CoreError::Inconsistent(_))
+        ));
     }
 }

@@ -54,6 +54,7 @@ pub mod bounds;
 pub mod cluster;
 pub mod construct;
 pub mod error;
+pub mod fault;
 pub mod feedback;
 pub mod io;
 pub mod metrics;
@@ -74,10 +75,14 @@ pub use order::{cmp_f64, cmp_f64_desc};
 pub use cluster::CategoryLevel;
 pub use construct::{build_hmmm, build_hmmm_observed, BuildConfig};
 pub use error::CoreError;
+pub use fault::{FaultHandle, FaultPlan};
 pub use feedback::{FeedbackConfig, FeedbackLog, PositivePattern};
-pub use io::{load_model, save_model};
+pub use io::{load_model, load_model_with, save_model, save_model_with};
 pub use model::{Hmmm, LocalMmm, ModelSummary};
-pub use retrieve::{RankedPattern, RetrievalConfig, RetrievalStats, Retriever};
+pub use retrieve::{
+    DeadlineConfig, Degraded, DegradedReason, RankedPattern, RetrievalConfig, RetrievalStats,
+    Retriever,
+};
 pub use sim::similarity;
 pub use simcache::SimCache;
 pub use topk::SharedTopK;

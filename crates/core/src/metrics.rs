@@ -61,6 +61,21 @@ pub const CTR_BOUND_EVALS: &str = "sim.bound_evaluations";
 /// retrieve (0.0 until `limit` positive-score candidates were found).
 pub const GAUGE_PRUNE_THRESHOLD: &str = "retrieve.prune_threshold";
 
+// --- Degraded paths (deadline, panic isolation, crash-safe persistence) ---
+
+/// Videos whose traversal panicked and was isolated
+/// (`RetrievalStats::videos_failed`).
+pub const CTR_VIDEOS_FAILED: &str = "retrieve.videos_failed";
+/// Eligible videos never admitted because the deadline expired
+/// (`RetrievalStats::videos_unvisited`).
+pub const CTR_VIDEOS_UNVISITED: &str = "retrieve.videos_unvisited";
+/// In-flight beams abandoned whole at deadline expiry
+/// (`RetrievalStats::beams_abandoned`).
+pub const CTR_BEAMS_ABANDONED: &str = "retrieve.beams_abandoned";
+/// Queries whose deadline budget elapsed (one per degraded query).
+pub const CTR_DEADLINE_EXPIRED: &str = "retrieve.deadline_expired";
+pub use hmmm_storage::{CTR_ATOMIC_WRITE_RETRIES, CTR_BAK_FALLBACKS};
+
 /// Worker threads used by the last retrieve call.
 pub const GAUGE_THREADS: &str = "retrieve.threads";
 /// Busy-time / (fan-out wall × workers) of the last parallel retrieve:

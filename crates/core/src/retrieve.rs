@@ -65,6 +65,7 @@
 
 use crate::bounds::{QueryBounds, VideoBounds};
 use crate::error::CoreError;
+use crate::fault::FaultHandle;
 use crate::metrics as m;
 use crate::model::Hmmm;
 use crate::sim::{best_alternative, max_calibrated_similarity};
@@ -76,6 +77,8 @@ use hmmm_query::CompiledPattern;
 use hmmm_storage::{Catalog, ShotId, VideoId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Retrieval tuning knobs.
 ///
@@ -126,6 +129,17 @@ pub struct RetrievalConfig {
     /// auto-disables for `limit > 65 536`: the threshold register scales
     /// with `limit`, and a cut that deep could never pay for itself.
     pub prune: bool,
+    /// Deadline budget for anytime retrieval (`None` = unbounded, the
+    /// default). When set, workers stop admitting new videos once the
+    /// budget elapses (checked at video granularity and every
+    /// [`DeadlineConfig::check_interval`] beam expansions inside a
+    /// traversal), the current beam is abandoned whole, and the engine
+    /// returns the best-so-far ranking with
+    /// [`RetrievalStats::degraded`] set. Whenever the deadline never
+    /// fires, results are bit-identical to an unbounded run — the clock
+    /// only ever *removes* whole videos/beams, it never reorders
+    /// surviving candidates.
+    pub deadline: Option<DeadlineConfig>,
     /// Observability sink for every retrieval this config drives: spans
     /// (per-stage and per-video timings), counters, and the cache/thread
     /// gauges — see [`crate::metrics`] for the emitted names. The default
@@ -134,6 +148,117 @@ pub struct RetrievalConfig {
     /// [`hmmm_obs::MetricsReport`]. Skipped by serde (a deserialized
     /// config is a noop until a recorder is attached).
     pub recorder: RecorderHandle,
+    /// Deterministic fault-injection hook (see [`crate::fault`]). The
+    /// default [`FaultHandle::noop`] injects nothing at near-zero cost;
+    /// attach a [`crate::fault::FaultPlan`] to drive the degraded paths in
+    /// tests and the fault-matrix CI job. Skipped by serde, like the
+    /// recorder (a runtime hook, not data).
+    pub fault: FaultHandle,
+}
+
+/// Wall-clock budget for one retrieve call (anytime retrieval).
+///
+/// The budget spans the *whole* call — cache build, bound derivation, and
+/// traversal all draw from it. `check_interval` bounds how often a
+/// traversal reads the clock: once per `check_interval` beam-entry
+/// expansions (plus once per admitted video), so the overhead of deadline
+/// support is one integer increment per expansion, not a syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineConfig {
+    /// The wall-clock budget, measured from the start of the retrieve
+    /// call.
+    pub budget: Duration,
+    /// Beam expansions between clock reads inside a traversal (`≥ 1`).
+    pub check_interval: u32,
+}
+
+impl DeadlineConfig {
+    /// A budget with the default check interval (64 expansions).
+    pub fn new(budget: Duration) -> Self {
+        DeadlineConfig {
+            budget,
+            check_interval: 64,
+        }
+    }
+}
+
+// Hand-written (de)serialization: the vendored serde stub has no Duration
+// support, so the budget travels as nanoseconds.
+impl Serialize for DeadlineConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "budget_ns".into(),
+                u64::try_from(self.budget.as_nanos())
+                    .unwrap_or(u64::MAX)
+                    .to_value(),
+            ),
+            ("check_interval".into(), self.check_interval.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DeadlineConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::DeError::new(format!("DeadlineConfig: expected object, found {}", v.kind()))
+        })?;
+        let budget_ns: u64 = serde::__field(obj, "budget_ns", "DeadlineConfig")?;
+        let check_interval: u32 = serde::__field(obj, "check_interval", "DeadlineConfig")?;
+        if check_interval == 0 {
+            return Err(serde::DeError::new(
+                "DeadlineConfig.check_interval: must be ≥ 1".to_string(),
+            ));
+        }
+        Ok(DeadlineConfig {
+            budget: Duration::from_nanos(budget_ns),
+            check_interval,
+        })
+    }
+}
+
+/// The per-worker deadline clock: a cheap tick counter in front of the
+/// actual `Instant::now()` read. Once expired, stays expired (the budget
+/// never un-elapses), so every check after the first hit is branch-only.
+struct DeadlineClock {
+    expires_at: Instant,
+    check_interval: u32,
+    ticks: u32,
+    expired: bool,
+}
+
+impl DeadlineClock {
+    fn new(config: DeadlineConfig, started: Instant) -> Self {
+        DeadlineClock {
+            expires_at: started + config.budget,
+            check_interval: config.check_interval.max(1),
+            ticks: 0,
+            expired: false,
+        }
+    }
+
+    /// One beam-expansion tick; reads the clock every `check_interval`
+    /// ticks. Returns `true` once the budget has elapsed.
+    #[inline]
+    fn tick(&mut self) -> bool {
+        if self.expired {
+            return true;
+        }
+        self.ticks += 1;
+        if self.ticks >= self.check_interval {
+            self.ticks = 0;
+            return self.check_now();
+        }
+        false
+    }
+
+    /// Unconditional clock read (video-granularity checkpoints).
+    fn check_now(&mut self) -> bool {
+        if !self.expired && Instant::now() >= self.expires_at {
+            self.expired = true;
+        }
+        self.expired
+    }
 }
 
 // Hand-written (de)serialization because the recorder handle is a runtime
@@ -157,6 +282,7 @@ impl Serialize for RetrievalConfig {
             ("threads".into(), self.threads.to_value()),
             ("use_sim_cache".into(), self.use_sim_cache.to_value()),
             ("prune".into(), self.prune.to_value()),
+            ("deadline".into(), self.deadline.to_value()),
         ])
     }
 }
@@ -181,7 +307,14 @@ impl Deserialize for RetrievalConfig {
                 Some((_, v)) => bool::from_value(v)?,
                 None => true,
             },
+            // Tolerant like `prune`: configs persisted before the deadline
+            // PR lack the field and should keep loading as unbounded.
+            deadline: match obj.iter().find(|(k, _)| k == "deadline") {
+                Some((_, v)) => Option::from_value(v)?,
+                None => None,
+            },
             recorder: RecorderHandle::noop(),
+            fault: FaultHandle::noop(),
         })
     }
 }
@@ -197,7 +330,9 @@ impl Default for RetrievalConfig {
             threads: None,
             use_sim_cache: true,
             prune: true,
+            deadline: None,
             recorder: RecorderHandle::noop(),
+            fault: FaultHandle::noop(),
         }
     }
 }
@@ -227,6 +362,20 @@ impl RetrievalConfig {
         self.recorder = recorder;
         self
     }
+
+    /// Sets a deadline budget (builder-style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: DeadlineConfig) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a fault-injection plan (builder-style).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault = FaultHandle::from_plan(plan);
+        self
+    }
 }
 
 /// One retrieved candidate pattern (`Q_k` in §5).
@@ -250,7 +399,7 @@ pub struct RankedPattern {
 /// `RetrievalStats` and the results are combined with [`RetrievalStats::merge`]
 /// at join time. All counters are commutative sums, so the merged totals are
 /// independent of worker count and scheduling.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetrievalStats {
     /// Videos whose lattices were traversed.
     pub videos_visited: usize,
@@ -293,6 +442,50 @@ pub struct RetrievalStats {
     /// [`RetrievalStats::sim_evaluations`] so hot-path scoring and bound
     /// derivation are never conflated.
     pub bound_evaluations: u64,
+    /// Videos whose traversal panicked (caught per video; the query keeps
+    /// running on the survivors). Payloads in
+    /// [`RetrievalStats::panic_payloads`].
+    pub videos_failed: usize,
+    /// Eligible videos never admitted because the deadline expired first.
+    pub videos_unvisited: usize,
+    /// In-flight beams abandoned whole at deadline expiry (partial paths
+    /// cannot be emitted, so a mid-traversal expiry discards the video's
+    /// beam rather than returning unfinished candidates).
+    pub beams_abandoned: u64,
+    /// Whether the [`RetrievalConfig::deadline`] budget elapsed during
+    /// this query.
+    pub deadline_expired: bool,
+    /// Panic payloads of failed videos, rendered to strings and sorted
+    /// (so parallel runs report deterministically regardless of which
+    /// worker hit which failure first).
+    pub panic_payloads: Vec<String>,
+    /// `Some` when this query returned less than a full ranking —
+    /// deadline expiry, worker panics, or both. `None` means the ranking
+    /// is the complete (exact) answer.
+    pub degraded: Option<Degraded>,
+}
+
+/// Degradation summary attached to a partial ranking (see
+/// [`RetrievalStats::degraded`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degraded {
+    /// Eligible videos never admitted (deadline).
+    pub videos_unvisited: usize,
+    /// Videos whose traversal panicked.
+    pub videos_failed: usize,
+    /// What degraded the query.
+    pub reason: DegradedReason,
+}
+
+/// Why a ranking is partial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// The [`RetrievalConfig::deadline`] budget elapsed.
+    DeadlineExpired,
+    /// One or more per-video traversals panicked.
+    WorkerPanic,
+    /// Both: the deadline expired *and* traversals panicked.
+    DeadlineAndPanic,
 }
 
 impl RetrievalStats {
@@ -309,6 +502,13 @@ impl RetrievalStats {
         self.entries_pruned += other.entries_pruned;
         self.threshold_raises += other.threshold_raises;
         self.bound_evaluations += other.bound_evaluations;
+        self.videos_failed += other.videos_failed;
+        self.videos_unvisited += other.videos_unvisited;
+        self.beams_abandoned += other.beams_abandoned;
+        self.deadline_expired |= other.deadline_expired;
+        self.panic_payloads.extend(other.panic_payloads);
+        // `degraded` is assembled centrally at the end of the retrieve
+        // call (after the sorted-payload pass), never merged piecewise.
     }
 
     /// Total Eq.-(14) evaluations this query paid for, wherever they were
@@ -543,6 +743,11 @@ impl<'a> Retriever<'a> {
         let mut stats = RetrievalStats::default();
         let requested_threads = self.requested_threads();
 
+        // Anytime-retrieval budget: the clock starts here, so the cache
+        // build and bound derivation below draw from the same budget as
+        // the traversal. (No clock read at all when no deadline is set.)
+        let deadline = self.config.deadline.map(|d| (d, Instant::now()));
+
         // Tentpole layer 1: one dense shots × query-events scoring pass,
         // shared read-only by every traversal worker. The build itself
         // shards the shot dimension across the same worker budget.
@@ -622,11 +827,8 @@ impl<'a> Retriever<'a> {
         let traverse_span = obs.span(m::SPAN_TRAVERSE);
         let mut workers_busy_ns: u64 = 0;
         if threads <= 1 {
-            for video in order {
-                let found =
-                    self.traverse_video_bounded(video, pattern, &scorer, &prune_ctx, &mut stats);
-                candidates.extend(found);
-            }
+            candidates =
+                self.run_video_set(&order, pattern, &scorer, &prune_ctx, deadline, &mut stats);
         } else {
             let chunk = order.len().div_ceil(threads);
             crossbeam::thread::scope(|s| {
@@ -640,18 +842,19 @@ impl<'a> Retriever<'a> {
                             let worker_span =
                                 self.config.recorder.span_labeled(m::SPAN_WORKER, w as u64);
                             let mut local = RetrievalStats::default();
-                            let mut found = Vec::new();
-                            for &video in videos {
-                                found.extend(self.traverse_video_bounded(
-                                    video, pattern, scorer, prune_ctx, &mut local,
-                                ));
-                            }
+                            let found = self.run_video_set(
+                                videos, pattern, scorer, prune_ctx, deadline, &mut local,
+                            );
                             let busy_ns = worker_span.elapsed_ns();
                             (found, local, busy_ns)
                         })
                     })
                     .collect();
                 for handle in handles {
+                    // Worker-level panics can no longer originate in a
+                    // traversal (those are caught per video inside
+                    // `run_video_set`); anything reaching here is a bug in
+                    // the harness itself and should propagate.
                     let (found, local, busy_ns) =
                         handle.join().expect("retrieval worker panicked");
                     candidates.extend(found);
@@ -670,6 +873,29 @@ impl<'a> Retriever<'a> {
             candidates.truncate(limit);
         }
 
+        // Degradation summary: payloads sorted so parallel runs report
+        // deterministically, then one canonical `Degraded` for callers to
+        // branch on (None = the ranking is the complete exact answer).
+        stats.panic_payloads.sort();
+        stats.degraded = match (stats.deadline_expired, stats.videos_failed > 0) {
+            (false, false) => None,
+            (true, false) => Some(Degraded {
+                videos_unvisited: stats.videos_unvisited,
+                videos_failed: 0,
+                reason: DegradedReason::DeadlineExpired,
+            }),
+            (false, true) => Some(Degraded {
+                videos_unvisited: 0,
+                videos_failed: stats.videos_failed,
+                reason: DegradedReason::WorkerPanic,
+            }),
+            (true, true) => Some(Degraded {
+                videos_unvisited: stats.videos_unvisited,
+                videos_failed: stats.videos_failed,
+                reason: DegradedReason::DeadlineAndPanic,
+            }),
+        };
+
         if obs.is_enabled() {
             self.flush_metrics(
                 &stats,
@@ -684,6 +910,94 @@ impl<'a> Retriever<'a> {
             obs.observe_ns(m::HIST_RETRIEVE_LATENCY, root_span.elapsed_ns());
         }
         Ok((candidates, stats))
+    }
+
+    /// One worker's share of the fan-out: the per-video loop with its
+    /// deadline checkpoints, the panic-isolation boundary, and the
+    /// post-traversal threshold offers. Shared verbatim by the serial path
+    /// and every parallel worker, so serial and parallel runs degrade (and
+    /// stay byte-identical when nothing fires) the same way.
+    fn run_video_set(
+        &self,
+        videos: &[VideoId],
+        pattern: &CompiledPattern,
+        scorer: &Scorer<'_>,
+        prune_ctx: &Option<(SharedTopK, PruneBounds)>,
+        deadline: Option<(DeadlineConfig, Instant)>,
+        stats: &mut RetrievalStats,
+    ) -> Vec<RankedPattern> {
+        let mut clock = deadline.map(|(config, started)| DeadlineClock::new(config, started));
+        let mut results = Vec::new();
+        for (i, &video) in videos.iter().enumerate() {
+            // Deadline checkpoint (video granularity): once the budget has
+            // elapsed, stop admitting new videos — everything not yet
+            // admitted in this worker's share is reported unvisited.
+            if let Some(c) = clock.as_mut() {
+                if c.check_now() {
+                    stats.deadline_expired = true;
+                    stats.videos_unvisited += videos.len() - i;
+                    break;
+                }
+            }
+
+            // Panic isolation: one video's traversal cannot take down the
+            // query. `AssertUnwindSafe` audit of what crosses the boundary:
+            //
+            // * `self` (model + catalog + config) — shared immutably; the
+            //   traversal never mutates them, so no broken invariant can be
+            //   observed after an unwind.
+            // * `scorer` — read-only table/model reads.
+            // * `prune_ctx`'s `SharedTopK` — lock-free; every update is a
+            //   single CAS that installs a complete value, so a panicking
+            //   thread can never leave it mid-update. Threshold offers for
+            //   this video happen *below, after* the boundary: a panic
+            //   mid-traversal therefore cannot have raised the threshold
+            //   with a score whose candidate was then lost — every raise
+            //   corresponds to a candidate that safely escaped, keeping the
+            //   bound admissible for all surviving videos (acceptance
+            //   criterion: the degraded ranking is exact over survivors).
+            // * `clock` (`&mut`) — plain scalar fields; a partial tick is
+            //   at worst a deferred clock read, never an inconsistency.
+            // * `attempt` stats — created inside the closure and discarded
+            //   on unwind, so a failed video contributes no torn counters.
+            // * the recorder — its sinks are `Sync` and poison-safe at this
+            //   boundary: the per-video span guard dropped during unwind
+            //   records through a short, panic-free critical section.
+            let clock_ref = clock.as_mut();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.config.fault.on_video_enter(video.index());
+                let mut attempt = RetrievalStats::default();
+                let found = self.traverse_video_bounded(
+                    video, pattern, scorer, prune_ctx, clock_ref, &mut attempt,
+                );
+                (found, attempt)
+            }));
+            match outcome {
+                Ok((found, attempt)) => {
+                    stats.merge(attempt);
+                    // Exact prune site 3, offer half (the emission filter
+                    // runs inside `traverse_video`): every emitted score is
+                    // offered so later videos prune against the best
+                    // results found anywhere. Sits after the catch_unwind
+                    // boundary — see the audit above.
+                    if let Some((register, _)) = prune_ctx {
+                        for c in &found {
+                            if register.offer(c.score) {
+                                stats.threshold_raises += 1;
+                            }
+                        }
+                    }
+                    results.extend(found);
+                }
+                Err(payload) => {
+                    stats.videos_failed += 1;
+                    stats
+                        .panic_payloads
+                        .push(panic_message(video, payload.as_ref()));
+                }
+            }
+        }
+        results
     }
 
     /// Flushes one query's batched counters and gauges to the recorder.
@@ -718,6 +1032,12 @@ impl<'a> Retriever<'a> {
         obs.counter(m::CTR_ENTRIES_PRUNED, stats.entries_pruned);
         obs.counter(m::CTR_THRESHOLD_RAISES, stats.threshold_raises);
         obs.counter(m::CTR_BOUND_EVALS, stats.bound_evaluations);
+        obs.counter(m::CTR_VIDEOS_FAILED, stats.videos_failed as u64);
+        obs.counter(m::CTR_VIDEOS_UNVISITED, stats.videos_unvisited as u64);
+        obs.counter(m::CTR_BEAMS_ABANDONED, stats.beams_abandoned);
+        if stats.deadline_expired {
+            obs.counter(m::CTR_DEADLINE_EXPIRED, 1);
+        }
         if let Some(threshold) = prune_threshold {
             obs.gauge(m::GAUGE_PRUNE_THRESHOLD, threshold);
         }
@@ -806,6 +1126,7 @@ impl<'a> Retriever<'a> {
         pattern: &CompiledPattern,
         scorer: &Scorer<'_>,
         prune_ctx: &Option<(SharedTopK, PruneBounds)>,
+        clock: Option<&mut DeadlineClock>,
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         match prune_ctx {
@@ -823,16 +1144,23 @@ impl<'a> Retriever<'a> {
                     // scorer; fall back to an unpruned traversal rather
                     // than panic if that invariant ever breaks.
                     (PruneBounds::PerVideo, Scorer::Direct(_)) => {
-                        return self.traverse_video(video, pattern, scorer, None, stats)
+                        return self.traverse_video(video, pattern, scorer, None, clock, stats)
                     }
                 };
                 if video_bounds.video_ub() < register.threshold() {
                     stats.videos_skipped_by_bound += 1;
                     return Vec::new();
                 }
-                self.traverse_video(video, pattern, scorer, Some((register, &video_bounds)), stats)
+                self.traverse_video(
+                    video,
+                    pattern,
+                    scorer,
+                    Some((register, &video_bounds)),
+                    clock,
+                    stats,
+                )
             }
-            None => self.traverse_video(video, pattern, scorer, None, stats),
+            None => self.traverse_video(video, pattern, scorer, None, clock, stats),
         }
     }
 
@@ -899,6 +1227,7 @@ impl<'a> Retriever<'a> {
         pattern: &CompiledPattern,
         scorer: &Scorer<'_>,
         prune: Option<(&SharedTopK, &VideoBounds)>,
+        mut clock: Option<&mut DeadlineClock>,
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         let record = match self.catalog.video(video) {
@@ -995,6 +1324,7 @@ impl<'a> Retriever<'a> {
         // only when the video has none does it fall back to "or similar to
         // event e_j" over all reachable shots.
         for (j, step) in pattern.steps.iter().enumerate().skip(1) {
+            self.config.fault.before_step(j);
             let step_has_annotation = self.config.annotated_first
                 && (0..n).any(|s| {
                     shots[s]
@@ -1004,6 +1334,17 @@ impl<'a> Retriever<'a> {
                 });
             pending.clear();
             for &idx in &beam {
+                // Deadline checkpoint (beam granularity, one clock read per
+                // `check_interval` ticks): partial paths cannot be emitted,
+                // so expiry abandons this video's beam whole — all-or-
+                // nothing, like prune site 2, never a reordering.
+                if let Some(c) = clock.as_deref_mut() {
+                    if c.tick() {
+                        stats.deadline_expired = true;
+                        stats.beams_abandoned += 1;
+                        return Vec::new();
+                    }
+                }
                 let entry = arena[idx as usize];
                 let from = entry.local as usize;
                 for (to, shot) in shots.iter().enumerate().take(n).skip(from) {
@@ -1072,21 +1413,18 @@ impl<'a> Retriever<'a> {
         finals.dedup_by(|a, b| a.path == b.path);
         finals.truncate(self.config.per_video_results);
 
-        // Exact prune site 3: emission filter + threshold offers. Dropping
-        // a selected candidate scoring strictly below the threshold cannot
-        // change the global prefix (anything its removal pulls up ranks —
-        // and scores — below it), and every emitted score is offered so
-        // later videos prune against the best results found anywhere.
+        // Exact prune site 3, filter half: dropping a selected candidate
+        // scoring strictly below the threshold cannot change the global
+        // prefix (anything its removal pulls up ranks — and scores — below
+        // it). The matching threshold *offers* live in `run_video_set`,
+        // outside the panic-isolation boundary, so a traversal that
+        // panics after this point can never have raised the shared
+        // threshold with a score that then fails to escape.
         if let Some((register, _)) = prune {
             let threshold = register.threshold();
             let before = finals.len();
             finals.retain(|c| c.score >= threshold);
             stats.entries_pruned += (before - finals.len()) as u64;
-            for c in &finals {
-                if register.offer(c.score) {
-                    stats.threshold_raises += 1;
-                }
-            }
         }
 
         finals
@@ -1191,6 +1529,19 @@ fn same_shot_revisit_ok(
         events.iter().any(|e| e.index() == alt)
             && (alt != prev_event || events.iter().filter(|e| e.index() == alt).count() >= 2)
     })
+}
+
+/// Renders a caught panic payload into a stable, greppable string for
+/// [`RetrievalStats::panic_payloads`]. `panic!` with a message produces a
+/// `String` (formatted) or `&'static str` (literal) payload; anything else
+/// is reported opaquely rather than dropped.
+fn panic_message(video: VideoId, payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .unwrap_or("<non-string panic payload>");
+    format!("video {}: {msg}", video.index())
 }
 
 /// Total order on final candidates: score desc, then video asc, then shot

@@ -148,7 +148,7 @@ proptest! {
         let (q_results, q_stats) = Retriever::new(&model, &cat, quiet_cfg).unwrap().retrieve(&pat, 10).unwrap();
         let (o_results, o_stats) = Retriever::new(&model, &cat, observed_cfg).unwrap().retrieve(&pat, 10).unwrap();
         prop_assert_eq!(q_results, o_results);
-        prop_assert_eq!(q_stats, o_stats);
+        prop_assert_eq!(q_stats.clone(), o_stats);
         // And the recorder really saw the query.
         let report = recorder.report();
         prop_assert_eq!(report.counter(hmmm_core::metrics::CTR_QUERIES), 1);

@@ -11,13 +11,28 @@
 //! (The payload reuses the serde_json encoding: the catalog is dominated by
 //! f64 feature columns, where JSON's float text is compact enough and keeps
 //! one canonical codec for both formats.)
+//!
+//! # Failure handling
+//!
+//! Saves validate the catalog first (an inconsistent catalog fails with
+//! [`PersistError::Format`] rather than being persisted), then publish
+//! through [`crate::atomic::atomic_write`]: a crash mid-save never leaves a
+//! torn file, and the previous generation is kept at `<path>.bak`. Loads
+//! fall back to that `.bak` generation when the primary file is corrupt
+//! (bad checksum, parse failure, malformed container) or missing in the
+//! narrow rotate window — each recovery counted under
+//! [`CTR_BAK_FALLBACKS`], each transient-error write retry under
+//! [`CTR_ATOMIC_WRITE_RETRIES`]. [`PersistOptions`] carries the recorder,
+//! retry tuning, and the deterministic I/O fault hook for tests.
 
+use crate::atomic::{atomic_write, bak_path, AtomicWriteOptions, IoFault};
 use crate::catalog::Catalog;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hmmm_obs::RecorderHandle;
 use std::fmt;
 use std::fs;
 use std::path::Path;
+use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"HMMM";
 const VERSION: u32 = 1;
@@ -30,6 +45,10 @@ pub const SPAN_LOAD: &str = "storage/load";
 pub const CTR_BYTES_WRITTEN: &str = "storage.bytes_written";
 /// Counter: bytes read by observed loads.
 pub const CTR_BYTES_READ: &str = "storage.bytes_read";
+/// Counter: transient-error retries taken by atomic writes.
+pub const CTR_ATOMIC_WRITE_RETRIES: &str = "storage.atomic_write_retries";
+/// Counter: loads that recovered from the `.bak` generation.
+pub const CTR_BAK_FALLBACKS: &str = "storage.bak_fallbacks";
 
 /// Errors from persistence operations.
 #[derive(Debug)]
@@ -84,13 +103,103 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+/// Knobs shared by the `_with` persistence entry points: observability,
+/// atomic-write retry tuning, and the deterministic I/O fault hook.
+#[derive(Clone)]
+pub struct PersistOptions<'a> {
+    /// Recorder for spans and the byte/retry/fallback counters
+    /// (noop by default).
+    pub recorder: RecorderHandle,
+    /// Deterministic I/O fault hook threaded into [`atomic_write`]
+    /// (`None` in production).
+    pub fault: Option<&'a dyn IoFault>,
+    /// Transient-error retry budget override (see
+    /// [`crate::atomic::DEFAULT_RETRIES`]).
+    pub retries: Option<u32>,
+    /// First-retry backoff override (see
+    /// [`crate::atomic::DEFAULT_BACKOFF`]).
+    pub backoff: Option<Duration>,
+}
+
+impl Default for PersistOptions<'_> {
+    fn default() -> Self {
+        PersistOptions {
+            recorder: RecorderHandle::noop(),
+            fault: None,
+            retries: None,
+            backoff: None,
+        }
+    }
+}
+
+impl<'a> PersistOptions<'a> {
+    /// Options with the given recorder and everything else default.
+    pub fn with_recorder(recorder: RecorderHandle) -> Self {
+        PersistOptions {
+            recorder,
+            ..PersistOptions::default()
+        }
+    }
+
+    fn atomic(&self) -> AtomicWriteOptions<'a> {
+        AtomicWriteOptions {
+            retries: self.retries,
+            backoff: self.backoff,
+            fault: self.fault,
+        }
+    }
+}
+
+/// Publishes `bytes` through the atomic writer, counting retries.
+fn publish(path: &Path, bytes: &[u8], opts: &PersistOptions<'_>) -> Result<(), PersistError> {
+    let report = atomic_write(path, bytes, &opts.atomic())?;
+    if report.retries > 0 {
+        opts.recorder.counter(CTR_ATOMIC_WRITE_RETRIES, u64::from(report.retries));
+    }
+    Ok(())
+}
+
+/// `true` when `primary` is the kind of load failure the `.bak` generation
+/// can repair: corrupt/unparseable data, or a destination missing in the
+/// atomic writer's rotate window. Genuine I/O failures (permissions, disk
+/// gone) are not maskable by a fallback read from the same directory.
+fn bak_can_repair(primary: &PersistError) -> bool {
+    match primary {
+        PersistError::Json(_) | PersistError::Format(_) | PersistError::Checksum { .. } => true,
+        PersistError::Io(e) => e.kind() == std::io::ErrorKind::NotFound,
+    }
+}
+
+/// Runs `loader` on `path`, retrying on the `.bak` generation when the
+/// primary read fails recoverably. Returns the *primary* error when the
+/// fallback also fails (the `.bak` failure is secondary information).
+fn load_with_fallback<T>(
+    path: &Path,
+    opts: &PersistOptions<'_>,
+    loader: impl Fn(&Path) -> Result<T, PersistError>,
+) -> Result<T, PersistError> {
+    let primary = match loader(path) {
+        Ok(v) => return Ok(v),
+        Err(e) => e,
+    };
+    let bak = bak_path(path);
+    if bak_can_repair(&primary) && bak.exists() {
+        if let Ok(v) = loader(&bak) {
+            opts.recorder.counter(CTR_BAK_FALLBACKS, 1);
+            return Ok(v);
+        }
+    }
+    Err(primary)
+}
+
 /// Saves a catalog as pretty-printed JSON.
 ///
 /// # Errors
 ///
-/// I/O or serialization failures.
+/// I/O or serialization failures; [`PersistError::Format`] if the catalog
+/// fails validation.
 pub fn save_json(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    save_json_observed(catalog, path, &RecorderHandle::noop())
+    save_json_with(catalog, path, &PersistOptions::default())
 }
 
 /// [`save_json`] timed under [`SPAN_SAVE`], counting [`CTR_BYTES_WRITTEN`].
@@ -103,21 +212,40 @@ pub fn save_json_observed(
     path: impl AsRef<Path>,
     obs: &RecorderHandle,
 ) -> Result<(), PersistError> {
-    let _span = obs.span(SPAN_SAVE);
-    let json = serde_json::to_vec_pretty(catalog)?;
-    obs.counter(CTR_BYTES_WRITTEN, json.len() as u64);
-    fs::write(path, json)?;
-    Ok(())
+    save_json_with(catalog, path, &PersistOptions::with_recorder(obs.clone()))
 }
 
-/// Loads a catalog from JSON and validates it.
+/// [`save_json`] with full [`PersistOptions`] control: validates the
+/// catalog, then publishes atomically (previous generation kept at
+/// `.bak`), retrying transient I/O errors.
+///
+/// # Errors
+///
+/// [`PersistError::Format`] for an invalid catalog, otherwise I/O or
+/// serialization failures.
+pub fn save_json_with(
+    catalog: &Catalog,
+    path: impl AsRef<Path>,
+    opts: &PersistOptions<'_>,
+) -> Result<(), PersistError> {
+    let _span = opts.recorder.span(SPAN_SAVE);
+    catalog
+        .validate()
+        .map_err(|e| PersistError::Format(e.to_string()))?;
+    let json = serde_json::to_vec_pretty(catalog)?;
+    opts.recorder.counter(CTR_BYTES_WRITTEN, json.len() as u64);
+    publish(path.as_ref(), &json, opts)
+}
+
+/// Loads a catalog from JSON and validates it, falling back to the `.bak`
+/// generation if the primary file is corrupt or missing.
 ///
 /// # Errors
 ///
 /// I/O, parse, or validation failures (validation errors surface as
 /// [`PersistError::Format`]).
 pub fn load_json(path: impl AsRef<Path>) -> Result<Catalog, PersistError> {
-    load_json_observed(path, &RecorderHandle::noop())
+    load_json_with(path, &PersistOptions::default())
 }
 
 /// [`load_json`] timed under [`SPAN_LOAD`], counting [`CTR_BYTES_READ`].
@@ -129,18 +257,42 @@ pub fn load_json_observed(
     path: impl AsRef<Path>,
     obs: &RecorderHandle,
 ) -> Result<Catalog, PersistError> {
-    let _span = obs.span(SPAN_LOAD);
-    let data = fs::read(path)?;
-    obs.counter(CTR_BYTES_READ, data.len() as u64);
-    let catalog: Catalog = serde_json::from_slice(&data)?;
+    load_json_with(path, &PersistOptions::with_recorder(obs.clone()))
+}
+
+/// [`load_json`] with full [`PersistOptions`] control; `.bak` recoveries
+/// are counted under [`CTR_BAK_FALLBACKS`].
+///
+/// # Errors
+///
+/// Same as [`load_json`]; when both generations fail, the primary file's
+/// error is returned.
+pub fn load_json_with(
+    path: impl AsRef<Path>,
+    opts: &PersistOptions<'_>,
+) -> Result<Catalog, PersistError> {
+    let _span = opts.recorder.span(SPAN_LOAD);
+    load_with_fallback(path.as_ref(), opts, |p| {
+        let data = fs::read(p)?;
+        opts.recorder.counter(CTR_BYTES_READ, data.len() as u64);
+        let catalog: Catalog = serde_json::from_slice(&data)?;
+        catalog
+            .validate()
+            .map_err(|e| PersistError::Format(e.to_string()))?;
+        Ok(catalog)
+    })
+}
+
+/// Encodes a catalog into the binary container, validating it first.
+///
+/// # Errors
+///
+/// [`PersistError::Format`] for an invalid catalog, [`PersistError::Json`]
+/// for payload serialization failures.
+pub fn encode_binary(catalog: &Catalog) -> Result<Bytes, PersistError> {
     catalog
         .validate()
         .map_err(|e| PersistError::Format(e.to_string()))?;
-    Ok(catalog)
-}
-
-/// Encodes a catalog into the binary container.
-pub fn encode_binary(catalog: &Catalog) -> Result<Bytes, PersistError> {
     let payload = serde_json::to_vec(catalog)?;
     let mut buf = BytesMut::with_capacity(payload.len() + 24);
     buf.put_slice(MAGIC);
@@ -192,9 +344,10 @@ pub fn decode_binary(mut data: Bytes) -> Result<Catalog, PersistError> {
 ///
 /// # Errors
 ///
-/// I/O or encoding failures.
+/// I/O or encoding failures; [`PersistError::Format`] if the catalog
+/// fails validation.
 pub fn save_binary(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    save_binary_observed(catalog, path, &RecorderHandle::noop())
+    save_binary_with(catalog, path, &PersistOptions::default())
 }
 
 /// [`save_binary`] timed under [`SPAN_SAVE`], counting [`CTR_BYTES_WRITTEN`].
@@ -207,20 +360,35 @@ pub fn save_binary_observed(
     path: impl AsRef<Path>,
     obs: &RecorderHandle,
 ) -> Result<(), PersistError> {
-    let _span = obs.span(SPAN_SAVE);
-    let bytes = encode_binary(catalog)?;
-    obs.counter(CTR_BYTES_WRITTEN, bytes.len() as u64);
-    fs::write(path, &bytes)?;
-    Ok(())
+    save_binary_with(catalog, path, &PersistOptions::with_recorder(obs.clone()))
 }
 
-/// Loads a catalog from the binary container format.
+/// [`save_binary`] with full [`PersistOptions`] control: validates the
+/// catalog, then publishes atomically (previous generation kept at
+/// `.bak`), retrying transient I/O errors.
+///
+/// # Errors
+///
+/// Same as [`save_binary`].
+pub fn save_binary_with(
+    catalog: &Catalog,
+    path: impl AsRef<Path>,
+    opts: &PersistOptions<'_>,
+) -> Result<(), PersistError> {
+    let _span = opts.recorder.span(SPAN_SAVE);
+    let bytes = encode_binary(catalog)?;
+    opts.recorder.counter(CTR_BYTES_WRITTEN, bytes.len() as u64);
+    publish(path.as_ref(), &bytes, opts)
+}
+
+/// Loads a catalog from the binary container format, falling back to the
+/// `.bak` generation if the primary file is corrupt or missing.
 ///
 /// # Errors
 ///
 /// See [`decode_binary`].
 pub fn load_binary(path: impl AsRef<Path>) -> Result<Catalog, PersistError> {
-    load_binary_observed(path, &RecorderHandle::noop())
+    load_binary_with(path, &PersistOptions::default())
 }
 
 /// [`load_binary`] timed under [`SPAN_LOAD`], counting [`CTR_BYTES_READ`].
@@ -232,10 +400,26 @@ pub fn load_binary_observed(
     path: impl AsRef<Path>,
     obs: &RecorderHandle,
 ) -> Result<Catalog, PersistError> {
-    let _span = obs.span(SPAN_LOAD);
-    let data = fs::read(path)?;
-    obs.counter(CTR_BYTES_READ, data.len() as u64);
-    decode_binary(Bytes::from(data))
+    load_binary_with(path, &PersistOptions::with_recorder(obs.clone()))
+}
+
+/// [`load_binary`] with full [`PersistOptions`] control; `.bak`
+/// recoveries are counted under [`CTR_BAK_FALLBACKS`].
+///
+/// # Errors
+///
+/// Same as [`load_binary`]; when both generations fail, the primary
+/// file's error is returned.
+pub fn load_binary_with(
+    path: impl AsRef<Path>,
+    opts: &PersistOptions<'_>,
+) -> Result<Catalog, PersistError> {
+    let _span = opts.recorder.span(SPAN_LOAD);
+    load_with_fallback(path.as_ref(), opts, |p| {
+        let data = fs::read(p)?;
+        opts.recorder.counter(CTR_BYTES_READ, data.len() as u64);
+        decode_binary(Bytes::from(data))
+    })
 }
 
 fn fnv1a(data: &[u8]) -> u64 {
@@ -250,8 +434,10 @@ fn fnv1a(data: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::atomic::TestDir;
     use hmmm_features::FeatureVector;
     use hmmm_media::EventKind;
+    use hmmm_obs::InMemoryRecorder;
 
     fn sample() -> Catalog {
         let mut c = Catalog::new();
@@ -261,6 +447,15 @@ mod tests {
                 (vec![EventKind::Goal], FeatureVector::from_array([0.25; 20])),
                 (vec![], FeatureVector::from_array([0.75; 20])),
             ],
+        );
+        c
+    }
+
+    fn sample2() -> Catalog {
+        let mut c = sample();
+        c.add_video(
+            "m2",
+            vec![(vec![EventKind::CornerKick], FeatureVector::from_array([0.5; 20]))],
         );
         c
     }
@@ -306,24 +501,90 @@ mod tests {
 
     #[test]
     fn file_round_trips() {
-        let dir = std::env::temp_dir().join("hmmm_persist_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = TestDir::new("hmmm_persist_test");
         let c = sample();
 
-        let jpath = dir.join("catalog.json");
+        let jpath = dir.file("catalog.json");
         save_json(&c, &jpath).unwrap();
         assert_eq!(load_json(&jpath).unwrap(), c);
 
-        let bpath = dir.join("catalog.bin");
+        let bpath = dir.file("catalog.bin");
         save_binary(&c, &bpath).unwrap();
         assert_eq!(load_binary(&bpath).unwrap(), c);
-
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn missing_file_is_io_error() {
         let err = load_json("/nonexistent/path/catalog.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn resave_keeps_previous_generation_as_bak() {
+        let dir = TestDir::new("hmmm_persist_test");
+        let path = dir.file("catalog.bin");
+        save_binary(&sample(), &path).unwrap();
+        save_binary(&sample2(), &path).unwrap();
+        assert_eq!(load_binary(&path).unwrap(), sample2());
+        let bak = crate::atomic::bak_path(&path);
+        assert_eq!(decode_binary(Bytes::from(fs::read(bak).unwrap())).unwrap(), sample());
+    }
+
+    #[test]
+    fn corrupt_primary_falls_back_to_bak_and_is_counted() {
+        let dir = TestDir::new("hmmm_persist_test");
+        let path = dir.file("catalog.bin");
+        save_binary(&sample(), &path).unwrap();
+        save_binary(&sample2(), &path).unwrap();
+        // Corrupt the live generation; the .bak still holds sample().
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+
+        let rec = InMemoryRecorder::shared();
+        let opts = PersistOptions::with_recorder(rec.handle());
+        assert_eq!(load_binary_with(&path, &opts).unwrap(), sample());
+        assert_eq!(rec.report().counter(CTR_BAK_FALLBACKS), 1);
+    }
+
+    #[test]
+    fn missing_primary_with_bak_recovers() {
+        let dir = TestDir::new("hmmm_persist_test");
+        let path = dir.file("catalog.json");
+        save_json(&sample(), &path).unwrap();
+        save_json(&sample2(), &path).unwrap();
+        // Model the crash window between the two renames: dest missing,
+        // previous generation at .bak.
+        fs::remove_file(&path).unwrap();
+        assert_eq!(load_json(&path).unwrap(), sample());
+    }
+
+    #[test]
+    fn both_generations_corrupt_returns_primary_error() {
+        let dir = TestDir::new("hmmm_persist_test");
+        let path = dir.file("catalog.bin");
+        save_binary(&sample(), &path).unwrap();
+        save_binary(&sample2(), &path).unwrap();
+        fs::write(&path, b"garbage").unwrap();
+        fs::write(crate::atomic::bak_path(&path), b"garbage too").unwrap();
+        let err = load_binary(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "unexpected error {err}");
+    }
+
+    #[test]
+    fn invalid_catalog_is_rejected_before_write() {
+        // Non-finite features fail Catalog::validate — reachable through
+        // the public construction API.
+        let mut c = sample();
+        c.add_video(
+            "broken",
+            vec![(vec![], FeatureVector::from_array([f64::NAN; 20]))],
+        );
+        let dir = TestDir::new("hmmm_persist_test");
+        let jpath = dir.file("catalog.json");
+        assert!(matches!(save_json(&c, &jpath), Err(PersistError::Format(_))));
+        assert!(!jpath.exists(), "invalid catalog must not be persisted");
+        assert!(matches!(encode_binary(&c), Err(PersistError::Format(_))));
     }
 }

@@ -57,11 +57,20 @@ USAGE:
       print catalog dimensions and per-event counts
   hmmm query <file> <pattern> [--top N] [--threads N] [--content-only]
              [--greedy] [--no-sim-cache] [--no-prune]
+             [--deadline-ms N] [--deadline-check-interval M]
+             [--fault-plan <json|file>]
              [--metrics-json <out>] [--trace]
       build the HMMM and run a temporal pattern query
       (--threads 0 = all cores, 1 = serial; default all cores)
       (--top-k is accepted as an alias of --top; --no-prune disables the
       exact top-k threshold pruning — rankings are identical either way)
+      --deadline-ms bounds the query wall clock: on expiry the engine
+      returns the best-so-far ranking marked DEGRADED (recall may drop,
+      exactness of what is returned does not); --deadline-check-interval
+      sets how many beam expansions pass between clock reads (default 64)
+      --fault-plan injects deterministic faults (inline JSON if the
+      argument starts with '{', else a file path), e.g.
+      '{\"panic_on_videos\": [0,2]}' — see crates/core/src/fault.rs
       --metrics-json writes the structured observability report (per-stage
       wall times, counters, cache hit ratio, thread utilization) as JSON;
       --trace prints the span tree of the whole run to stdout
@@ -239,6 +248,33 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if flag_present(args, "--no-prune") {
         config.prune = false;
     }
+    if let Some(ms) = flag_value(args, "--deadline-ms") {
+        let ms: u64 = parse_num(&ms, "--deadline-ms")?;
+        let mut deadline = hmmm_core::DeadlineConfig::new(std::time::Duration::from_millis(ms));
+        if let Some(interval) = flag_value(args, "--deadline-check-interval") {
+            let interval: u32 = parse_num(&interval, "--deadline-check-interval")?;
+            if interval == 0 {
+                return Err("--deadline-check-interval must be ≥ 1".into());
+            }
+            deadline.check_interval = interval;
+        }
+        config.deadline = Some(deadline);
+    } else if flag_present(args, "--deadline-check-interval") {
+        return Err("--deadline-check-interval requires --deadline-ms".into());
+    }
+    if let Some(spec) = flag_value(args, "--fault-plan") {
+        let json = if spec.trim_start().starts_with('{') {
+            spec
+        } else {
+            std::fs::read_to_string(&spec).map_err(|e| format!("reading fault plan {spec}: {e}"))?
+        };
+        let plan: hmmm_core::FaultPlan =
+            serde_json::from_str(&json).map_err(|e| format!("parsing fault plan: {e}"))?;
+        if !plan.is_empty() {
+            eprintln!("fault injection active: degraded output is expected");
+        }
+        config = config.with_fault_plan(plan);
+    }
     config.recorder = obs;
     let retriever = Retriever::new(&model, &catalog, config).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
@@ -256,6 +292,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         stats.videos_skipped_by_bound,
         stats.entries_pruned,
     );
+    if let Some(d) = &stats.degraded {
+        let reason = match d.reason {
+            hmmm_core::DegradedReason::DeadlineExpired => "deadline expired",
+            hmmm_core::DegradedReason::WorkerPanic => "worker panic",
+            hmmm_core::DegradedReason::DeadlineAndPanic => "deadline expired + worker panic",
+        };
+        println!(
+            "DEGRADED ({reason}): {} videos never admitted, {} videos failed — \
+             the ranking below covers only the work that completed",
+            d.videos_unvisited, d.videos_failed
+        );
+        for payload in &stats.panic_payloads {
+            println!("  failed {payload}");
+        }
+    }
     for (rank, r) in results.iter().enumerate() {
         let steps: Vec<String> = r
             .shots

@@ -91,12 +91,10 @@ fn persistence_round_trip_preserves_retrieval() {
     let archive = archive(3, 40, 9004);
     let catalog = ingest_archive(&archive, AnnotationSource::GroundTruth);
 
-    let dir = std::env::temp_dir().join("hmmm_integration");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("catalog.bin");
+    let dir = hmmm_storage::TestDir::new("hmmm_integration");
+    let path = dir.file("catalog.bin");
     hmmm_storage::save_binary(&catalog, &path).unwrap();
     let loaded = hmmm_storage::load_binary(&path).unwrap();
-    std::fs::remove_dir_all(&dir).ok();
     assert_eq!(catalog, loaded);
 
     let model_a = build_hmmm(&catalog, &BuildConfig::default()).unwrap();
