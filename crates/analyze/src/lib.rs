@@ -17,7 +17,8 @@
 //!   `syn`), exactly enough lexing for line-oriented lints.
 //! * [`lints`] — the rules (`raw-float-cmp`, `hash-iteration`,
 //!   `atomic-ordering-comment`, `metric-literal`, `equation-doc`,
-//!   `naked-persist-write`) and their allow-markers.
+//!   `naked-persist-write`, `no-alloc-in-traversal`) and their
+//!   allow-markers.
 //! * [`walk`] — deterministic workspace file discovery.
 //! * [`interleave`] — the `SharedTopK` interleaving explorer: a
 //!   step-driven mock of the CAS-raise loop, exhaustively scheduled over

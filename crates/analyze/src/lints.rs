@@ -25,6 +25,8 @@ pub const LINT_METRIC_LITERAL: &str = "metric-literal";
 pub const LINT_EQUATION_DOC: &str = "equation-doc";
 /// Direct file write in a persistence path outside the atomic helper.
 pub const LINT_NAKED_PERSIST_WRITE: &str = "naked-persist-write";
+/// Heap-allocating construct inside a declared per-video traversal region.
+pub const LINT_NO_ALLOC_TRAVERSAL: &str = "no-alloc-in-traversal";
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,8 +120,11 @@ pub const EQUATION_FNS: &[(&str, &[&str])] = &[
         "crates/core/src/sim.rs",
         &[
             "similarity",
+            "similarity_into",
+            "similarity_block",
             "self_similarity",
             "calibrated_similarity",
+            "calibrated_block",
             "max_calibrated_similarity",
             "best_alternative",
         ],
@@ -147,6 +152,7 @@ pub const EQUATION_FNS: &[(&str, &[&str])] = &[
             "max_calibrated_in",
             "self_similarity",
             "calibrated",
+            "calibrated_range",
             "best_alternative",
         ],
     ),
@@ -158,6 +164,33 @@ pub const EQUATION_FNS: &[(&str, &[&str])] = &[
 
 /// Anchor substrings accepted as an equation reference in rustdoc.
 const EQUATION_ANCHORS: &[&str] = &["Eq.", "Eqs.", "§", "Definition", "Figure", "Table", "Step"];
+
+/// Files that must declare (and keep clean) a `traversal-hot-path` region:
+/// the per-video beam walk recycles its buffers through a worker-owned
+/// scratch, and a stray allocation there silently reintroduces the
+/// per-video malloc traffic the scratch exists to remove.
+const TRAVERSAL_REGION_FILES: &[&str] = &["crates/core/src/retrieve.rs"];
+
+/// Comment markers delimiting a traversal hot-path region.
+const TRAVERSAL_BEGIN: &str = "hmmm-lint: begin(traversal-hot-path)";
+/// Closing marker; every `begin` needs one.
+const TRAVERSAL_END: &str = "hmmm-lint: end(traversal-hot-path)";
+
+/// Allocation constructs forbidden inside a traversal region. Lexical, like
+/// everything else here: growing an *existing* scratch buffer (`push`,
+/// `reserve`, `extend`) is the design and stays legal; what must not appear
+/// is a construct that mints a fresh heap object per video or per beam node.
+const TRAVERSAL_ALLOC_HEADS: &[&str] = &[
+    "Vec::new",
+    "with_capacity",
+    "vec!",
+    ".collect(",
+    ".to_vec(",
+    "Box::new",
+    "String::new",
+    "format!",
+    ".to_string(",
+];
 
 fn has_allow(scan: &ScannedFile, line: usize, lint: &str) -> bool {
     let marker = format!("hmmm-lint: allow({lint})");
@@ -254,6 +287,7 @@ pub fn lint_file(rel: &str, scan: &ScannedFile) -> Vec<Violation> {
     lint_metric_literal(rel, scan, &mut out);
     lint_equation_doc(rel, scan, &mut out);
     lint_naked_persist_write(rel, scan, &mut out);
+    lint_no_alloc_in_traversal(rel, scan, &mut out);
     out
 }
 
@@ -393,6 +427,67 @@ fn lint_naked_persist_write(rel: &str, scan: &ScannedFile, out: &mut Vec<Violati
                 });
             }
         }
+    }
+}
+
+fn lint_no_alloc_in_traversal(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    let registered = TRAVERSAL_REGION_FILES.contains(&rel);
+    let mut in_region = false;
+    let mut saw_region = false;
+    let mut open_line = 0usize;
+    for idx in 0..scan.code.len() {
+        let comment = scan.comments.get(idx).map(String::as_str).unwrap_or("");
+        if comment.contains(TRAVERSAL_BEGIN) {
+            saw_region = true;
+            in_region = true;
+            open_line = idx;
+            continue;
+        }
+        if comment.contains(TRAVERSAL_END) {
+            in_region = false;
+            continue;
+        }
+        if !in_region {
+            continue;
+        }
+        let line = &scan.code[idx];
+        for needle in TRAVERSAL_ALLOC_HEADS {
+            if line.contains(needle) && !has_allow(scan, idx, LINT_NO_ALLOC_TRAVERSAL) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    lint: LINT_NO_ALLOC_TRAVERSAL,
+                    message: format!(
+                        "`{needle}` inside the traversal-hot-path region — the \
+                         per-video walk must reuse the worker's \
+                         TraversalScratch buffers, not mint fresh heap \
+                         objects (push/reserve/extend on scratch is fine)"
+                    ),
+                });
+            }
+        }
+    }
+    if in_region {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: open_line + 1,
+            lint: LINT_NO_ALLOC_TRAVERSAL,
+            message: "traversal-hot-path region opened but never closed — \
+                      add the matching `hmmm-lint: end(traversal-hot-path)` \
+                      marker"
+                .to_string(),
+        });
+    }
+    if registered && !saw_region {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            lint: LINT_NO_ALLOC_TRAVERSAL,
+            message: "file is registered in TRAVERSAL_REGION_FILES but \
+                      declares no `hmmm-lint: begin(traversal-hot-path)` \
+                      region — the hot path lost its no-alloc guard"
+                .to_string(),
+        });
     }
 }
 

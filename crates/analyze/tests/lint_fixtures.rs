@@ -7,7 +7,7 @@
 use hmmm_analyze::lexer::scan;
 use hmmm_analyze::lints::{
     lint_file, LINT_ATOMIC_ORDERING, LINT_EQUATION_DOC, LINT_HASH_ITERATION, LINT_METRIC_LITERAL,
-    LINT_NAKED_PERSIST_WRITE, LINT_RAW_FLOAT_CMP,
+    LINT_NAKED_PERSIST_WRITE, LINT_NO_ALLOC_TRAVERSAL, LINT_RAW_FLOAT_CMP,
 };
 
 fn fired(rel: &str, src: &str, lint: &str) -> usize {
@@ -215,4 +215,91 @@ fn equation_doc_flags_stale_registry() {
 fn unregistered_files_not_checked_for_equation_docs() {
     let bad = "/// Undocumented equation impl.\npub fn mystery(a: f64) -> f64 { a }\n";
     assert_eq!(fired("crates/media/src/lib.rs", bad, LINT_EQUATION_DOC), 0);
+}
+
+/// A minimal traversal region wrapper for the no-alloc fixtures. The
+/// markers live in comments, so the lexer routes them to the comment
+/// channel like the real ones in retrieve.rs.
+fn traversal_region(body: &str) -> String {
+    format!(
+        "fn traverse(scratch: &mut S) {{\n// hmmm-lint: begin(traversal-hot-path)\n{body}// hmmm-lint: end(traversal-hot-path)\n}}\n"
+    )
+}
+
+#[test]
+fn no_alloc_in_traversal_fires_on_fresh_heap_objects() {
+    let vec_new = traversal_region("    let beam: Vec<u32> = Vec::new();\n");
+    assert_eq!(
+        fired("crates/core/src/retrieve.rs", &vec_new, LINT_NO_ALLOC_TRAVERSAL),
+        1
+    );
+    let cap = traversal_region("    let arena = Vec::with_capacity(64);\n");
+    assert_eq!(
+        fired("crates/core/src/retrieve.rs", &cap, LINT_NO_ALLOC_TRAVERSAL),
+        1
+    );
+    let collected = traversal_region("    let xs: Vec<u32> = beam.iter().copied().collect();\n");
+    assert_eq!(
+        fired("crates/core/src/retrieve.rs", &collected, LINT_NO_ALLOC_TRAVERSAL),
+        1
+    );
+}
+
+#[test]
+fn no_alloc_in_traversal_quiet_on_scratch_reuse() {
+    // push / reserve / clear on the worker's scratch is the design.
+    let good = traversal_region(
+        "    scratch.pending.clear();\n    scratch.arena.reserve(64);\n    scratch.pending.push(node);\n",
+    );
+    assert_eq!(
+        fired("crates/core/src/retrieve.rs", &good, LINT_NO_ALLOC_TRAVERSAL),
+        0
+    );
+}
+
+#[test]
+fn no_alloc_in_traversal_quiet_outside_regions() {
+    // The same constructs outside a declared region (and in files not
+    // registered for one) are none of this lint's business.
+    let free = "fn finals() {\n    let xs: Vec<u32> = beam.iter().copied().collect();\n}\n";
+    assert_eq!(
+        fired("crates/core/src/sim.rs", free, LINT_NO_ALLOC_TRAVERSAL),
+        0
+    );
+}
+
+#[test]
+fn no_alloc_in_traversal_respects_allow_marker() {
+    let allowed = traversal_region(
+        "    // hmmm-lint: allow(no-alloc-in-traversal) empty result, no heap\n    return Vec::new();\n",
+    );
+    assert_eq!(
+        fired("crates/core/src/retrieve.rs", &allowed, LINT_NO_ALLOC_TRAVERSAL),
+        0
+    );
+}
+
+#[test]
+fn no_alloc_in_traversal_flags_unclosed_region() {
+    let unclosed = "fn traverse() {\n// hmmm-lint: begin(traversal-hot-path)\n    walk();\n}\n";
+    let violations = lint_file("crates/core/src/retrieve.rs", &scan(unclosed));
+    assert!(violations
+        .iter()
+        .any(|v| v.lint == LINT_NO_ALLOC_TRAVERSAL && v.message.contains("never closed")));
+}
+
+#[test]
+fn no_alloc_in_traversal_flags_registered_file_without_region() {
+    // retrieve.rs is registered: losing the region markers entirely must
+    // fail loudly instead of silently dropping the guard.
+    let missing = "fn traverse() {\n    walk();\n}\n";
+    let violations = lint_file("crates/core/src/retrieve.rs", &scan(missing));
+    assert!(violations
+        .iter()
+        .any(|v| v.lint == LINT_NO_ALLOC_TRAVERSAL && v.message.contains("declares no")));
+    // Unregistered files carry no such obligation.
+    assert_eq!(
+        fired("crates/core/src/sim.rs", missing, LINT_NO_ALLOC_TRAVERSAL),
+        0
+    );
 }

@@ -60,6 +60,24 @@ struct Sample {
     videos_failed: u64,
     /// Queries whose deadline expired across repeats — likewise 0 here.
     deadline_expired: u64,
+    /// `true` when this sample fanned out over more than one worker on a
+    /// single-core host: the wall clock then measures scheduling overhead,
+    /// not parallelism, and `speedup_vs_serial` must not be read as one.
+    parallelism_unmeasurable: bool,
+}
+
+/// One similarity-kernel / bound-refresh micro-measurement: the same work
+/// through two layouts, so the snapshot records what the SoA/CSR hot-path
+/// representations actually buy on this host.
+#[derive(Debug, Serialize)]
+struct KernelSample {
+    /// What ran: `similarity_scalar`, `similarity_blocked`,
+    /// `row_max_dense`, `row_max_csr`.
+    variant: &'static str,
+    /// Best-of-N wall clock, seconds.
+    seconds: f64,
+    /// Shot-evaluations (similarity) or matrix rows (row-max) per second.
+    units_per_sec: f64,
 }
 
 /// Crash-safe persistence counters from one save+load round trip of the
@@ -95,6 +113,8 @@ struct Report {
     prune_speedup_serial: f64,
     /// Crash-safe persistence round trip of the bench catalog.
     persistence: PersistenceSample,
+    /// Blocked-vs-scalar similarity and CSR-vs-dense row-max micro-benches.
+    kernel: Vec<KernelSample>,
 }
 
 fn arg(name: &str) -> Option<String> {
@@ -160,6 +180,8 @@ fn main() {
         report
     };
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     let sample = |threads: usize,
                   sim_cache: bool,
                   prune: bool,
@@ -189,6 +211,7 @@ fn main() {
             threshold_raises: metrics.counter(m::CTR_THRESHOLD_RAISES),
             videos_failed: metrics.counter(m::CTR_VIDEOS_FAILED),
             deadline_expired: metrics.counter(m::CTR_DEADLINE_EXPIRED),
+            parallelism_unmeasurable: threads > 1 && host_cpus == 1,
         }
     };
 
@@ -256,7 +279,7 @@ fn main() {
         }
     };
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_microbench(&model);
     let report = Report {
         videos,
         shots: total_shots,
@@ -267,6 +290,7 @@ fn main() {
         cache_speedup_serial: uncached_secs / serial_secs,
         prune_speedup_serial: unpruned_secs / serial_secs,
         persistence,
+        kernel,
         samples,
     };
 
@@ -283,6 +307,14 @@ fn main() {
             s.thread_utilization,
             s.videos_skipped_by_bound,
             s.entries_pruned,
+        );
+    }
+    for k in &report.kernel {
+        println!(
+            "kernel {:<20}: {:>8.3} ms, {:>14.0} units/s",
+            k.variant,
+            k.seconds * 1e3,
+            k.units_per_sec
         );
     }
     println!(
@@ -312,6 +344,123 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, json + "\n").expect("write report");
     println!("wrote {out}");
+}
+
+/// Times the Eq.-14 similarity of every event against every archive shot
+/// through the scalar reference and the blocked SoA kernel, and the
+/// forward row-max refresh through the dense fold and the CSR view —
+/// best-of-3, with a bitwise cross-check so a layout bug can never ship
+/// inside a perf snapshot.
+fn kernel_microbench(model: &hmmm_core::Hmmm) -> Vec<KernelSample> {
+    use hmmm_core::sim;
+    const ROUNDS: usize = 3;
+    let shots = model.shot_count();
+    let events = hmmm_media::EventKind::COUNT;
+    let evals = (shots * events) as f64;
+
+    let best = |f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let start = std::time::Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let mut scalar_sink = 0.0f64;
+    let scalar_secs = best(&mut || {
+        let mut acc = 0.0;
+        for e in 0..events {
+            // Per-event partial, folded in shot order — the exact
+            // accumulation sequence of the blocked run's row sum, so the
+            // two sinks can be compared bitwise below.
+            let mut part = 0.0;
+            for s in 0..shots {
+                part += sim::similarity(model, s, e);
+            }
+            acc += part;
+        }
+        scalar_sink = std::hint::black_box(acc);
+    });
+
+    let mut block = Vec::new();
+    let mut blocked_sink = 0.0f64;
+    let blocked_secs = best(&mut || {
+        let mut acc = 0.0;
+        for e in 0..events {
+            let row = sim::similarity_block(model, 0..shots, e, &mut block);
+            acc += row.iter().sum::<f64>();
+        }
+        blocked_sink = std::hint::black_box(acc);
+    });
+    assert_eq!(
+        scalar_sink.to_bits(),
+        blocked_sink.to_bits(),
+        "blocked kernel diverged from the scalar reference"
+    );
+
+    let rows: usize = model.locals.iter().map(|l| l.a1.rows()).sum();
+    let mut maxima = vec![0.0f64; model.locals.iter().map(|l| l.a1.rows()).max().unwrap_or(0)];
+    let mut dense_sink = 0.0f64;
+    let dense_secs = best(&mut || {
+        let mut acc = 0.0;
+        for local in &model.locals {
+            let m = local.a1.as_matrix();
+            // Per-video partial, folded in row order — the same
+            // accumulation sequence as the CSR run's per-view row-maxima
+            // sum, so the two sinks compare bitwise below.
+            let mut part = 0.0;
+            for s in 0..m.rows() {
+                part += (s..m.cols()).map(|t| m[(s, t)]).fold(0.0, f64::max);
+            }
+            acc += part;
+        }
+        dense_sink = std::hint::black_box(acc);
+    });
+    let csrs: Vec<hmmm_matrix::ForwardCsr> = model
+        .locals
+        .iter()
+        .map(|l| hmmm_matrix::ForwardCsr::from_forward(l.a1.as_matrix()))
+        .collect();
+    let mut csr_sink = 0.0f64;
+    let csr_secs = best(&mut || {
+        let mut acc = 0.0;
+        for csr in &csrs {
+            let out = &mut maxima[..csr.rows()];
+            csr.row_maxima_into(out);
+            acc += out.iter().sum::<f64>();
+        }
+        csr_sink = std::hint::black_box(acc);
+    });
+    assert_eq!(
+        dense_sink.to_bits(),
+        csr_sink.to_bits(),
+        "CSR row maxima diverged from the dense fold"
+    );
+
+    vec![
+        KernelSample {
+            variant: "similarity_scalar",
+            seconds: scalar_secs,
+            units_per_sec: evals / scalar_secs,
+        },
+        KernelSample {
+            variant: "similarity_blocked",
+            seconds: blocked_secs,
+            units_per_sec: evals / blocked_secs,
+        },
+        KernelSample {
+            variant: "row_max_dense",
+            seconds: dense_secs,
+            units_per_sec: rows as f64 / dense_secs,
+        },
+        KernelSample {
+            variant: "row_max_csr",
+            seconds: csr_secs,
+            units_per_sec: rows as f64 / csr_secs,
+        },
+    ]
 }
 
 /// CI smoke for the exact top-k prune: pruned rankings must equal unpruned

@@ -22,6 +22,13 @@
 //!   `B_2`; a mismatch means the model was built from a different archive).
 //! * The `refresh_bounds` caches compare exactly equal to recomputed
 //!   maxima (delegated to `validate_against` — same fold, bitwise equality).
+//! * The hot-path SoA caches mirror their AoS sources bitwise (also via
+//!   `validate_against`): the feature-major `B_1` slab against the row-major
+//!   `b1`, every packed [`crate::model::EventTerms`] list (including its
+//!   memoized Eq. 14 self-similarity denominator) against `P_{1,2}` and
+//!   `B_1'`, and each video's sparse `A_1` view against its dense matrix —
+//!   including that the sparse/dense choice still agrees with
+//!   [`crate::model::A1_CSR_DENSITY_THRESHOLD`].
 //!
 //! The audit runs through [`crate::model::Hmmm::deep_audit`], is surfaced on
 //! the CLI as `hmmm check`, and in debug builds is wired into
@@ -62,6 +69,10 @@ pub struct AuditSummary {
     /// Events whose `B_1'` centroid has at least one Eq.-14-usable
     /// denominator (an entry above [`crate::sim::CENTROID_EPSILON`]).
     pub events_with_usable_centroid: usize,
+    /// Videos whose `A_1` traversal runs over the proven-fresh sparse CSR
+    /// view (the rest fall back to the dense row scan because their forward
+    /// density exceeds [`crate::model::A1_CSR_DENSITY_THRESHOLD`]).
+    pub a1_sparse_videos: usize,
 }
 
 impl fmt::Display for AuditSummary {
@@ -69,7 +80,8 @@ impl fmt::Display for AuditSummary {
         write!(
             f,
             "{} videos / {} shots; rows unit-mass: A1={} A2={} P12={} Π={}; \
-             L12 links 0/1: {}; events with usable B1' denominators: {}/{}",
+             L12 links 0/1: {}; events with usable B1' denominators: {}/{}; \
+             A1 sparse views: {}/{}",
             self.videos,
             self.shots,
             self.a1_rows,
@@ -78,7 +90,9 @@ impl fmt::Display for AuditSummary {
             self.pi_vectors,
             self.links,
             self.events_with_usable_centroid,
-            EventKind::COUNT
+            EventKind::COUNT,
+            self.a1_sparse_videos,
+            self.videos
         )
     }
 }
@@ -227,6 +241,11 @@ impl Hmmm {
             })
             .count();
         let a1_rows = self.locals.iter().map(|l| l.a1.rows()).sum();
+        let a1_sparse_videos = self
+            .locals
+            .iter()
+            .filter(|l| l.a1_sparse.is_some())
+            .count();
         Ok(AuditSummary {
             videos: self.video_count(),
             shots: self.shot_count(),
@@ -236,6 +255,7 @@ impl Hmmm {
             pi_vectors: self.locals.len() + 1,
             links,
             events_with_usable_centroid: usable,
+            a1_sparse_videos,
         })
     }
 }
@@ -315,5 +335,83 @@ mod tests {
         let mut m = build_hmmm(&c, &BuildConfig::default()).unwrap();
         m.b1_prime[0].as_mut_slice()[0] = f64::NAN;
         assert!(m.deep_audit(&c).is_err());
+    }
+
+    #[test]
+    fn deep_audit_rejects_stale_b1_slab() {
+        let c = catalog();
+        let mut m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        // Mutate the AoS source without refreshing the SoA mirror: the
+        // blocked kernel would silently read stale features, so the audit
+        // must fail before retrieval ever runs.
+        m.b1[0][FeatureId::GrassRatio] += 0.05;
+        let err = m.deep_audit(&c).unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(ref s) if s.contains("B1 SoA slab")));
+        m.refresh_derived();
+        assert!(m.deep_audit(&c).is_ok());
+    }
+
+    #[test]
+    fn deep_audit_rejects_stale_event_terms() {
+        let c = catalog();
+        let mut m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        // Nudge a centroid entry the packed term lists were built from
+        // (keep it inside [0, 1] so only the staleness check can fire).
+        let slice = m.b1_prime[0].as_mut_slice();
+        slice[0] = (slice[0] + 0.1).min(1.0);
+        let err = m.deep_audit(&c).unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(ref s) if s.contains("event terms")));
+        m.refresh_event_terms();
+        assert!(m.deep_audit(&c).is_ok());
+    }
+
+    /// A catalog whose lone video has mostly-unannotated shots, so the
+    /// initial `A_1` (Eq. 4) is genuinely sparse: only the annotated shots
+    /// attract forward mass and the density falls under the CSR threshold.
+    fn sparse_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let feat = |x: f64| {
+            let mut v = FeatureVector::zeros();
+            v[FeatureId::GrassRatio] = x;
+            v[FeatureId::VolumeMean] = 1.0 - x;
+            v
+        };
+        c.add_video(
+            "long",
+            vec![
+                (vec![EventKind::FreeKick], feat(0.2)),
+                (vec![], feat(0.3)),
+                (vec![], feat(0.4)),
+                (vec![], feat(0.6)),
+                (vec![EventKind::Goal], feat(0.8)),
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn deep_audit_rejects_stale_sparse_a1() {
+        let c = sparse_catalog();
+        let mut m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        // Drop the CSR view while the density still demands one: the
+        // sparse/dense traversal choice would diverge from the policy.
+        assert!(
+            m.locals.iter().any(|l| l.a1_sparse.is_some()),
+            "fixture should produce at least one sparse A1"
+        );
+        for local in &mut m.locals {
+            local.a1_sparse = None;
+        }
+        let err = m.deep_audit(&c).unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(ref s) if s.contains("sparse A1")));
+    }
+
+    #[test]
+    fn summary_reports_sparse_a1_views() {
+        let c = sparse_catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let summary = m.deep_audit(&c).unwrap();
+        assert_eq!(summary.a1_sparse_videos, 1);
+        assert!(summary.to_string().contains("A1 sparse views: 1/1"));
     }
 }

@@ -255,7 +255,7 @@ pub fn build_hmmm_observed(
         obs.counter(m::CTR_CONSTRUCT_SHOTS, catalog.shot_count() as u64);
     }
 
-    Ok(Hmmm {
+    let mut model = Hmmm {
         locals,
         b1,
         a2,
@@ -264,7 +264,13 @@ pub fn build_hmmm_observed(
         p12,
         b1_prime,
         normalizer,
-    })
+        b1_slab: hmmm_features::FeatureSlab::empty(),
+        event_terms: Vec::new(),
+    };
+    // Derive the SoA hot-path caches (feature-major B1 slab, packed Eq.-14
+    // event terms with memoized self-similarity denominators).
+    model.refresh_derived();
+    Ok(model)
 }
 
 /// `B_1'` per Eq. (11): the mean normalized feature vector over the shots

@@ -370,6 +370,10 @@ impl FeedbackLog {
             )?;
             model.p12 = p12;
             model.b1_prime = b1_prime;
+            // The cross-level matrices just moved: repack the per-event
+            // Eq.-14 terms and their memoized self-similarity denominators
+            // (validate_against checks their freshness).
+            model.refresh_event_terms();
             model.p12.as_matrix().frobenius_distance(&old_p12)?
         } else {
             0.0

@@ -83,7 +83,7 @@ pub use retrieve::{
     DeadlineConfig, Degraded, DegradedReason, RankedPattern, RetrievalConfig, RetrievalStats,
     Retriever,
 };
-pub use sim::similarity;
+pub use sim::{similarity, similarity_block};
 pub use simcache::SimCache;
 pub use topk::SharedTopK;
 pub use simulate::{FeedbackSimulator, OracleConfig};

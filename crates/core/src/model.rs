@@ -1,11 +1,19 @@
 //! The two-level HMMM container.
 
 use crate::error::CoreError;
-use hmmm_features::{FeatureVector, Normalizer, FEATURE_COUNT};
-use hmmm_matrix::{ProbVector, StochasticMatrix};
+use hmmm_features::{FeatureSlab, FeatureVector, Normalizer, FEATURE_COUNT};
+use hmmm_matrix::{ForwardCsr, ProbVector, StochasticMatrix};
 use hmmm_media::EventKind;
 use hmmm_storage::Catalog;
 use serde::{Deserialize, Serialize};
+
+/// Forward-density ceiling for keeping the sparse `A_1` view. Above this
+/// fraction of non-zero forward slots a CSR walk touches almost every cell a
+/// dense scan would — plus an index load per cell — so the dense row scan
+/// wins and [`LocalMmm::a1_sparse`] is dropped to `None`. The §4.2
+/// construction links each shot to a handful of successors, so real archives
+/// sit far below this.
+pub const A1_CSR_DENSITY_THRESHOLD: f64 = 0.5;
 
 /// The *local* MMM of one video (§4.2.1): its shots' temporal affinity
 /// matrix and initial-state distribution. Shot indices here are positions
@@ -32,6 +40,12 @@ pub struct LocalMmm {
     pub a1_max: f64,
     /// Largest entry of `Π_1` — the admissible Eq.-12 start factor.
     pub pi1_max: f64,
+    /// CSR view of `a1`'s non-zero forward entries, so the Eq.-13 expansion
+    /// loop and the bound refresh stop scanning structural zeros. `None`
+    /// when the forward density exceeds [`A1_CSR_DENSITY_THRESHOLD`] (dense
+    /// scan fallback). Derived cache maintained by
+    /// [`LocalMmm::refresh_bounds`], like `a1_row_max`.
+    pub a1_sparse: Option<ForwardCsr>,
 }
 
 impl LocalMmm {
@@ -44,17 +58,33 @@ impl LocalMmm {
             a1_row_max: Vec::new(),
             a1_max: 0.0,
             pi1_max: 0.0,
+            a1_sparse: None,
         };
         local.refresh_bounds();
         local
     }
 
-    /// Recomputes `a1_row_max`/`a1_max`/`pi1_max` from the current
-    /// matrices. Must be called after any in-place mutation of `a1`/`pi1`
-    /// (the feedback updates do), otherwise the retrieval pruning bounds
-    /// go stale and the exactness guarantee is void.
+    /// Recomputes `a1_row_max`/`a1_max`/`pi1_max` — and the sparse `A_1`
+    /// view — from the current matrices. Must be called after any in-place
+    /// mutation of `a1`/`pi1` (the feedback updates do), otherwise the
+    /// retrieval pruning bounds go stale and the exactness guarantee is
+    /// void.
+    ///
+    /// When the CSR view is kept, the row maxima are folded over its stored
+    /// entries; a CSR omits exactly the zero entries, and the dense fold
+    /// starts at `0.0`, so the results are bitwise identical either way
+    /// (`validate_against` re-proves this against the dense fold).
     pub fn refresh_bounds(&mut self) {
-        self.a1_row_max = forward_row_maxima(&self.a1);
+        let csr = ForwardCsr::from_forward(self.a1.as_matrix());
+        if csr.forward_density() <= crate::model::A1_CSR_DENSITY_THRESHOLD {
+            let mut maxima = vec![0.0; self.a1.rows()];
+            csr.row_maxima_into(&mut maxima);
+            self.a1_row_max = maxima;
+            self.a1_sparse = Some(csr);
+        } else {
+            self.a1_row_max = forward_row_maxima(&self.a1);
+            self.a1_sparse = None;
+        }
         self.a1_max = max_of(&self.a1_row_max);
         self.pi1_max = max_of(self.pi1.as_slice());
     }
@@ -84,6 +114,81 @@ fn forward_row_maxima(a1: &StochasticMatrix) -> Vec<f64> {
     (0..m.rows())
         .map(|s| (s..m.cols()).map(|t| m[(s, t)]).fold(0.0, f64::max))
         .collect()
+}
+
+/// Packed Eq.-14 terms of one query event: the features whose `B_1'`
+/// centroid clears `CENTROID_EPSILON`, as parallel SoA arrays in ascending
+/// feature order, plus the memoized Eq.-14 self-similarity denominator.
+///
+/// This is what lets the blocked similarity kernel run with *no* epsilon
+/// branch in its inner loop: the filtering happened once, here, at
+/// build/feedback time. The arrays deliberately store the raw
+/// `(weight, centroid)` pairs rather than a pre-divided `weight / centroid`
+/// — the kernel must perform the exact operation sequence of the scalar
+/// reference loop (`w * (1 - |b - c|) / c`) to stay bitwise identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventTerms {
+    /// Feature indices `y` with `B_1'(e, y) > CENTROID_EPSILON`, ascending.
+    pub features: Vec<u32>,
+    /// `B_1'(e, y)` for each packed feature.
+    pub centroids: Vec<f64>,
+    /// `P_{1,2}(e, y)` for each packed feature.
+    pub weights: Vec<f64>,
+    /// Memoized [`crate::sim::self_similarity`] — the Eq.-14 score of a shot
+    /// sitting exactly on the centroid, used as the calibration denominator.
+    pub self_sim: f64,
+}
+
+impl EventTerms {
+    /// Packs the usable Eq.-14 terms of `event` from the cross-level
+    /// matrices. The self-similarity fold walks the packed terms in the
+    /// same ascending-feature order as [`crate::sim::self_similarity`]'s
+    /// dense loop (which merely *skips* sub-epsilon centroids), so the
+    /// memoized denominator is bitwise equal to the reference.
+    pub fn build(p12: &StochasticMatrix, centroid: &FeatureVector, event: usize) -> Self {
+        let mut terms = EventTerms {
+            features: Vec::new(),
+            centroids: Vec::new(),
+            weights: Vec::new(),
+            self_sim: 0.0,
+        };
+        for y in 0..FEATURE_COUNT {
+            let c = centroid[y];
+            if c <= crate::sim::CENTROID_EPSILON {
+                continue;
+            }
+            let w = p12.get(event, y);
+            terms.features.push(y as u32);
+            terms.centroids.push(c);
+            terms.weights.push(w);
+            terms.self_sim += w / c;
+        }
+        terms
+    }
+
+    /// Verifies — without allocating — that these terms still mirror the
+    /// cross-level matrices bitwise (NaN-safe: compares bit patterns).
+    pub fn matches(&self, p12: &StochasticMatrix, centroid: &FeatureVector, event: usize) -> bool {
+        let mut k = 0usize;
+        let mut self_sim = 0.0;
+        for y in 0..FEATURE_COUNT {
+            let c = centroid[y];
+            if c <= crate::sim::CENTROID_EPSILON {
+                continue;
+            }
+            let w = p12.get(event, y);
+            if k >= self.features.len()
+                || self.features[k] as usize != y
+                || self.centroids[k].to_bits() != c.to_bits()
+                || self.weights[k].to_bits() != w.to_bits()
+            {
+                return false;
+            }
+            self_sim += w / c;
+            k += 1;
+        }
+        k == self.features.len() && self.self_sim.to_bits() == self_sim.to_bits()
+    }
 }
 
 /// A fully constructed two-level HMMM (Definition 1 with `d = 2`).
@@ -119,6 +224,16 @@ pub struct Hmmm {
     pub b1_prime: Vec<FeatureVector>,
     /// The Eq.-(3) normalizer fitted on the raw catalog features.
     pub normalizer: Normalizer,
+    /// Feature-major (SoA) transpose of [`Hmmm::b1`], so the blocked Eq.-14
+    /// kernel reads each feature's values for a shot block at unit stride.
+    /// Derived cache: rebuilt by [`Hmmm::refresh_derived`] whenever `b1`
+    /// changes, cross-checked bitwise against `b1` by the auditor.
+    pub b1_slab: FeatureSlab,
+    /// Per-event packed Eq.-14 terms (one entry per [`EventKind`]), with
+    /// the memoized self-similarity denominator. Derived cache: rebuilt by
+    /// [`Hmmm::refresh_event_terms`] whenever `p12`/`b1_prime` change (the
+    /// feedback relearning step does).
+    pub event_terms: Vec<EventTerms>,
 }
 
 /// Human-readable summary of a model's dimensions.
@@ -159,6 +274,24 @@ impl Hmmm {
     /// Number of shots (`N`).
     pub fn shot_count(&self) -> usize {
         self.b1.len()
+    }
+
+    /// Rebuilds every model-level derived cache (the `B_1` SoA slab and the
+    /// packed event terms) from the source-of-truth matrices. Construction
+    /// calls this once; mutate `b1` and you must call it again.
+    pub fn refresh_derived(&mut self) {
+        self.b1_slab = FeatureSlab::from_rows(&self.b1);
+        self.refresh_event_terms();
+    }
+
+    /// Rebuilds only the packed event terms (and their memoized
+    /// self-similarity denominators) from `p12`/`b1_prime`. The feedback
+    /// relearning step calls this after replacing the cross-level matrices;
+    /// `b1` is untouched there, so the slab needs no rebuild.
+    pub fn refresh_event_terms(&mut self) {
+        self.event_terms = (0..EventKind::COUNT)
+            .map(|e| EventTerms::build(&self.p12, &self.b1_prime[e], e))
+            .collect();
     }
 
     /// Validates the model against the catalog it was built from: per-video
@@ -213,6 +346,27 @@ impl Hmmm {
                     v.id
                 )));
             }
+            // The sparse A1 view is derived the same way: either it mirrors
+            // the dense matrix bitwise, or its absence is justified by the
+            // density threshold. A stale CSR would silently change which
+            // transitions the traversal even considers.
+            let csr_fresh = match &local.a1_sparse {
+                Some(csr) => {
+                    csr.matches(local.a1.as_matrix())
+                        && csr.forward_density() <= A1_CSR_DENSITY_THRESHOLD
+                }
+                None => {
+                    ForwardCsr::from_forward(local.a1.as_matrix()).forward_density()
+                        > A1_CSR_DENSITY_THRESHOLD
+                }
+            };
+            if !csr_fresh {
+                return Err(CoreError::Inconsistent(format!(
+                    "stale sparse A1 view on {} (refresh_bounds not called \
+                     after mutation?)",
+                    v.id
+                )));
+            }
         }
         let m = catalog.video_count();
         if self.a2.rows() != m || self.a2.cols() != m || self.pi2.len() != m {
@@ -226,6 +380,30 @@ impl Hmmm {
         }
         if self.b1_prime.len() != EventKind::COUNT {
             return Err(CoreError::Inconsistent("B1' row count".into()));
+        }
+        // Model-level derived caches: the SoA slab must be a bitwise
+        // transpose of B1 and the packed event terms must mirror
+        // P12/B1'. Both checks are NaN-safe bit comparisons, so a poisoned
+        // model still gets its real diagnosis from the numeric audit below.
+        if !self.b1_slab.matches(&self.b1) {
+            return Err(CoreError::Inconsistent(
+                "stale B1 SoA slab (refresh_derived not called after \
+                 mutation?)"
+                    .into(),
+            ));
+        }
+        if self.event_terms.len() != EventKind::COUNT
+            || self
+                .event_terms
+                .iter()
+                .enumerate()
+                .any(|(e, t)| !t.matches(&self.p12, &self.b1_prime[e], e))
+        {
+            return Err(CoreError::Inconsistent(
+                "stale packed event terms (refresh_event_terms not called \
+                 after mutation?)"
+                    .into(),
+            ));
         }
         for (i, f) in self.b1.iter().enumerate() {
             if !f.is_finite() {

@@ -555,6 +555,101 @@ impl Scorer<'_> {
         }
     }
 
+    /// [`Scorer::charge`] for a whole block of shots at once — same totals,
+    /// one branch instead of one per shot.
+    fn charge_block(&self, stats: &mut RetrievalStats, n: u64) {
+        match self {
+            Scorer::Cached(_) => stats.cache_lookups += n,
+            Scorer::Direct(_) => stats.sim_evaluations += n,
+        }
+    }
+
+    /// Blocked [`Scorer::best_alternative`]: fills `best_score[i]` /
+    /// `best_event[i]` with the winning `(score, event)` of shot
+    /// `shots.start + i` over `events`. Event-outer sweeps over contiguous
+    /// score rows (the cache's slot-major rows, or the blocked Eq.-14 kernel
+    /// through `block` for the direct scorer) replace the per-shot dispatch.
+    ///
+    /// Tie-break parity with the scalar path: the first event claims every
+    /// shot unconditionally; later events take over only on a strictly
+    /// greater score — exactly the earliest-alternative rule. An event with
+    /// no cached row scores `0.0` everywhere, so past the first event it can
+    /// never win strictly and is skipped whole.
+    fn best_alternative_block(
+        &self,
+        shots: std::ops::Range<usize>,
+        events: &[usize],
+        block: &mut Vec<f64>,
+        best_score: &mut Vec<f64>,
+        best_event: &mut Vec<u32>,
+    ) {
+        debug_assert!(!events.is_empty(), "alternatives checked non-empty");
+        let n = shots.len();
+        best_score.clear();
+        best_score.resize(n, 0.0);
+        best_event.clear();
+        best_event.resize(n, 0);
+        for (k, &e) in events.iter().enumerate() {
+            let row: Option<&[f64]> = match self {
+                Scorer::Cached(cache) => cache.calibrated_range(shots.clone(), e),
+                Scorer::Direct(model) => {
+                    Some(crate::sim::calibrated_block(model, shots.clone(), e, block))
+                }
+            };
+            match row {
+                Some(row) if k == 0 => {
+                    best_score.copy_from_slice(row);
+                    best_event.fill(e as u32);
+                }
+                Some(row) => {
+                    for ((bs, be), &s) in
+                        best_score.iter_mut().zip(best_event.iter_mut()).zip(row)
+                    {
+                        if s > *bs {
+                            *bs = s;
+                            *be = e as u32;
+                        }
+                    }
+                }
+                None if k == 0 => {
+                    // Scores stay the pre-zeroed 0.0, matching the scalar
+                    // path's zero score for out-of-query events.
+                    best_event.fill(e as u32);
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+/// Reusable per-worker traversal buffers: the beam arena, the beam/pending
+/// node lists, the start-candidate list, and the blocked-scoring scratch
+/// rows. One instance lives per [`Retriever::run_video_set`] call (one per
+/// worker on the parallel path) and is recycled across that worker's videos,
+/// so the per-video traversal allocates nothing once the buffers have grown
+/// to the worker's largest video — the hmmm-lint `no-alloc-in-traversal`
+/// rule keeps it that way.
+///
+/// Contents are garbage between videos by design: every user clears before
+/// use ([`Retriever::traverse_video`] clears defensively at entry, which
+/// also makes a panic-torn scratch harmless — see the unwind-safety audit in
+/// `run_video_set`).
+#[derive(Default)]
+struct TraversalScratch {
+    /// Settled lattice nodes (trim survivors only), reset per video.
+    arena: Vec<BeamNode>,
+    /// Arena indices of the current step's surviving beam.
+    beam: Vec<u32>,
+    /// Children of the current expansion, pre-trim.
+    pending: Vec<BeamNode>,
+    /// Start candidates `(local shot, event, sim)` of step 0.
+    starts: Vec<(usize, usize, f64)>,
+    /// Blocked Eq.-14 kernel output row (direct scorer only).
+    block: Vec<f64>,
+    /// Per-shot winning score of the blocked start scan.
+    best_score: Vec<f64>,
+    /// Per-shot winning event of the blocked start scan.
+    best_event: Vec<u32>,
 }
 
 /// Where the admissible per-step similarity maxima come from (see the
@@ -927,6 +1022,10 @@ impl<'a> Retriever<'a> {
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         let mut clock = deadline.map(|(config, started)| DeadlineClock::new(config, started));
+        // One scratch per worker, recycled across its videos: beam arenas
+        // and blocked-scoring rows grow to the worker's largest video once
+        // and are then reused, so the traversal hot path stops allocating.
+        let mut scratch = TraversalScratch::default();
         let mut results = Vec::new();
         for (i, &video) in videos.iter().enumerate() {
             // Deadline checkpoint (video granularity): once the budget has
@@ -958,17 +1057,23 @@ impl<'a> Retriever<'a> {
             //   criterion: the degraded ranking is exact over survivors).
             // * `clock` (`&mut`) — plain scalar fields; a partial tick is
             //   at worst a deferred clock read, never an inconsistency.
+            // * `scratch` (`&mut`) — the reusable traversal buffers. An
+            //   unwind can leave them holding a half-built beam, but their
+            //   contents are garbage *between videos by design*: every
+            //   consumer clears them at traversal entry, so the next video
+            //   observes no state from the failed one.
             // * `attempt` stats — created inside the closure and discarded
             //   on unwind, so a failed video contributes no torn counters.
             // * the recorder — its sinks are `Sync` and poison-safe at this
             //   boundary: the per-video span guard dropped during unwind
             //   records through a short, panic-free critical section.
             let clock_ref = clock.as_mut();
+            let scratch_ref = &mut scratch;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 self.config.fault.on_video_enter(video.index());
                 let mut attempt = RetrievalStats::default();
                 let found = self.traverse_video_bounded(
-                    video, pattern, scorer, prune_ctx, clock_ref, &mut attempt,
+                    video, pattern, scorer, prune_ctx, clock_ref, scratch_ref, &mut attempt,
                 );
                 (found, attempt)
             }));
@@ -1120,6 +1225,7 @@ impl<'a> Retriever<'a> {
     /// (exact prune site 1): a video whose admissible upper bound falls
     /// strictly below the shared threshold cannot contribute to the
     /// top-`limit` prefix and is skipped before any traversal work.
+    #[allow(clippy::too_many_arguments)]
     fn traverse_video_bounded(
         &self,
         video: VideoId,
@@ -1127,6 +1233,7 @@ impl<'a> Retriever<'a> {
         scorer: &Scorer<'_>,
         prune_ctx: &Option<(SharedTopK, PruneBounds)>,
         clock: Option<&mut DeadlineClock>,
+        scratch: &mut TraversalScratch,
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         match prune_ctx {
@@ -1135,7 +1242,7 @@ impl<'a> Retriever<'a> {
                 let video_bounds = match (bounds, scorer) {
                     (PruneBounds::Archive(query_bounds), _) => query_bounds.for_video(local),
                     (PruneBounds::PerVideo, Scorer::Cached(cache)) => {
-                        match self.per_video_bounds(video, pattern, cache) {
+                        match self.per_video_bounds(video, pattern, cache, scratch) {
                             Some(vb) => vb,
                             None => return Vec::new(), // empty/unknown video
                         }
@@ -1144,7 +1251,8 @@ impl<'a> Retriever<'a> {
                     // scorer; fall back to an unpruned traversal rather
                     // than panic if that invariant ever breaks.
                     (PruneBounds::PerVideo, Scorer::Direct(_)) => {
-                        return self.traverse_video(video, pattern, scorer, None, clock, stats)
+                        return self
+                            .traverse_video(video, pattern, scorer, None, clock, scratch, stats)
                     }
                 };
                 if video_bounds.video_ub() < register.threshold() {
@@ -1157,10 +1265,11 @@ impl<'a> Retriever<'a> {
                     scorer,
                     Some((register, &video_bounds)),
                     clock,
+                    scratch,
                     stats,
                 )
             }
-            None => self.traverse_video(video, pattern, scorer, None, clock, stats),
+            None => self.traverse_video(video, pattern, scorer, None, clock, scratch, stats),
         }
     }
 
@@ -1176,6 +1285,7 @@ impl<'a> Retriever<'a> {
         video: VideoId,
         pattern: &CompiledPattern,
         cache: &SimCache,
+        scratch: &mut TraversalScratch,
     ) -> Option<VideoBounds> {
         let record = self.catalog.video(video)?;
         let range = record.shot_range.clone();
@@ -1206,21 +1316,34 @@ impl<'a> Retriever<'a> {
         let vb = QueryBounds::new(step_max).for_video(local);
         let chain0 = vb.chain0();
         let first_alts = &pattern.steps[0].alternatives;
-        let raw_ub = (0..range.len())
-            .map(|s| {
-                let sim = first_alts
-                    .iter()
-                    .map(|&e| cache.calibrated(range.start + s, e))
-                    .fold(0.0, f64::max);
-                local.pi1.get(s) * sim * (1.0 + local.a1_row_max[s] * chain0)
-            })
+        // Event-outer best-sim sweep over the cache's contiguous slot-major
+        // rows, reusing the worker's scratch row. Per shot this folds the
+        // same scores with the same `f64::max` in the same event order as
+        // the old shot-outer loop (rows absent from the cache are all-zero
+        // and fold to a no-op), so the resulting bound is bit-identical.
+        let best = &mut scratch.best_score;
+        best.clear();
+        best.resize(range.len(), 0.0);
+        for &e in first_alts {
+            if let Some(row) = cache.calibrated_range(range.clone(), e) {
+                for (b, &v) in best.iter_mut().zip(row.iter()) {
+                    *b = b.max(v);
+                }
+            }
+        }
+        let raw_ub = best
+            .iter()
+            .enumerate()
+            .map(|(s, &sim)| local.pi1.get(s) * sim * (1.0 + local.a1_row_max[s] * chain0))
             .fold(0.0, f64::max);
         Some(vb.with_video_ub(raw_ub))
     }
 
     /// Steps 3–6 for one video: beam traversal of the Figure-3 lattice,
-    /// arena-backed, with the exact-safe threshold cuts (sites 2 and 3 of
-    /// the module docs) when `prune` carries the shared register.
+    /// arena-backed (buffers recycled across videos via the worker's
+    /// [`TraversalScratch`]), with the exact-safe threshold cuts (sites 2
+    /// and 3 of the module docs) when `prune` carries the shared register.
+    #[allow(clippy::too_many_arguments)]
     fn traverse_video(
         &self,
         video: VideoId,
@@ -1228,6 +1351,7 @@ impl<'a> Retriever<'a> {
         scorer: &Scorer<'_>,
         prune: Option<(&SharedTopK, &VideoBounds)>,
         mut clock: Option<&mut DeadlineClock>,
+        scratch: &mut TraversalScratch,
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         let record = match self.catalog.video(video) {
@@ -1251,54 +1375,81 @@ impl<'a> Retriever<'a> {
         // Trim survivors are the only nodes the arena ever holds, so it
         // tops out at beam_width × steps — paths, events and weights are
         // materialized from parent chains only for emitted candidates.
-        let mut arena: Vec<BeamNode> =
-            Vec::with_capacity(self.config.beam_width.max(1) * steps_total);
-        let mut beam: Vec<u32> = Vec::new();
-        let mut pending: Vec<BeamNode> = Vec::new();
+        // All buffers are the worker's recycled scratch; clearing at entry
+        // (rather than trusting the previous video) also wipes anything a
+        // panic-interrupted predecessor left behind.
+        let TraversalScratch {
+            arena,
+            beam,
+            pending,
+            starts,
+            block,
+            best_score,
+            best_event,
+        } = scratch;
+        arena.clear();
+        arena.reserve(self.config.beam_width.max(1) * steps_total);
+        beam.clear();
+        pending.clear();
+        starts.clear();
 
+        // hmmm-lint: begin(traversal-hot-path)
         // Step 4 at j = 1: w_1 = Π_1(s_1) · sim(s_1, e_1)  (Eq. 12). Each
         // start candidate carries its (event, sim) from the selection scan —
         // the seed re-evaluated Eq. 14 on every fallback survivor and
         // double-charged the stats for it.
         let first_alts = &pattern.steps[0].alternatives;
-        let mut starts: Vec<(usize, usize, f64)> = if self.config.annotated_first {
-            (0..n)
-                .filter(|&s| {
-                    shots[s]
-                        .events
-                        .iter()
-                        .any(|&e| first_alts.contains(&e.index()))
-                })
-                .map(|s| {
+        if self.config.annotated_first {
+            for (s, shot) in shots.iter().enumerate() {
+                if shot
+                    .events
+                    .iter()
+                    .any(|&e| first_alts.contains(&e.index()))
+                {
                     scorer.charge(stats);
                     let (event, sim) = scorer
                         .best_alternative(base + s, first_alts)
                         .expect("alternatives checked non-empty");
-                    (s, event, sim)
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+                    starts.push((s, event, sim));
+                }
+            }
+        }
         if starts.is_empty() {
             // "…or similar to event e_j": fall back to the most similar
-            // shots by features.
-            let mut scored: Vec<(usize, usize, f64)> = (0..n)
-                .map(|s| {
-                    scorer.charge(stats);
-                    let (event, sim) = scorer
-                        .best_alternative(base + s, first_alts)
-                        .expect("alternatives checked non-empty");
-                    (s, event, sim)
-                })
-                .collect();
-            scored.sort_by(|a, b| {
+            // shots by features — scored for the whole video in one blocked
+            // event-outer sweep instead of n per-shot dispatches. Same
+            // scores, same earliest-alternative tie-break, same charge
+            // totals as the scalar scan (see `best_alternative_block`).
+            scorer.charge_block(stats, n as u64);
+            scorer.best_alternative_block(
+                record.shot_range.clone(),
+                first_alts,
+                block,
+                best_score,
+                best_event,
+            );
+            for (s, (&sim, &event)) in best_score.iter().zip(best_event.iter()).enumerate() {
+                starts.push((s, event as usize, sim));
+            }
+            // Same width-cut trick as `trim_beam`: the comparator is a
+            // strict total order (shot ids are unique), so selecting the
+            // top `keep` in O(n) and sorting only that prefix yields the
+            // byte-identical candidate list the seed's full sort produced.
+            let cmp = |a: &(usize, usize, f64), b: &(usize, usize, f64)| {
                 crate::order::cmp_f64_desc(a.2, b.2).then_with(|| a.0.cmp(&b.0))
-            });
-            scored.truncate(self.config.max_start_candidates);
-            starts = scored;
+            };
+            let keep = self.config.max_start_candidates;
+            if starts.len() > keep {
+                if keep == 0 {
+                    starts.clear();
+                } else {
+                    starts.select_nth_unstable_by(keep - 1, cmp);
+                    starts.truncate(keep);
+                }
+            }
+            starts.sort_by(cmp);
         }
-        for (s, event, sim) in starts {
+        for &(s, event, sim) in starts.iter() {
             let w = local.pi1.get(s) * sim;
             if w > 0.0 {
                 pending.push(BeamNode {
@@ -1310,12 +1461,14 @@ impl<'a> Retriever<'a> {
                 });
             }
         }
-        trim_beam(&mut pending, self.config.beam_width, &arena);
-        settle(&mut pending, &mut arena, &mut beam);
+        trim_beam(pending, self.config.beam_width, arena);
+        settle(pending, arena, beam);
         if beam.is_empty() {
+            // hmmm-lint: allow(no-alloc-in-traversal) empty result, no heap
             return Vec::new();
         }
-        if beam_is_hopeless(&arena, &beam, prune, 0, &local.a1_row_max, stats) {
+        if beam_is_hopeless(arena, beam, prune, 0, &local.a1_row_max, stats) {
+            // hmmm-lint: allow(no-alloc-in-traversal) empty result, no heap
             return Vec::new();
         }
 
@@ -1333,7 +1486,7 @@ impl<'a> Retriever<'a> {
                         .any(|&e| step.alternatives.contains(&e.index()))
                 });
             pending.clear();
-            for &idx in &beam {
+            for &idx in beam.iter() {
                 // Deadline checkpoint (beam granularity, one clock read per
                 // `check_interval` ticks): partial paths cannot be emitted,
                 // so expiry abandons this video's beam whole — all-or-
@@ -1342,62 +1495,101 @@ impl<'a> Retriever<'a> {
                     if c.tick() {
                         stats.deadline_expired = true;
                         stats.beams_abandoned += 1;
+                        // hmmm-lint: allow(no-alloc-in-traversal) empty result
                         return Vec::new();
                     }
                 }
                 let entry = arena[idx as usize];
                 let from = entry.local as usize;
-                for (to, shot) in shots.iter().enumerate().take(n).skip(from) {
-                    if let Some(gap) = step.max_gap {
-                        if to - from > gap {
-                            break;
+                // The admission tail shared by the sparse and dense walks:
+                // annotation filter, same-shot rule, Eq.-13 edge weight,
+                // child push. `a` is already known strictly positive here,
+                // so both walks admit exactly the same transitions in the
+                // same ascending-`to` order — identical beams either way.
+                let admit =
+                    |to: usize, a: f64, pending: &mut Vec<BeamNode>, stats: &mut RetrievalStats| {
+                        let shot = &shots[to];
+                        if step_has_annotation
+                            && !shot
+                                .events
+                                .iter()
+                                .any(|&e| step.alternatives.contains(&e.index()))
+                        {
+                            return;
+                        }
+                        if to == from
+                            && !same_shot_revisit_ok(&shot.events, entry.event as usize, step)
+                        {
+                            return;
+                        }
+                        scorer.charge(stats);
+                        let Some((event, sim)) =
+                            scorer.best_alternative(base + to, &step.alternatives)
+                        else {
+                            return;
+                        };
+                        let w = entry.weight * a * sim;
+                        if w <= 0.0 {
+                            return;
+                        }
+                        pending.push(BeamNode {
+                            parent: idx,
+                            local: to as u32,
+                            event: event as u32,
+                            weight: w,
+                            score: entry.score + w,
+                        });
+                    };
+                match &local.a1_sparse {
+                    // CSR walk: only the non-zero forward entries of row
+                    // `from`, in ascending column order (so the `max_gap`
+                    // early-break stays valid). The dense walk's `a <= 0`
+                    // rejects are exactly the entries the CSR omits, so
+                    // `transitions_examined` now counts real candidate
+                    // edges rather than structural zeros.
+                    Some(csr) => {
+                        let (cols, vals) = csr.row(from);
+                        for (&to, &a) in cols.iter().zip(vals.iter()) {
+                            let to = to as usize;
+                            if let Some(gap) = step.max_gap {
+                                if to - from > gap {
+                                    break;
+                                }
+                            }
+                            stats.transitions_examined += 1;
+                            admit(to, a, pending, stats);
                         }
                     }
-                    stats.transitions_examined += 1;
-                    if step_has_annotation
-                        && !shot
-                            .events
-                            .iter()
-                            .any(|&e| step.alternatives.contains(&e.index()))
-                    {
-                        continue;
+                    // Dense fallback (forward density above the CSR
+                    // threshold): scan the row as before.
+                    None => {
+                        for to in from..n {
+                            if let Some(gap) = step.max_gap {
+                                if to - from > gap {
+                                    break;
+                                }
+                            }
+                            stats.transitions_examined += 1;
+                            let a = local.a1.get(from, to);
+                            if a > 0.0 {
+                                admit(to, a, pending, stats);
+                            }
+                        }
                     }
-                    let a = local.a1.get(from, to);
-                    if a <= 0.0 {
-                        continue;
-                    }
-                    if to == from
-                        && !same_shot_revisit_ok(&shot.events, entry.event as usize, step)
-                    {
-                        continue;
-                    }
-                    scorer.charge(stats);
-                    let Some((event, sim)) = scorer.best_alternative(base + to, &step.alternatives)
-                    else {
-                        continue;
-                    };
-                    let w = entry.weight * a * sim;
-                    if w <= 0.0 {
-                        continue;
-                    }
-                    pending.push(BeamNode {
-                        parent: idx,
-                        local: to as u32,
-                        event: event as u32,
-                        weight: w,
-                        score: entry.score + w,
-                    });
                 }
             }
-            trim_beam(&mut pending, self.config.beam_width, &arena);
-            settle(&mut pending, &mut arena, &mut beam);
+            trim_beam(pending, self.config.beam_width, arena);
+            settle(pending, arena, beam);
             if beam.is_empty() {
+                // hmmm-lint: allow(no-alloc-in-traversal) empty result
                 return Vec::new();
             }
-            if beam_is_hopeless(&arena, &beam, prune, j, &local.a1_row_max, stats) {
+            if beam_is_hopeless(arena, beam, prune, j, &local.a1_row_max, stats) {
+                // hmmm-lint: allow(no-alloc-in-traversal) empty result
                 return Vec::new();
             }
         }
+        // hmmm-lint: end(traversal-hot-path)
 
         // Step 6: the per-video candidates with Eq.-15 scores, materialized
         // from the arena. The path tie-break makes the cut at
@@ -1405,7 +1597,7 @@ impl<'a> Retriever<'a> {
         // adjacent for the dedup).
         let mut finals: Vec<Candidate> = beam
             .iter()
-            .map(|&idx| materialize(&arena, idx))
+            .map(|&idx| materialize(arena, idx))
             .collect();
         finals.sort_by(|a, b| {
             crate::order::cmp_f64_desc(a.score, b.score).then_with(|| a.path.cmp(&b.path))

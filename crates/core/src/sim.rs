@@ -1,7 +1,20 @@
-//! The Eq.-(14) shot/event similarity function.
+//! The Eq.-(14) shot/event similarity function — scalar reference and the
+//! blocked SoA kernel.
+//!
+//! Two implementations of the same equation live here. [`similarity`] is the
+//! scalar reference: one shot, one event, a dense loop over the 20 features
+//! with an epsilon branch per feature. [`similarity_block`] is the hot-path
+//! kernel: one event against a *contiguous block* of shots, iterating the
+//! event's pre-packed non-zero terms ([`crate::model::EventTerms`]) on the
+//! outside and sweeping the feature-major `B_1` slab at unit stride on the
+//! inside — no epsilon branch, no indirection, auto-vectorizable. Per shot,
+//! both execute the exact same floating-point operation sequence
+//! (`acc += w · (1 − |b − c|) / c` in ascending feature order), so their
+//! results are **bitwise identical** — pinned by proptests.
 
 use crate::model::Hmmm;
 use hmmm_features::FEATURE_COUNT;
+use std::ops::Range;
 
 /// Features whose centroid magnitude is below this are skipped: the paper
 /// restricts Eq. (14) to "the K non-zero features of the query sample", and
@@ -67,9 +80,123 @@ pub fn similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
     total
 }
 
+/// Eq. (14), blocked: writes the similarity of `event` against every shot
+/// in `shots` (a contiguous global-id range) into `out`, one slot per shot.
+///
+/// This is the kernel body shared by [`similarity_block`], the
+/// [`crate::simcache::SimCache`] builder, and the uncached bound fallback.
+/// It iterates the event's packed non-zero terms on the outside and the
+/// feature-major `B_1` slab row at unit stride on the inside, accumulating
+/// `w · (1 − |b − c|) / c` per shot in ascending feature order — the exact
+/// operation sequence of [`similarity`]'s scalar loop, so every slot is
+/// bitwise equal to the scalar score. The `CENTROID_EPSILON` filtering
+/// happened once at pack time; there is no branch in the inner loop.
+///
+/// # Panics
+///
+/// Panics if `out.len() != shots.len()` or the range exceeds the archive.
+pub fn similarity_into(model: &Hmmm, shots: Range<usize>, event: usize, out: &mut [f64]) {
+    assert_eq!(out.len(), shots.len(), "similarity block size mismatch");
+    out.fill(0.0);
+    let terms = &model.event_terms[event];
+    for ((&y, &c), &w) in terms
+        .features
+        .iter()
+        .zip(terms.centroids.iter())
+        .zip(terms.weights.iter())
+    {
+        let row = &model.b1_slab.feature_row(y as usize)[shots.clone()];
+        for (acc, &b) in out.iter_mut().zip(row.iter()) {
+            *acc += w * (1.0 - (b - c).abs()) / c;
+        }
+    }
+}
+
+/// Eq. (14) over a contiguous block of shots: the blocked SoA kernel.
+///
+/// Evaluates one query event against every shot in `shots` and returns the
+/// scores as a slice borrowed from `scratch` (cleared and resized; reusing
+/// the same buffer across calls keeps the hot path allocation-free). Slot
+/// `i` of the result is bitwise equal to
+/// `similarity(model, shots.start + i, event)` — see [`similarity_into`]
+/// for why.
+///
+/// ```
+/// use hmmm_core::{build_hmmm, similarity, BuildConfig};
+/// use hmmm_core::sim::similarity_block;
+/// use hmmm_features::{FeatureId, FeatureVector};
+/// use hmmm_media::EventKind;
+/// use hmmm_storage::Catalog;
+///
+/// # fn feat(grass: f64) -> FeatureVector {
+/// #     let mut f = FeatureVector::zeros();
+/// #     f[FeatureId::GrassRatio] = grass;
+/// #     f
+/// # }
+/// let mut catalog = Catalog::new();
+/// catalog.add_video("v1", vec![
+///     (vec![EventKind::Goal], feat(0.8)),
+///     (vec![EventKind::FreeKick], feat(0.3)),
+///     (vec![EventKind::Goal], feat(0.7)),
+/// ]);
+/// let model = build_hmmm(&catalog, &BuildConfig::default()).unwrap();
+/// let goal = EventKind::Goal.index();
+///
+/// let mut scratch = Vec::new();
+/// let block = similarity_block(&model, 0..3, goal, &mut scratch);
+/// assert_eq!(block.len(), 3);
+/// for (i, &score) in block.iter().enumerate() {
+///     assert_eq!(score, similarity(&model, i, goal)); // bitwise
+/// }
+/// ```
+pub fn similarity_block<'a>(
+    model: &Hmmm,
+    shots: Range<usize>,
+    event: usize,
+    scratch: &'a mut Vec<f64>,
+) -> &'a [f64] {
+    scratch.clear();
+    scratch.resize(shots.len(), 0.0);
+    similarity_into(model, shots, event, scratch);
+    &scratch[..]
+}
+
+/// [`calibrated_similarity`] over a contiguous block of shots.
+///
+/// Like [`similarity_block`] but divides each slot by the event's memoized
+/// self-similarity denominator (zero-fills when the event has no feature
+/// support). Slot `i` is bitwise equal to
+/// `calibrated_similarity(model, shots.start + i, event)`: both compute the
+/// full Eq.-14 total first and perform a single division by the same
+/// denominator.
+pub fn calibrated_block<'a>(
+    model: &Hmmm,
+    shots: Range<usize>,
+    event: usize,
+    scratch: &'a mut Vec<f64>,
+) -> &'a [f64] {
+    scratch.clear();
+    scratch.resize(shots.len(), 0.0);
+    let denom = model.event_terms[event].self_sim;
+    if denom > 0.0 {
+        similarity_into(model, shots.clone(), event, scratch);
+        for v in scratch.iter_mut() {
+            *v /= denom;
+        }
+    }
+    &scratch[..]
+}
+
 /// The Eq.-(14) score of an event's own centroid:
 /// `Σ_y P_{1,2}(e, f_y) / B_1'(e, f_y)` over non-zero features — the
 /// maximum attainable similarity for the event.
+///
+/// This is the *reference* computation; the model memoizes it per event at
+/// build/feedback time ([`crate::model::EventTerms::self_sim`], rebuilt by
+/// `refresh_event_terms`), and the hot paths read the memo instead of
+/// re-folding. The memo's fold walks the same terms in the same ascending
+/// order, so it is bitwise equal to this function — the auditor re-proves
+/// that on every validation.
 pub fn self_similarity(model: &Hmmm, event: usize) -> f64 {
     let centroid = &model.b1_prime[event];
     let mut total = 0.0;
@@ -93,7 +220,10 @@ pub fn self_similarity(model: &Hmmm, event: usize) -> f64 {
 /// ordering exactly while making scores comparable across events. (The
 /// deviation is recorded in DESIGN.md; [`similarity`] stays literal.)
 pub fn calibrated_similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
-    let denom = self_similarity(model, event);
+    // The denominator is a per-event constant; read the build-time memo
+    // (bitwise equal to `self_similarity` — see there) instead of
+    // re-folding Eq. 14 at its own centroid on every call.
+    let denom = model.event_terms[event].self_sim;
     if denom <= 0.0 {
         0.0
     } else {
@@ -111,9 +241,17 @@ pub fn calibrated_similarity(model: &Hmmm, shot: usize, event: usize) -> f64 {
 /// both fold the same scores with `f64::max` in shot order, so cached and
 /// uncached bounds are bit-identical and prune the same candidates.
 pub fn max_calibrated_similarity(model: &Hmmm, event: usize) -> f64 {
-    (0..model.shot_count())
-        .map(|shot| calibrated_similarity(model, shot, event))
-        .fold(0.0, f64::max)
+    let denom = model.event_terms[event].self_sim;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    // Blocked evaluation over the whole archive, then the same shot-order
+    // `f64::max` fold as before: each slot is the bitwise-identical Eq.-14
+    // total, and `total / denom` is the same single division the scalar
+    // `calibrated_similarity` performs.
+    let mut scores = vec![0.0; model.shot_count()];
+    similarity_into(model, 0..model.shot_count(), event, &mut scores);
+    scores.iter().map(|&t| t / denom).fold(0.0, f64::max)
 }
 
 /// Similarity of a shot against the best of several alternative events
@@ -231,5 +369,48 @@ mod tests {
         let m = model();
         assert!(self_similarity(&m, EventKind::Goal.index()) > 0.0);
         assert_eq!(self_similarity(&m, EventKind::RedCard.index()), 0.0);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_scalar_bitwise() {
+        let m = model();
+        let mut scratch = Vec::new();
+        for event in 0..EventKind::COUNT {
+            // Full archive and every sub-block, including empty ones.
+            for start in 0..=m.shot_count() {
+                for end in start..=m.shot_count() {
+                    let block = similarity_block(&m, start..end, event, &mut scratch);
+                    for (i, &score) in block.iter().enumerate() {
+                        assert_eq!(score.to_bits(), similarity(&m, start + i, event).to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_block_matches_scalar_bitwise() {
+        let m = model();
+        let mut scratch = Vec::new();
+        for event in 0..EventKind::COUNT {
+            let block = calibrated_block(&m, 0..m.shot_count(), event, &mut scratch);
+            for (shot, &score) in block.iter().enumerate() {
+                assert_eq!(
+                    score.to_bits(),
+                    calibrated_similarity(&m, shot, event).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_denominator_matches_reference_bitwise() {
+        let m = model();
+        for event in 0..EventKind::COUNT {
+            assert_eq!(
+                m.event_terms[event].self_sim.to_bits(),
+                self_similarity(&m, event).to_bits()
+            );
+        }
     }
 }

@@ -14,14 +14,8 @@
 //! pays the build cost once, not per thread.
 
 use crate::model::Hmmm;
-use crate::sim::self_similarity;
 use hmmm_media::EventKind;
 use hmmm_query::CompiledPattern;
-
-/// Per-event Eq.-(14) constants hoisted out of the build's cell loop: the
-/// self-similarity denominator plus the event's non-zero
-/// (feature, centroid, `P_{1,2}` weight) terms.
-type SlotTerms = (f64, Vec<(usize, f64, f64)>);
 
 /// Dense per-query table of calibrated Eq.-(14) scores.
 #[derive(Debug, Clone)]
@@ -30,10 +24,15 @@ pub struct SimCache {
     event_slots: Vec<usize>,
     /// Inverse map (event → slot), `None` for events outside the query.
     slot_of_event: [Option<usize>; EventKind::COUNT],
-    /// Calibrated scores, shot-major: `scores[shot * slots + slot]` — a
-    /// step's alternatives for one shot sit in adjacent cells, and the
-    /// parallel build can hand each worker a contiguous shot range.
+    /// Calibrated scores, **slot-major**: `scores[slot * shot_count + shot]`
+    /// — each event's scores for the whole archive sit in one contiguous
+    /// row, so the blocked Eq.-14 kernel fills a row per sweep, per-video
+    /// range scans ([`SimCache::max_calibrated_in`],
+    /// [`SimCache::calibrated_range`]) are unit-stride, and the parallel
+    /// build hands each worker contiguous row segments.
     scores: Vec<f64>,
+    /// Number of shots per row (the archive size at build time).
+    shot_count: usize,
     /// Memoized `self_similarity` per event (the Eq.-(14) denominator).
     self_sims: [f64; EventKind::COUNT],
     /// Per-event column maxima over the score table — the admissible
@@ -111,55 +110,38 @@ impl SimCache {
             }
         }
 
+        // Satellite memo: the denominators were folded once at model build
+        // time (bitwise equal to `sim::self_similarity` — the auditor
+        // re-proves it), so the cache just copies them.
         let mut self_sims = [0.0; EventKind::COUNT];
         for &e in &event_slots {
-            self_sims[e] = self_similarity(model, e);
+            self_sims[e] = model.event_terms[e].self_sim;
         }
 
         let slots = event_slots.len();
         let mut scores = vec![0.0; slots * shot_count];
 
-        // Hoist each event's Eq.-(14) terms out of the per-cell loop: the
-        // non-zero features, their centroids, and their `P_{1,2}` weights
-        // are per-event constants. The per-cell accumulation below visits
-        // the same features in the same order with the same operations as
-        // `similarity`, so cached scores are bit-identical to direct ones
-        // (the ranking-neutrality property depends on that).
-        let slot_terms: Vec<SlotTerms> = event_slots
-            .iter()
-            .map(|&e| {
-                let centroid = &model.b1_prime[e];
-                let terms = (0..hmmm_features::FEATURE_COUNT)
-                    .filter(|&y| centroid[y] > crate::sim::CENTROID_EPSILON)
-                    .map(|y| (y, centroid[y], model.p12.get(e, y)))
-                    .collect();
-                (self_sims[e], terms)
-            })
-            .collect();
-
-        // Fills `chunk` (the rows of shots starting at `first_shot`) and
-        // returns the Eq.-(14) evaluations spent. Events with no feature
-        // support keep their pre-zeroed cells, matching
-        // `calibrated_similarity`'s definition, at zero cost.
-        let fill = |first_shot: usize, chunk: &mut [f64]| -> u64 {
-            let mut evals = 0u64;
-            for (row_idx, row) in chunk.chunks_mut(slots).enumerate() {
-                let shot = first_shot + row_idx;
-                let b1 = &model.b1[shot];
-                for (slot, cell) in row.iter_mut().enumerate() {
-                    let (denom, terms) = &slot_terms[slot];
-                    if *denom > 0.0 {
-                        let mut total = 0.0;
-                        for &(y, c, weight) in terms {
-                            let diff = (b1[y] - c).abs();
-                            total += weight * (1.0 - diff) / c;
-                        }
-                        *cell = total / denom;
-                        evals += 1;
-                    }
-                }
+        // Fills one segment of a slot's row — the calibrated scores of that
+        // slot's event against shots `first_shot ..` — via the blocked SoA
+        // kernel, and returns the Eq.-(14) evaluations spent. The kernel
+        // accumulates each cell with the exact operation sequence of the
+        // scalar `similarity`, and `cell / denom` is the same single
+        // division `calibrated_similarity` performs, so cached scores are
+        // bit-identical to direct ones (the ranking-neutrality property
+        // depends on that). Events with no feature support keep their
+        // pre-zeroed cells, matching `calibrated_similarity`'s definition,
+        // at zero cost.
+        let fill = |slot: usize, first_shot: usize, seg: &mut [f64]| -> u64 {
+            let event = event_slots[slot];
+            let denom = self_sims[event];
+            if denom <= 0.0 {
+                return 0;
             }
-            evals
+            crate::sim::similarity_into(model, first_shot..first_shot + seg.len(), event, seg);
+            for cell in seg.iter_mut() {
+                *cell /= denom;
+            }
+            seg.len() as u64
         };
 
         // Chunks below ~2k shots don't amortize a thread spawn.
@@ -167,18 +149,45 @@ impl SimCache {
             .max(1)
             .min(shot_count.div_ceil(2048))
             .max(1);
-        let evaluations = if workers <= 1 || slots == 0 {
-            fill(0, &mut scores)
+        let evaluations = if slots == 0 || shot_count == 0 {
+            0
+        } else if workers <= 1 {
+            let mut total = 0u64;
+            for (slot, row) in scores.chunks_mut(shot_count).enumerate() {
+                total += fill(slot, 0, row);
+            }
+            total
         } else {
+            // Worker `w` owns shots `[w * shots_per_worker, ...)` of *every*
+            // slot row — the same shot partition as before the slot-major
+            // switch, just expressed as one segment per (worker, slot).
             let shots_per_worker = shot_count.div_ceil(workers);
+            let mut assignments: Vec<Vec<(usize, usize, &mut [f64])>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (slot, row) in scores.chunks_mut(shot_count).enumerate() {
+                let mut row = row;
+                let mut first_shot = 0usize;
+                while !row.is_empty() {
+                    let take = shots_per_worker.min(row.len());
+                    let (seg, rest) = std::mem::take(&mut row).split_at_mut(take);
+                    assignments[first_shot / shots_per_worker].push((slot, first_shot, seg));
+                    row = rest;
+                    first_shot += take;
+                }
+            }
             let mut total = 0u64;
             crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = scores
-                    .chunks_mut(shots_per_worker * slots)
-                    .enumerate()
-                    .map(|(w, chunk)| {
+                let handles: Vec<_> = assignments
+                    .into_iter()
+                    .map(|segments| {
                         let fill = &fill;
-                        s.spawn(move || fill(w * shots_per_worker, chunk))
+                        s.spawn(move || {
+                            let mut evals = 0u64;
+                            for (slot, first_shot, seg) in segments {
+                                evals += fill(slot, first_shot, seg);
+                            }
+                            evals
+                        })
                     })
                     .collect();
                 for h in handles {
@@ -192,14 +201,13 @@ impl SimCache {
         // order — the same `f64::max` fold `sim::max_calibrated_similarity`
         // performs over direct evaluations, so cached and uncached pruning
         // bounds are bit-identical at any build thread count. Reads only;
-        // the O(shots × slots) pass is free next to the build itself.
+        // the O(shots × slots) pass is free next to the build itself, and
+        // slot-major rows make it a contiguous sweep per event.
         let mut col_max = [0.0f64; EventKind::COUNT];
-        if slots > 0 {
-            for row in scores.chunks(slots) {
-                for (slot, &cell) in row.iter().enumerate() {
-                    let e = event_slots[slot];
-                    col_max[e] = col_max[e].max(cell);
-                }
+        if shot_count > 0 {
+            for (slot, row) in scores.chunks(shot_count).enumerate() {
+                let e = event_slots[slot];
+                col_max[e] = row.iter().copied().fold(0.0, f64::max);
             }
         }
 
@@ -207,6 +215,7 @@ impl SimCache {
             event_slots,
             slot_of_event,
             scores,
+            shot_count,
             self_sims,
             col_max,
             evaluations,
@@ -227,15 +236,23 @@ impl SimCache {
     /// exhibit the event, which is exactly where whole-video pruning pays.
     /// Pure table reads; events outside the query read `0.0`.
     pub fn max_calibrated_in(&self, shots: std::ops::Range<usize>, event: usize) -> f64 {
-        match self.slot_of_event.get(event).copied().flatten() {
-            Some(slot) => {
-                let slots = self.event_slots.len();
-                shots
-                    .map(|shot| self.scores[shot * slots + slot])
-                    .fold(0.0, f64::max)
-            }
+        match self.calibrated_range(shots, event) {
+            Some(row) => row.iter().copied().fold(0.0, f64::max),
             None => 0.0,
         }
+    }
+
+    /// The cached calibrated Eq.-14 scores of every shot in `shots` (a
+    /// global shot-id range) against `event`, as one contiguous slice —
+    /// slot `i` is `calibrated(shots.start + i, event)`. `None` for events
+    /// outside the query (whose scores are all `0.0` by definition);
+    /// callers treat that as a zero row. This is the slot-major layout's
+    /// payoff: per-video start scoring and bound folds become unit-stride
+    /// sweeps.
+    pub fn calibrated_range(&self, shots: std::ops::Range<usize>, event: usize) -> Option<&[f64]> {
+        let slot = self.slot_of_event.get(event).copied().flatten()?;
+        let base = slot * self.shot_count;
+        Some(&self.scores[base + shots.start..base + shots.end])
     }
 
     /// Eq.-(14) evaluations the build performed (`shots × supported events`).
@@ -259,7 +276,7 @@ impl SimCache {
     /// pattern score `0.0` (they cannot occur on the traversal hot path).
     pub fn calibrated(&self, shot: usize, event: usize) -> f64 {
         match self.slot_of_event.get(event).copied().flatten() {
-            Some(slot) => self.scores[shot * self.event_slots.len() + slot],
+            Some(slot) => self.scores[slot * self.shot_count + shot],
             None => 0.0,
         }
     }
@@ -418,6 +435,23 @@ mod tests {
         assert_eq!(cache.event_count(), 3);
         // An event outside the pattern reads as zero rather than panicking.
         assert_eq!(cache.calibrated(0, EventKind::RedCard.index()), 0.0);
+    }
+
+    #[test]
+    fn calibrated_range_is_contiguous_and_exact() {
+        let m = model();
+        let cache = SimCache::build(&m, &pattern());
+        let goal = EventKind::Goal.index();
+        // Video "b" owns shots 3..5.
+        let row = cache.calibrated_range(3..5, goal).unwrap();
+        assert_eq!(row.len(), 2);
+        for (i, &s) in row.iter().enumerate() {
+            assert_eq!(s.to_bits(), cache.calibrated(3 + i, goal).to_bits());
+        }
+        // Events outside the query have no row (callers read zeros).
+        assert!(cache
+            .calibrated_range(0..5, EventKind::RedCard.index())
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Property: the blocked SoA similarity kernel is invisible.
+//!
+//! `sim::similarity_block` (and its calibrated variant) exist purely as a
+//! memory-layout optimization — the feature-major `B_1` slab and the packed
+//! per-event term lists must never change a single bit of any score the
+//! scalar Eq.-14 reference produces. Likewise the sparse `A_1` view: the
+//! CSR row maxima must be bitwise equal to the dense forward fold, and the
+//! whole retrieval pipeline must rank identically whether a video's
+//! traversal ran over the CSR rows or the dense fallback.
+
+use hmmm_core::{build_hmmm, sim, BuildConfig, RetrievalConfig, Retriever};
+use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use hmmm_matrix::ForwardCsr;
+use hmmm_media::EventKind;
+use hmmm_query::{CompiledPattern, CompiledStep};
+use hmmm_storage::Catalog;
+use proptest::prelude::*;
+
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(0.0f64..1.0, FEATURE_COUNT)
+        .prop_map(|v| FeatureVector::from_slice(&v).expect("exact length"))
+}
+
+fn events() -> impl Strategy<Value = Vec<EventKind>> {
+    proptest::collection::vec(0usize..EventKind::COUNT, 0..3).prop_map(|idx| {
+        let mut out: Vec<EventKind> = idx.into_iter().filter_map(EventKind::from_index).collect();
+        out.dedup();
+        out
+    })
+}
+
+fn catalog() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec(
+        proptest::collection::vec((events(), feature_vector()), 1..10),
+        2..8,
+    )
+    .prop_map(|videos| {
+        let mut c = Catalog::new();
+        for (i, shots) in videos.into_iter().enumerate() {
+            c.add_video(format!("v{i}"), shots);
+        }
+        c
+    })
+}
+
+fn pattern() -> impl Strategy<Value = CompiledPattern> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..EventKind::COUNT, 1..3),
+            proptest::option::of(0usize..6),
+        ),
+        1..4,
+    )
+    .prop_map(|steps| CompiledPattern {
+        steps: steps
+            .into_iter()
+            .map(|(mut alternatives, max_gap)| {
+                alternatives.dedup();
+                CompiledStep {
+                    alternatives,
+                    max_gap,
+                }
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every slot of every blocked evaluation — raw and calibrated, over
+    /// every event and every sub-range the archive admits — is bitwise
+    /// equal to the scalar reference.
+    #[test]
+    fn blocked_kernel_is_bitwise_invisible(
+        cat in catalog(),
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+    ) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let n = model.shot_count();
+        let lo = ((n as f64) * lo_frac.min(hi_frac)) as usize;
+        let hi = (((n as f64) * lo_frac.max(hi_frac)) as usize).max(lo);
+        let mut scratch = Vec::new();
+        for event in 0..EventKind::COUNT {
+            let raw = sim::similarity_block(&model, lo..hi, event, &mut scratch).to_vec();
+            for (i, &score) in raw.iter().enumerate() {
+                prop_assert_eq!(
+                    score.to_bits(),
+                    sim::similarity(&model, lo + i, event).to_bits(),
+                    "raw slot {} of event {} diverged", i, event
+                );
+            }
+            let cal = sim::calibrated_block(&model, lo..hi, event, &mut scratch).to_vec();
+            for (i, &score) in cal.iter().enumerate() {
+                prop_assert_eq!(
+                    score.to_bits(),
+                    sim::calibrated_similarity(&model, lo + i, event).to_bits(),
+                    "calibrated slot {} of event {} diverged", i, event
+                );
+            }
+        }
+    }
+
+    /// The CSR view agrees with the dense matrix wherever both exist: same
+    /// row maxima (bitwise, same fold), `matches` accepts its own source,
+    /// and the model's `a1_row_max` cache equals the dense fold regardless
+    /// of which representation `refresh_bounds` derived it from.
+    #[test]
+    fn csr_and_dense_row_maxima_agree(cat in catalog()) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        for local in &model.locals {
+            let dense = local.a1.as_matrix();
+            let by_dense: Vec<f64> = (0..dense.rows())
+                .map(|s| (s..dense.cols()).map(|t| dense[(s, t)]).fold(0.0, f64::max))
+                .collect();
+            let csr = ForwardCsr::from_forward(dense);
+            prop_assert!(csr.matches(dense));
+            let mut by_csr = vec![0.0; dense.rows()];
+            csr.row_maxima_into(&mut by_csr);
+            for (a, b) in by_csr.iter().zip(by_dense.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in local.a1_row_max.iter().zip(by_dense.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The blocked kernel is invisible end-to-end: across the threads ×
+    /// cache × prune grid (the PR-3 harness's axes), rankings are
+    /// byte-identical to the single-threaded uncached exhaustive run —
+    /// whether a video's scores came from the slot-major cache
+    /// (`similarity_into` during `SimCache::build`) or from per-block
+    /// direct evaluation, and whether its `A_1` walk took the CSR rows or
+    /// the dense fallback.
+    #[test]
+    fn kernel_grid_ranks_identically(
+        cat in catalog(),
+        pat in pattern(),
+        threads in 1usize..4,
+        use_cache in proptest::sample::select(vec![false, true]),
+        prune in proptest::sample::select(vec![false, true]),
+    ) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let grid_cfg = RetrievalConfig {
+            threads: Some(threads),
+            use_sim_cache: use_cache,
+            prune,
+            ..RetrievalConfig::default()
+        };
+        let reference_cfg = RetrievalConfig {
+            threads: Some(1),
+            use_sim_cache: false,
+            prune: false,
+            ..RetrievalConfig::default()
+        };
+        let (a, _) = Retriever::new(&model, &cat, grid_cfg)
+            .unwrap()
+            .retrieve(&pat, 10)
+            .unwrap();
+        let (b, _) = Retriever::new(&model, &cat, reference_cfg)
+            .unwrap()
+            .retrieve(&pat, 10)
+            .unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -29,9 +29,11 @@
 pub mod extract;
 pub mod feature_id;
 pub mod normalize;
+pub mod slab;
 pub mod vector;
 
 pub use extract::{extract_shot, ExtractorConfig};
 pub use feature_id::FeatureId;
 pub use normalize::{NormalizationParams, Normalizer};
+pub use slab::FeatureSlab;
 pub use vector::{FeatureVector, FEATURE_COUNT};

@@ -1,0 +1,152 @@
+//! Feature-major (SoA) slab layout for a block of feature vectors.
+//!
+//! [`crate::FeatureVector`] is the array-of-structs source of truth: one
+//! contiguous `[f64; FEATURE_COUNT]` per shot, which is the natural unit for
+//! extraction, normalization, and serialization. The Eq.-14 similarity
+//! kernel, however, walks *one feature across many shots*: for each
+//! non-zero-centroid feature it reads `B_1(s, y)` for a whole block of
+//! shots. In AoS layout those reads are strided by `FEATURE_COUNT`; the
+//! [`FeatureSlab`] transposes the matrix so each feature's values sit in one
+//! contiguous row and the kernel's inner loop becomes a unit-stride,
+//! auto-vectorizable sweep.
+//!
+//! The slab is a derived cache, never mutated independently: it is rebuilt
+//! whenever `B_1` changes and cross-checked bitwise against the AoS rows by
+//! the model auditor ([`FeatureSlab::matches`]).
+
+use crate::vector::{FeatureVector, FEATURE_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// Feature-major transposed copy of a `B_1` block: `FEATURE_COUNT` rows of
+/// `shots` values each, stored contiguously (`data[y * shots + s]`).
+///
+/// # Examples
+///
+/// ```
+/// use hmmm_features::{FeatureSlab, FeatureVector, FEATURE_COUNT};
+///
+/// let rows = vec![
+///     FeatureVector::from_array(std::array::from_fn(|y| y as f64)),
+///     FeatureVector::from_array(std::array::from_fn(|y| y as f64 * 10.0)),
+/// ];
+/// let slab = FeatureSlab::from_rows(&rows);
+/// assert_eq!(slab.shots(), 2);
+/// assert_eq!(slab.feature_row(3), &[3.0, 30.0]);
+/// assert!(slab.matches(&rows));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSlab {
+    shots: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureSlab {
+    /// Empty slab over zero shots.
+    pub fn empty() -> Self {
+        FeatureSlab {
+            shots: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Transposes `rows` (shot-major) into the feature-major slab.
+    pub fn from_rows(rows: &[FeatureVector]) -> Self {
+        let shots = rows.len();
+        let mut data = vec![0.0; shots * FEATURE_COUNT];
+        for (s, v) in rows.iter().enumerate() {
+            for (y, &x) in v.as_slice().iter().enumerate() {
+                data[y * shots + s] = x;
+            }
+        }
+        FeatureSlab { shots, data }
+    }
+
+    /// Number of shots (columns of the transposed matrix).
+    #[inline]
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// All values of feature `y`, one per shot, contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= FEATURE_COUNT`.
+    #[inline]
+    pub fn feature_row(&self, y: usize) -> &[f64] {
+        assert!(y < FEATURE_COUNT, "feature index out of range");
+        &self.data[y * self.shots..(y + 1) * self.shots]
+    }
+
+    /// Verifies — without allocating — that the slab is a bitwise-exact
+    /// transpose of `rows`. NaN-safe (compares bit patterns, not values), so
+    /// a poisoned-but-fresh slab is reported fresh and the numeric audits get
+    /// to name the real problem.
+    pub fn matches(&self, rows: &[FeatureVector]) -> bool {
+        if self.shots != rows.len() || self.data.len() != rows.len() * FEATURE_COUNT {
+            return false;
+        }
+        for (s, v) in rows.iter().enumerate() {
+            for (y, &x) in v.as_slice().iter().enumerate() {
+                if self.data[y * self.shots + s].to_bits() != x.to_bits() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<FeatureVector> {
+        (0..3)
+            .map(|s| FeatureVector::from_array(std::array::from_fn(|y| (s * 100 + y) as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn transpose_layout_is_feature_major() {
+        let slab = FeatureSlab::from_rows(&rows());
+        assert_eq!(slab.shots(), 3);
+        assert_eq!(slab.feature_row(0), &[0.0, 100.0, 200.0]);
+        assert_eq!(slab.feature_row(19), &[19.0, 119.0, 219.0]);
+    }
+
+    #[test]
+    fn matches_detects_drift_and_shape_mismatch() {
+        let r = rows();
+        let slab = FeatureSlab::from_rows(&r);
+        assert!(slab.matches(&r));
+        let mut drifted = r.clone();
+        drifted[1][4] = -1.0;
+        assert!(!slab.matches(&drifted));
+        assert!(!slab.matches(&r[..2]));
+    }
+
+    #[test]
+    fn matches_is_nan_safe() {
+        let mut r = rows();
+        r[0][0] = f64::NAN;
+        let slab = FeatureSlab::from_rows(&r);
+        assert!(slab.matches(&r));
+    }
+
+    #[test]
+    fn empty_slab() {
+        let slab = FeatureSlab::empty();
+        assert_eq!(slab.shots(), 0);
+        assert!(slab.matches(&[]));
+        assert_eq!(slab.feature_row(5), &[] as &[f64]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let slab = FeatureSlab::from_rows(&rows());
+        let json = serde_json::to_string(&slab).unwrap();
+        let back: FeatureSlab = serde_json::from_str(&json).unwrap();
+        assert_eq!(slab, back);
+    }
+}

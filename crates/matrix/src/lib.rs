@@ -31,6 +31,7 @@ pub mod dense;
 pub mod error;
 pub mod order;
 pub mod prob;
+pub mod sparse;
 pub mod stochastic;
 
 pub use accumulate::AffinityAccumulator;
@@ -38,6 +39,7 @@ pub use dense::Matrix;
 pub use error::MatrixError;
 pub use order::{cmp_f64, cmp_f64_desc};
 pub use prob::ProbVector;
+pub use sparse::ForwardCsr;
 pub use stochastic::StochasticMatrix;
 
 /// Tolerance used when validating stochastic invariants (row sums, probability

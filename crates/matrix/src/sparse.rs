@@ -1,0 +1,249 @@
+//! CSR-style sparse view of a *forward* (upper-triangular) transition matrix.
+//!
+//! The temporal `A_1` matrices of the HMMM are upper-triangular by
+//! construction (a shot only transitions to itself or a later shot) and,
+//! on realistic archives, most forward entries are structural zeros: a shot
+//! typically links to a handful of successors. The Eq.-13 chain recurrence
+//! and the `a1_row_max` bound refresh both fold over `A_1` rows, and a dense
+//! scan spends most of its time loading zeros just to branch past them.
+//!
+//! [`ForwardCsr`] stores, per row, the column indices and values of the
+//! non-zero forward entries (`col >= row`, `value > 0`) in ascending column
+//! order. Ascending order matters: the traversal's `max_gap` early-`break`
+//! stays valid, and fold order over the surviving entries is identical to
+//! the dense scan's (which only ever *skips* zeros), so every max/sum the
+//! core derives from this view is bitwise equal to its dense counterpart.
+
+use crate::dense::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Sparse (CSR) row index over the non-zero forward entries of a square
+/// transition matrix.
+///
+/// Built from a dense [`Matrix`] via [`ForwardCsr::from_forward`]; the dense
+/// matrix remains the source of truth (and is what gets audited for the
+/// row-stochastic invariant). The CSR view is a derived cache, kept fresh the
+/// same way the `a1_row_max` bound cache is, and verifiable against its
+/// source with the allocation-free [`ForwardCsr::matches`].
+///
+/// # Examples
+///
+/// ```
+/// use hmmm_matrix::{ForwardCsr, Matrix};
+///
+/// let m = Matrix::from_rows(&[
+///     vec![0.2, 0.0, 0.8],
+///     vec![0.0, 1.0, 0.0],
+///     vec![0.0, 0.0, 1.0],
+/// ])
+/// .unwrap();
+/// let csr = ForwardCsr::from_forward(&m);
+/// let (cols, vals) = csr.row(0);
+/// assert_eq!(cols, &[0, 2]);
+/// assert_eq!(vals, &[0.2, 0.8]);
+/// assert!(csr.matches(&m));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForwardCsr {
+    /// `row_start[r]..row_start[r + 1]` indexes row `r`'s entries; length is
+    /// `rows + 1`.
+    row_start: Vec<u32>,
+    /// Column index of each stored entry, ascending within a row. Always
+    /// `>=` its row index (forward support only).
+    cols: Vec<u32>,
+    /// Value of each stored entry; always `> 0`.
+    vals: Vec<f64>,
+}
+
+impl ForwardCsr {
+    /// Builds the CSR view of `m`'s strictly-positive forward entries
+    /// (`col >= row`, `value > 0.0`). Entries below the diagonal are ignored
+    /// entirely — for the temporal `A_1` they are structural zeros anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` has more than `u32::MAX` rows or columns (archives are
+    /// nowhere near that).
+    pub fn from_forward(m: &Matrix) -> Self {
+        assert!(
+            u32::try_from(m.rows()).is_ok() && u32::try_from(m.cols()).is_ok(),
+            "matrix too large for u32 CSR indices"
+        );
+        let mut row_start = Vec::with_capacity(m.rows() + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_start.push(0u32);
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate().skip(r) {
+                if v > 0.0 {
+                    cols.push(c as u32);
+                    vals.push(v);
+                }
+            }
+            row_start.push(cols.len() as u32);
+        }
+        ForwardCsr {
+            row_start,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of rows the view was built over.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.row_start.len().saturating_sub(1)
+    }
+
+    /// Total number of stored (non-zero forward) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The non-zero forward entries of row `r` as parallel
+    /// `(columns, values)` slices, columns ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_start[r] as usize;
+        let hi = self.row_start[r + 1] as usize;
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Fraction of *forward* slots (`col >= row`) that are non-zero, in
+    /// `[0, 1]`. This is the density the core compares against its CSR
+    /// threshold when deciding between the sparse view and a dense fallback.
+    /// Returns `1.0` for an empty view so degenerate matrices stay dense.
+    pub fn forward_density(&self) -> f64 {
+        let n = self.rows();
+        // Forward slot count of an n×n upper triangle, diagonal included.
+        let slots = n * (n + 1) / 2;
+        if slots == 0 {
+            return 1.0;
+        }
+        self.nnz() as f64 / slots as f64
+    }
+
+    /// Verifies — without allocating — that this view still mirrors `m`
+    /// exactly: every stored entry bitwise-equals its dense cell, and every
+    /// strictly-positive forward cell of `m` is stored. Used by the model's
+    /// staleness checks, mirroring how `a1_row_max` is cross-checked.
+    pub fn matches(&self, m: &Matrix) -> bool {
+        if self.rows() != m.rows() || m.rows() != m.cols() {
+            return false;
+        }
+        for r in 0..m.rows() {
+            let (cols, vals) = self.row(r);
+            let mut k = 0usize;
+            for (c, &v) in m.row(r).iter().enumerate().skip(r) {
+                if v > 0.0 {
+                    if k >= cols.len()
+                        || cols[k] as usize != c
+                        || vals[k].to_bits() != v.to_bits()
+                    {
+                        return false;
+                    }
+                    k += 1;
+                }
+            }
+            if k != cols.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Per-row maximum over the stored entries, folded exactly like the dense
+    /// bound refresh (`fold(0.0, f64::max)` — zeros contribute nothing, so
+    /// skipping them is bitwise-neutral). Writes into `out` (one slot per
+    /// row) without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`ForwardCsr::rows`].
+    pub fn row_maxima_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows(), "row maxima buffer size mismatch");
+        for (r, slot) in out.iter_mut().enumerate() {
+            let (_, vals) = self.row(r);
+            *slot = vals.iter().copied().fold(0.0, f64::max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, 0.25, 0.0, 0.25],
+            vec![0.9, 0.0, 0.0, 0.1],
+            vec![0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_forward_keeps_only_positive_forward_entries() {
+        let csr = ForwardCsr::from_forward(&sample());
+        assert_eq!(csr.rows(), 4);
+        // Row 1's 0.9 is *below* the forward support and must be dropped.
+        let (cols, vals) = csr.row(1);
+        assert_eq!(cols, &[3]);
+        assert_eq!(vals, &[0.1]);
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[0, 1, 3]);
+        assert_eq!(vals, &[0.5, 0.25, 0.25]);
+        assert_eq!(csr.nnz(), 6);
+    }
+
+    #[test]
+    fn matches_detects_drift() {
+        let m = sample();
+        let csr = ForwardCsr::from_forward(&m);
+        assert!(csr.matches(&m));
+        let mut drifted = m.clone();
+        drifted[(0, 1)] = 0.3;
+        assert!(!csr.matches(&drifted));
+        // A new non-zero the view doesn't know about is also drift.
+        let mut grown = m.clone();
+        grown[(2, 3)] = 0.5;
+        assert!(!csr.matches(&grown));
+        // A zeroed-out entry shrinks the dense side below the view.
+        let mut shrunk = m;
+        shrunk[(0, 1)] = 0.0;
+        assert!(!csr.matches(&shrunk));
+    }
+
+    #[test]
+    fn row_maxima_match_dense_fold_bitwise() {
+        let m = sample();
+        let csr = ForwardCsr::from_forward(&m);
+        let mut sparse = vec![0.0; 4];
+        csr.row_maxima_into(&mut sparse);
+        let dense: Vec<f64> = (0..m.rows())
+            .map(|r| (r..m.cols()).map(|c| m[(r, c)]).fold(0.0, f64::max))
+            .collect();
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn forward_density_counts_upper_triangle() {
+        let csr = ForwardCsr::from_forward(&sample());
+        // 6 stored entries over 4*5/2 = 10 forward slots.
+        assert!((csr.forward_density() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let csr = ForwardCsr::from_forward(&sample());
+        let json = serde_json::to_string(&csr).unwrap();
+        let back: ForwardCsr = serde_json::from_str(&json).unwrap();
+        assert_eq!(csr, back);
+    }
+}
