@@ -57,8 +57,12 @@ const BLESSED_FLOAT_CMP_FILES: &[&str] = &["crates/matrix/src/order.rs"];
 
 /// Path prefixes whose code is a ranking or emission path: hash-order
 /// iteration there can change observable output between runs.
-const HASH_FORBIDDEN_PREFIXES: &[&str] =
-    &["crates/core/src/", "crates/obs/src/", "crates/baselines/src/"];
+const HASH_FORBIDDEN_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/obs/src/",
+    "crates/baselines/src/",
+    "crates/serve/src/",
+];
 
 /// Path prefixes where metric/span names must come from the registry
 /// (`crates/core/src/metrics.rs`).
@@ -66,6 +70,7 @@ const METRIC_SCOPE_PREFIXES: &[&str] = &[
     "crates/core/",
     "crates/obs/src/",
     "crates/bench/",
+    "crates/serve/",
     "src/",
     "tests/",
     "examples/",
@@ -159,6 +164,10 @@ pub const EQUATION_FNS: &[(&str, &[&str])] = &[
     (
         "crates/core/src/audit.rs",
         &["audit_numeric", "audit_links"],
+    ),
+    (
+        "crates/serve/src/snapshot.rs",
+        &["build", "apply_feedback"],
     ),
 ];
 

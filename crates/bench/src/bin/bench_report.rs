@@ -80,6 +80,30 @@ struct KernelSample {
     units_per_sec: f64,
 }
 
+/// One concurrency level of the serving sweep: the full workload
+/// generator (Zipf mix, closed loop) against an in-process
+/// [`hmmm_serve::QueryServer`], so the snapshot tracks end-to-end serving
+/// throughput and tail latency alongside single-query wall clock.
+#[derive(Debug, Serialize)]
+struct ServeSample {
+    /// Concurrent closed-loop clients.
+    clients: usize,
+    /// Completed queries per wall-clock second.
+    qps: f64,
+    /// Median end-to-end latency (submit → outcome), milliseconds.
+    p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    p99_ms: f64,
+    /// Requests that produced a ranking.
+    completed: usize,
+    /// Requests rejected at admission (queue full under this load).
+    rejected: usize,
+    /// Completed-but-degraded responses (none here: no deadline is set).
+    degraded: usize,
+}
+
 /// Crash-safe persistence counters from one save+load round trip of the
 /// bench catalog, so `BENCH_retrieval.json` tracks the storage path's
 /// health alongside retrieval.
@@ -115,6 +139,8 @@ struct Report {
     persistence: PersistenceSample,
     /// Blocked-vs-scalar similarity and CSR-vs-dense row-max micro-benches.
     kernel: Vec<KernelSample>,
+    /// QueryServer throughput/tail-latency sweep across client counts.
+    serve: Vec<ServeSample>,
 }
 
 fn arg(name: &str) -> Option<String> {
@@ -280,6 +306,7 @@ fn main() {
     };
 
     let kernel = kernel_microbench(&model);
+    let serve = serve_sweep(&model, &catalog);
     let report = Report {
         videos,
         shots: total_shots,
@@ -291,6 +318,7 @@ fn main() {
         prune_speedup_serial: unpruned_secs / serial_secs,
         persistence,
         kernel,
+        serve,
         samples,
     };
 
@@ -315,6 +343,13 @@ fn main() {
             k.variant,
             k.seconds * 1e3,
             k.units_per_sec
+        );
+    }
+    for s in &report.serve {
+        println!(
+            "serve {:>2} clients: {:>8.1} qps, p50 {:>7.3} ms, p95 {:>7.3} ms, \
+             p99 {:>7.3} ms ({} completed, {} rejected)",
+            s.clients, s.qps, s.p50_ms, s.p95_ms, s.p99_ms, s.completed, s.rejected,
         );
     }
     println!(
@@ -344,6 +379,56 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, json + "\n").expect("write report");
     println!("wrote {out}");
+}
+
+/// Serving throughput sweep: the same model behind an in-process
+/// `QueryServer` (4 workers, bounded queue), loaded by 1/2/4/8 closed-loop
+/// clients running the seeded Zipf workload with zero think time and no
+/// feedback — pure read throughput, so QPS and the latency tail are
+/// attributable to the serving layer and host parallelism alone.
+fn serve_sweep(model: &hmmm_core::Hmmm, catalog: &hmmm_storage::Catalog) -> Vec<ServeSample> {
+    use hmmm_serve::{ModelSnapshot, QueryServer, ServerConfig, WorkloadConfig};
+    const REQUESTS_PER_CLIENT: usize = 24;
+    let mut out = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        eprintln!("serving sweep: {clients} clients…");
+        let snapshot = ModelSnapshot::from_model(model.clone(), catalog.clone())
+            .expect("bench model audits clean");
+        let server = QueryServer::start(
+            snapshot,
+            ServerConfig {
+                workers: 4,
+                queue_capacity: 128,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("valid server config");
+        let report = hmmm_serve::run_workload(
+            &server,
+            &WorkloadConfig {
+                clients,
+                requests_per_client: REQUESTS_PER_CLIENT,
+                mean_interarrival: std::time::Duration::ZERO,
+                feedback_probability: 0.0,
+                seed: 0xBE7C,
+                ..WorkloadConfig::default()
+            },
+        )
+        .expect("workload runs");
+        server.join();
+        let rejected: usize = report.rejections.values().sum();
+        out.push(ServeSample {
+            clients,
+            qps: report.qps,
+            p50_ms: report.p50_ms,
+            p95_ms: report.p95_ms,
+            p99_ms: report.p99_ms,
+            completed: report.completed,
+            rejected,
+            degraded: report.degraded,
+        });
+    }
+    out
 }
 
 /// Times the Eq.-14 similarity of every event against every archive shot

@@ -76,12 +76,12 @@ pub use cluster::CategoryLevel;
 pub use construct::{build_hmmm, build_hmmm_observed, BuildConfig};
 pub use error::CoreError;
 pub use fault::{FaultHandle, FaultPlan};
-pub use feedback::{FeedbackConfig, FeedbackLog, PositivePattern};
+pub use feedback::{FeedbackConfig, FeedbackLog, PositivePattern, UpdateReport};
 pub use io::{load_model, load_model_with, save_model, save_model_with};
 pub use model::{Hmmm, LocalMmm, ModelSummary};
 pub use retrieve::{
-    DeadlineConfig, Degraded, DegradedReason, RankedPattern, RetrievalConfig, RetrievalStats,
-    Retriever,
+    DeadlineConfig, Degraded, DegradedReason, QueryScratch, RankedPattern, RetrievalConfig,
+    RetrievalStats, Retriever,
 };
 pub use sim::{similarity, similarity_block};
 pub use simcache::SimCache;

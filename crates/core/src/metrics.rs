@@ -102,6 +102,45 @@ pub const CTR_CACHE_BYPASSED_QUERIES: &str = "simcache.bypassed_queries";
 /// (building it would cost more than it saves — see `RetrievalConfig`).
 pub const CTR_CACHE_REGIME_SKIPPED_QUERIES: &str = "simcache.annotation_bound_queries";
 
+// --- QueryServer (crates/serve) --------------------------------------------
+//
+// The in-process serving layer records through the same registry as the
+// engine it wraps, so a served query's span tree nests `retrieve` under
+// `serve/request/execute` and the load generator's report keys match the
+// live server's.
+
+/// One admitted request, queue wait through response delivery.
+pub const SPAN_SERVE_REQUEST: &str = "serve/request";
+/// The retrieval execution inside one request (label = request id).
+pub const SPAN_SERVE_EXECUTE: &str = "serve/request/execute";
+/// End-to-end served latency per completed request (queue + execute), ns.
+pub const HIST_SERVE_LATENCY: &str = "serve.latency_ns";
+/// Time a request sat in the admission queue before a worker picked it
+/// up, ns.
+pub const HIST_SERVE_QUEUE_WAIT: &str = "serve.queue_wait_ns";
+/// Requests accepted into the admission queue.
+pub const CTR_SERVE_SUBMITTED: &str = "serve.requests_submitted";
+/// Requests that completed with a ranking (exact or degraded).
+pub const CTR_SERVE_COMPLETED: &str = "serve.requests_completed";
+/// Completed requests whose ranking was degraded (deadline/panic — see
+/// [`crate::retrieve::DegradedReason`]).
+pub const CTR_SERVE_DEGRADED: &str = "serve.requests_degraded";
+/// Requests rejected at admission: the bounded queue was full.
+pub const CTR_SERVE_REJECTED_QUEUE_FULL: &str = "serve.rejected_queue_full";
+/// Requests rejected at dequeue: the whole deadline budget was consumed
+/// by queueing before any retrieval work could start.
+pub const CTR_SERVE_REJECTED_DEADLINE: &str = "serve.rejected_deadline";
+/// Requests rejected because the server had stopped admitting.
+pub const CTR_SERVE_REJECTED_SHUTDOWN: &str = "serve.rejected_shutdown";
+/// Model snapshots installed (RCU pointer swaps), including the initial one.
+pub const CTR_SERVE_SNAPSHOT_INSTALLS: &str = "serve.snapshot_installs";
+/// Candidate snapshots refused by the pre-install `deep_audit` gate.
+pub const CTR_SERVE_AUDIT_REJECTIONS: &str = "serve.snapshot_audit_rejections";
+/// Admission-queue depth after the most recent submit/dequeue.
+pub const GAUGE_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Worker threads the server was started with.
+pub const GAUGE_SERVE_WORKERS: &str = "serve.workers";
+
 // --- §4.2 model construction ----------------------------------------------
 
 /// Root span of one [`crate::build_hmmm`] call.
@@ -154,5 +193,27 @@ pub fn derive_retrieval_metrics(report: &mut hmmm_obs::MetricsReport) {
         "bound_skip_ratio",
         &[CTR_VIDEOS_SKIPPED_BY_BOUND],
         &[CTR_VIDEOS_VISITED],
+    );
+}
+
+/// Adds the standard serving-derived quantities to a report:
+///
+/// * `serve_rejection_ratio` — rejected requests (queue-full + queued-out
+///   deadline + shutdown) over all admission decisions;
+/// * `serve_degraded_ratio` — degraded completions over all completions.
+pub fn derive_serve_metrics(report: &mut hmmm_obs::MetricsReport) {
+    report.derive_ratio(
+        "serve_rejection_ratio",
+        &[
+            CTR_SERVE_REJECTED_QUEUE_FULL,
+            CTR_SERVE_REJECTED_DEADLINE,
+            CTR_SERVE_REJECTED_SHUTDOWN,
+        ],
+        &[CTR_SERVE_COMPLETED],
+    );
+    report.derive_ratio(
+        "serve_degraded_ratio",
+        &[CTR_SERVE_DEGRADED],
+        &[CTR_SERVE_COMPLETED],
     );
 }

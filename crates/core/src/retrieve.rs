@@ -488,6 +488,26 @@ pub enum DegradedReason {
     DeadlineAndPanic,
 }
 
+impl DegradedReason {
+    /// The canonical human-readable reason string. Every consumer that
+    /// renders a degradation reason — the CLI's `DEGRADED` banner, the
+    /// `hmmm-serve` response summaries, test assertions — goes through
+    /// this one mapping so the strings can never drift between surfaces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradedReason::DeadlineExpired => "deadline expired",
+            DegradedReason::WorkerPanic => "worker panic",
+            DegradedReason::DeadlineAndPanic => "deadline expired + worker panic",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 impl RetrievalStats {
     /// Folds another worker's counters into this one (commutative).
     pub fn merge(&mut self, other: RetrievalStats) {
@@ -650,6 +670,31 @@ struct TraversalScratch {
     best_score: Vec<f64>,
     /// Per-shot winning event of the blocked start scan.
     best_event: Vec<u32>,
+}
+
+/// A reusable traversal arena for callers that serve many queries from one
+/// thread — the in-process `QueryServer` worker pool (`hmmm-serve`) above
+/// all. Wraps the per-worker `TraversalScratch` (beam arenas, blocked
+/// Eq.-14 scoring rows, start-candidate buffers) so the buffers grow to the
+/// largest video once and are then recycled across *queries*, not just
+/// across one query's videos. Pass it to
+/// [`Retriever::retrieve_with_scratch`]; contents between calls are
+/// garbage by design (every traversal clears before use), so a scratch can
+/// be reused freely after errors or degraded runs.
+///
+/// Only the serial path (effective `threads <= 1`) draws from an external
+/// scratch: a parallel fan-out gives each scoped worker its own arenas,
+/// which cannot outlive the call.
+#[derive(Default)]
+pub struct QueryScratch {
+    inner: TraversalScratch,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
 }
 
 /// Where the admissible per-step similarity maxima come from (see the
@@ -815,6 +860,38 @@ impl<'a> Retriever<'a> {
         limit: usize,
         videos: Option<&[VideoId]>,
     ) -> Result<(Vec<RankedPattern>, RetrievalStats), CoreError> {
+        self.retrieve_scratched(pattern, limit, videos, None)
+    }
+
+    /// [`Retriever::retrieve`] drawing its traversal buffers from a
+    /// caller-owned [`QueryScratch`] instead of allocating fresh arenas:
+    /// the long-lived-server hot path, where one worker thread answers a
+    /// stream of queries serially (`threads = 1`) and the beam/scoring
+    /// buffers should be paid for once, not once per query. Rankings and
+    /// stats are byte-identical to [`Retriever::retrieve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Retriever::retrieve`].
+    pub fn retrieve_with_scratch(
+        &self,
+        pattern: &CompiledPattern,
+        limit: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Vec<RankedPattern>, RetrievalStats), CoreError> {
+        self.retrieve_scratched(pattern, limit, None, Some(&mut scratch.inner))
+    }
+
+    /// The shared body of every retrieve entry point; `scratch` is the
+    /// optional caller-owned arena (serial path only — parallel workers
+    /// own per-thread arenas scoped to the call).
+    fn retrieve_scratched(
+        &self,
+        pattern: &CompiledPattern,
+        limit: usize,
+        videos: Option<&[VideoId]>,
+        scratch: Option<&mut TraversalScratch>,
+    ) -> Result<(Vec<RankedPattern>, RetrievalStats), CoreError> {
         if pattern.is_empty() {
             return Err(CoreError::BadQuery("empty pattern".into()));
         }
@@ -922,8 +999,19 @@ impl<'a> Retriever<'a> {
         let traverse_span = obs.span(m::SPAN_TRAVERSE);
         let mut workers_busy_ns: u64 = 0;
         if threads <= 1 {
-            candidates =
-                self.run_video_set(&order, pattern, &scorer, &prune_ctx, deadline, &mut stats);
+            // Serial path: draw from the caller's reusable arena when one
+            // was provided (the serving hot path), else a call-local one.
+            let mut local_scratch;
+            let scratch = match scratch {
+                Some(s) => s,
+                None => {
+                    local_scratch = TraversalScratch::default();
+                    &mut local_scratch
+                }
+            };
+            candidates = self.run_video_set(
+                &order, pattern, &scorer, &prune_ctx, deadline, scratch, &mut stats,
+            );
         } else {
             let chunk = order.len().div_ceil(threads);
             crossbeam::thread::scope(|s| {
@@ -937,8 +1025,14 @@ impl<'a> Retriever<'a> {
                             let worker_span =
                                 self.config.recorder.span_labeled(m::SPAN_WORKER, w as u64);
                             let mut local = RetrievalStats::default();
+                            // One scratch per scoped worker: recycled
+                            // across this worker's videos, dropped at join
+                            // (a caller-owned arena cannot be shared
+                            // across workers).
+                            let mut scratch = TraversalScratch::default();
                             let found = self.run_video_set(
-                                videos, pattern, scorer, prune_ctx, deadline, &mut local,
+                                videos, pattern, scorer, prune_ctx, deadline, &mut scratch,
+                                &mut local,
                             );
                             let busy_ns = worker_span.elapsed_ns();
                             (found, local, busy_ns)
@@ -1012,6 +1106,7 @@ impl<'a> Retriever<'a> {
     /// post-traversal threshold offers. Shared verbatim by the serial path
     /// and every parallel worker, so serial and parallel runs degrade (and
     /// stay byte-identical when nothing fires) the same way.
+    #[allow(clippy::too_many_arguments)]
     fn run_video_set(
         &self,
         videos: &[VideoId],
@@ -1019,13 +1114,14 @@ impl<'a> Retriever<'a> {
         scorer: &Scorer<'_>,
         prune_ctx: &Option<(SharedTopK, PruneBounds)>,
         deadline: Option<(DeadlineConfig, Instant)>,
+        // One scratch per worker, recycled across its videos (and, through
+        // [`QueryScratch`], across a serving worker's queries): beam arenas
+        // and blocked-scoring rows grow to the largest video once and are
+        // then reused, so the traversal hot path stops allocating.
+        scratch: &mut TraversalScratch,
         stats: &mut RetrievalStats,
     ) -> Vec<RankedPattern> {
         let mut clock = deadline.map(|(config, started)| DeadlineClock::new(config, started));
-        // One scratch per worker, recycled across its videos: beam arenas
-        // and blocked-scoring rows grow to the worker's largest video once
-        // and are then reused, so the traversal hot path stops allocating.
-        let mut scratch = TraversalScratch::default();
         let mut results = Vec::new();
         for (i, &video) in videos.iter().enumerate() {
             // Deadline checkpoint (video granularity): once the budget has
@@ -1068,7 +1164,7 @@ impl<'a> Retriever<'a> {
             //   boundary: the per-video span guard dropped during unwind
             //   records through a short, panic-free critical section.
             let clock_ref = clock.as_mut();
-            let scratch_ref = &mut scratch;
+            let scratch_ref = &mut *scratch;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 self.config.fault.on_video_enter(video.index());
                 let mut attempt = RetrievalStats::default();

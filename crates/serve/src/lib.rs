@@ -1,0 +1,45 @@
+//! # hmmm-serve
+//!
+//! The in-process serving layer over the HMMM retrieval engine: many
+//! concurrent queries, one shared immutable model generation, and
+//! RCU-style feedback installs that never block a reader.
+//!
+//! The paper treats retrieval as a one-query-at-a-time affair; a video
+//! database *serves*. This crate closes that gap with three pieces (the
+//! full architecture, including a worked request trace, is in
+//! `docs/SERVING.md`):
+//!
+//! * [`ModelSnapshot`] / [`SnapshotCell`] — an immutable, `deep_audit`-ed
+//!   generation of (model, catalog) behind an `Arc`, published through an
+//!   epoch-stamped cell. The snapshot lifecycle is
+//!   **build → audit → RCU install → drain**: feedback learning
+//!   (Eqs. 1–10) builds the next generation off to the side and the old
+//!   one is freed when its last in-flight query drops the `Arc`.
+//! * [`QueryServer`] — a bounded admission queue in front of a worker
+//!   pool. Admission is reject-not-block (queue full, shutdown, or a
+//!   deadline already consumed by queueing each produce an explicit
+//!   [`RejectReason`]); per-request deadlines are the PR-5 anytime
+//!   machinery promoted to the QoS primitive, so an admitted request runs
+//!   with whatever budget queueing left it. Workers reuse their
+//!   traversal arenas ([`hmmm_core::QueryScratch`]) across requests.
+//! * [`run_workload`] — a seeded load generator (Zipf query mix, Poisson
+//!   arrivals, probabilistic feedback) whose `--check` mode re-derives
+//!   every exact response serially on the snapshot generation that
+//!   answered it, byte-for-byte.
+//!
+//! Everything here is `std`-only (threads, `Mutex`, `Condvar`, atomics),
+//! consistent with the workspace's vendored-dependency policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod snapshot;
+pub mod workload;
+
+pub use server::{
+    QueryRequest, QueryResponse, QueryServer, RejectReason, ResponseTicket, ServeOutcome,
+    ServerConfig,
+};
+pub use snapshot::{ModelSnapshot, SnapshotCell};
+pub use workload::{run_workload, LoadReport, PatternPool, WorkloadConfig};

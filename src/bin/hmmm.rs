@@ -31,6 +31,8 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("categories") => cmd_categories(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("matn") => cmd_matn(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -82,6 +84,22 @@ USAGE:
       centroid sanity, pruning-bound caches exactly fresh; with
       --feedback-rounds the audit is repeated after N simulated
       feedback/learning updates (exit 1 on any violation)
+  hmmm serve <file> [--workers N] [--queue N] [--deadline-ms N]
+             [--metrics-json <out>]
+      start the in-process query server and answer patterns read from
+      stdin, one per line; responses carry the snapshot epoch.
+      REPL commands:  :accept <rank>  confirm a result from the last
+      response as positive feedback;  :learn  run the Eqs. 1-10 relearn
+      and install the new snapshot (audit-gated);  :epoch ;  :quit
+  hmmm loadgen <file> [--clients N] [--requests N] [--zipf F]
+             [--think-us N] [--feedback-prob F] [--deadline-ms N]
+             [--workers N] [--queue N] [--top N] [--seed N] [--check]
+             [--metrics-json <out>]
+      run the seeded workload generator (Zipf query mix, Poisson
+      arrivals, probabilistic feedback installs) against an in-process
+      server and print QPS + p50/p95/p99; --check re-derives every exact
+      response serially on the epoch that answered it and exits 1 on any
+      mismatch or unaccounted rejection
   hmmm matn <pattern>
       print the MATN view and Graphviz dot of a query
   hmmm help
@@ -113,6 +131,7 @@ fn positional(args: &[String], index: usize) -> Option<&String> {
             let is_switch = matches!(
                 args[i].as_str(),
                 "--content-only" | "--greedy" | "--no-sim-cache" | "--no-prune" | "--trace"
+                    | "--check"
             );
             i += if is_switch { 1 } else { 2 };
             continue;
@@ -293,11 +312,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         stats.entries_pruned,
     );
     if let Some(d) = &stats.degraded {
-        let reason = match d.reason {
-            hmmm_core::DegradedReason::DeadlineExpired => "deadline expired",
-            hmmm_core::DegradedReason::WorkerPanic => "worker panic",
-            hmmm_core::DegradedReason::DeadlineAndPanic => "deadline expired + worker panic",
-        };
+        let reason = d.reason.as_str();
         println!(
             "DEGRADED ({reason}): {} videos never admitted, {} videos failed — \
              the ranking below covers only the work that completed",
@@ -418,6 +433,253 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             "round {round}: {confirmed} confirmed, A1 drift {:.4}, P12 drift {:.4} — audits clean: {summary}",
             report.a1_drift, report.p12_drift
         );
+    }
+    Ok(())
+}
+
+/// Shared by `serve`/`loadgen`: build the epoch-0 snapshot from a catalog
+/// file and assemble the server configuration from the common flags.
+fn serve_setup(
+    args: &[String],
+    obs: &RecorderHandle,
+    retain_history: bool,
+) -> Result<(hmmm_serve::ModelSnapshot, hmmm_serve::ServerConfig), String> {
+    let path = positional(args, 0).ok_or("a catalog path is required")?;
+    let workers: usize =
+        parse_num(&flag_value(args, "--workers").unwrap_or("2".into()), "--workers")?;
+    let queue: usize = parse_num(&flag_value(args, "--queue").unwrap_or("64".into()), "--queue")?;
+    let default_deadline = match flag_value(args, "--deadline-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(parse_num(&ms, "--deadline-ms")?)),
+        None => None,
+    };
+    let catalog = load_observed(path, obs)?;
+    let snapshot = hmmm_serve::ModelSnapshot::build(catalog, &BuildConfig::default())
+        .map_err(|e| e.to_string())?;
+    let config = hmmm_serve::ServerConfig {
+        workers,
+        queue_capacity: queue,
+        default_deadline,
+        retrieval: RetrievalConfig::content_only(),
+        recorder: obs.clone(),
+        retain_snapshot_history: retain_history,
+    };
+    Ok((snapshot, config))
+}
+
+fn write_serve_metrics(recorder: &std::sync::Arc<InMemoryRecorder>, out: &str) -> Result<(), String> {
+    let mut report = recorder.report();
+    metrics::derive_retrieval_metrics(&mut report);
+    metrics::derive_serve_metrics(&mut report);
+    let json = report
+        .to_json_pretty()
+        .map_err(|e| format!("encoding metrics: {e}"))?;
+    std::fs::write(out, json.clone() + "\n").map_err(|e| format!("writing {out}: {e}"))?;
+    // Round-trip gate: a metrics file that does not parse back is a bug
+    // worth failing the command over (the serve-smoke CI job relies on it).
+    serde_json::from_str::<serde_json::Value>(&json)
+        .map_err(|e| format!("metrics report does not re-parse as JSON: {e}"))?;
+    println!("wrote metrics report to {out}");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+    let top: usize = parse_num(&flag_value(args, "--top").unwrap_or("8".into()), "--top")?;
+    let metrics_out = flag_value(args, "--metrics-json");
+    let recorder = metrics_out.is_some().then(InMemoryRecorder::shared);
+    let obs = recorder
+        .as_ref()
+        .map(InMemoryRecorder::handle)
+        .unwrap_or_default();
+
+    let (snapshot, config) = serve_setup(args, &obs, false)?;
+    println!(
+        "serving {} videos / {} shots with {} workers (queue {}): {}",
+        snapshot.catalog.video_count(),
+        snapshot.catalog.shot_count(),
+        config.workers,
+        config.queue_capacity,
+        snapshot.audit,
+    );
+    println!("enter a pattern per line; :accept <rank>, :learn, :epoch, :quit");
+    let server =
+        hmmm_serve::QueryServer::start(snapshot, config).map_err(|e| e.to_string())?;
+    let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
+    let fb_cfg = FeedbackConfig::default();
+    let mut log = FeedbackLog::new();
+    let mut session = 0u64;
+    let mut last: Vec<hmmm_core::RankedPattern> = Vec::new();
+
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" {
+            break;
+        }
+        if line == ":epoch" {
+            println!("epoch {}", server.epoch());
+            continue;
+        }
+        if line == ":learn" {
+            match server.apply_feedback(&mut log, &fb_cfg) {
+                Ok((epoch, report)) => println!(
+                    "installed snapshot epoch {epoch}: {} patterns applied, \
+                     A1 drift {:.4}, P12 drift {:.4}",
+                    report.patterns_applied, report.a1_drift, report.p12_drift
+                ),
+                Err(e) => eprintln!("feedback install rejected: {e}"),
+            }
+            continue;
+        }
+        if let Some(rank) = line.strip_prefix(":accept") {
+            let rank: usize = parse_num(rank.trim(), ":accept rank")?;
+            let Some(r) = last.get(rank) else {
+                eprintln!("no result #{rank} in the last response");
+                continue;
+            };
+            session += 1;
+            match log.record(PositivePattern {
+                query: session,
+                video: r.video,
+                shots: r.shots.clone(),
+                events: r.events.clone(),
+                access: 1.0,
+            }) {
+                Ok(()) => println!(
+                    "recorded #{rank} (v{}) as positive; {} pending",
+                    r.video.index(),
+                    log.pending()
+                ),
+                Err(e) => eprintln!("rejected feedback: {e}"),
+            }
+            continue;
+        }
+        let pattern = match translator.compile(line) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("bad pattern: {e}");
+                continue;
+            }
+        };
+        match server.query(hmmm_serve::QueryRequest::new(pattern, top)) {
+            hmmm_serve::ServeOutcome::Completed(response) => {
+                println!(
+                    "epoch {} | queued {:.2?} served {:.2?} | {} candidates{}",
+                    response.epoch,
+                    std::time::Duration::from_nanos(response.queue_ns),
+                    std::time::Duration::from_nanos(response.service_ns),
+                    response.results.len(),
+                    if response.stats.degraded.is_some() {
+                        " (DEGRADED)"
+                    } else {
+                        ""
+                    },
+                );
+                for (rank, r) in response.results.iter().enumerate() {
+                    let shots: Vec<String> =
+                        r.shots.iter().map(|s| s.to_string()).collect();
+                    println!(
+                        "  #{rank} v{} {:.5}  {}",
+                        r.video.index(),
+                        r.score,
+                        shots.join(" -> ")
+                    );
+                }
+                last = response.results;
+            }
+            hmmm_serve::ServeOutcome::Rejected(reason) => {
+                eprintln!("rejected: {reason}");
+            }
+        }
+    }
+    server.join();
+    if let (Some(recorder), Some(out)) = (recorder, metrics_out) {
+        write_serve_metrics(&recorder, &out)?;
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let clients: usize =
+        parse_num(&flag_value(args, "--clients").unwrap_or("4".into()), "--clients")?;
+    let requests: usize =
+        parse_num(&flag_value(args, "--requests").unwrap_or("64".into()), "--requests")?;
+    let zipf: f64 = parse_num(&flag_value(args, "--zipf").unwrap_or("1.0".into()), "--zipf")?;
+    let think_us: u64 =
+        parse_num(&flag_value(args, "--think-us").unwrap_or("200".into()), "--think-us")?;
+    let feedback_prob: f64 = parse_num(
+        &flag_value(args, "--feedback-prob").unwrap_or("0.05".into()),
+        "--feedback-prob",
+    )?;
+    let top: usize = parse_num(&flag_value(args, "--top").unwrap_or("10".into()), "--top")?;
+    let seed: u64 = parse_num(&flag_value(args, "--seed").unwrap_or("42".into()), "--seed")?;
+    let check = flag_present(args, "--check");
+    let metrics_out = flag_value(args, "--metrics-json");
+    let recorder = metrics_out.is_some().then(InMemoryRecorder::shared);
+    let obs = recorder
+        .as_ref()
+        .map(InMemoryRecorder::handle)
+        .unwrap_or_default();
+
+    let (snapshot, config) = serve_setup(args, &obs, check)?;
+    eprintln!(
+        "loadgen: {clients} clients × {requests} requests (zipf {zipf}, think {think_us}µs, \
+         feedback p={feedback_prob}) against {} workers / queue {}{}",
+        config.workers,
+        config.queue_capacity,
+        if check { ", exactness check on" } else { "" },
+    );
+    let server = hmmm_serve::QueryServer::start(snapshot, config).map_err(|e| e.to_string())?;
+    let workload = hmmm_serve::WorkloadConfig {
+        clients,
+        requests_per_client: requests,
+        zipf_exponent: zipf,
+        mean_interarrival: std::time::Duration::from_micros(think_us),
+        feedback_probability: feedback_prob,
+        feedback: FeedbackConfig::default(),
+        deadline: None, // the server default (from --deadline-ms) applies
+        limit: top,
+        seed,
+        check,
+    };
+    let report = hmmm_serve::run_workload(&server, &workload).map_err(|e| e.to_string())?;
+    server.join();
+
+    let rejected: usize = report.rejections.values().sum();
+    println!(
+        "{} submitted: {} completed ({} degraded), {} rejected | {} feedback installs, \
+         max epoch {}",
+        report.submitted, report.completed, report.degraded, rejected,
+        report.feedback_installs, report.max_epoch,
+    );
+    for (reason, n) in &report.rejections {
+        println!("  rejected {n} × {reason}");
+    }
+    println!(
+        "wall {:.2?} | {:.1} qps | p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        std::time::Duration::from_nanos(report.wall_ns),
+        report.qps,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+    );
+    if check {
+        println!(
+            "check: {} responses re-derived serially, {} mismatches",
+            report.checked, report.check_mismatches
+        );
+    }
+    if let (Some(recorder), Some(out)) = (recorder, metrics_out) {
+        write_serve_metrics(&recorder, &out)?;
+    }
+    if check && !report.healthy() {
+        return Err(format!(
+            "loadgen check failed: {} mismatches, {} + {} of {} requests unaccounted",
+            report.check_mismatches, report.completed, rejected, report.submitted
+        ));
     }
     Ok(())
 }
