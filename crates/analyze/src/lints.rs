@@ -166,6 +166,20 @@ pub const EQUATION_FNS: &[(&str, &[&str])] = &[
         &["audit_numeric", "audit_links"],
     ),
     (
+        "crates/core/src/coarse.rs",
+        &[
+            "empty",
+            "build",
+            "postings",
+            "sim_max",
+            "video_bounds",
+            "bound_lookups",
+            "matches",
+            "audit",
+            "postings_len",
+        ],
+    ),
+    (
         "crates/serve/src/snapshot.rs",
         &["build", "apply_feedback"],
     ),

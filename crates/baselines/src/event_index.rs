@@ -50,6 +50,12 @@ impl<'a> EventIndexRetriever<'a> {
         self.index.iter().map(Vec::len).sum()
     }
 
+    /// The posting list for one dense event index: every shot annotated
+    /// with the event, ascending (catalog order).
+    pub fn event_postings(&self, event: usize) -> &[ShotId] {
+        &self.index[event]
+    }
+
     /// Joins the pattern against the index; returns the top `limit`
     /// candidates and work counters.
     ///
@@ -71,6 +77,35 @@ impl<'a> EventIndexRetriever<'a> {
         }
         let mut stats = RetrievalStats::default();
 
+        // Coarse video prefilter from the model's shared ingest-time index
+        // (see `hmmm_core::coarse`): every step of an annotated join is an
+        // annotated shot of its video, so the video carries `B_2[v][e] > 0`
+        // for some alternative of *every* step — i.e. it lies in the
+        // intersection over steps of the inverted-postings unions. Exact
+        // for the annotated join; videos outside the intersection cannot
+        // host a match, so their start postings are never even probed.
+        let coarse = &self.model.coarse;
+        let mut eligible: Option<Vec<u32>> = None;
+        for step in &pattern.steps {
+            let mut union: Vec<u32> = step
+                .alternatives
+                .iter()
+                .flat_map(|&e| coarse.postings(e).iter().copied())
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            eligible = Some(match eligible {
+                None => union,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|v| union.binary_search(v).is_ok())
+                    .collect(),
+            });
+        }
+        let eligible = eligible.unwrap_or_default();
+        stats.coarse_candidates = eligible.len();
+        stats.videos_skipped = self.catalog.video_count() - eligible.len();
+
         // Candidate postings per step (merged alternatives, sorted).
         let step_postings: Vec<Vec<ShotId>> = pattern
             .steps
@@ -91,6 +126,9 @@ impl<'a> EventIndexRetriever<'a> {
         let mut results: Vec<RankedPattern> = Vec::new();
         for &start in &step_postings[0] {
             let video = self.catalog.video_of_shot(start).expect("indexed shot");
+            if eligible.binary_search(&(video.index() as u32)).is_err() {
+                continue;
+            }
             self.join(
                 pattern,
                 &step_postings,
@@ -100,7 +138,7 @@ impl<'a> EventIndexRetriever<'a> {
                 &mut stats,
             );
         }
-        stats.videos_visited = self.catalog.video_count();
+        stats.videos_visited = eligible.len();
 
         results.sort_by(|a, b| hmmm_core::order::cmp_f64_desc(a.score, b.score));
         results.truncate(limit);

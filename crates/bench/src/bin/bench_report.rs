@@ -21,7 +21,8 @@
 use hmmm_bench::{skewed_catalog, DataConfig};
 use hmmm_core::metrics as m;
 use hmmm_core::{
-    build_hmmm, BuildConfig, InMemoryRecorder, MetricsReport, RetrievalConfig, Retriever,
+    build_hmmm, BuildConfig, CoarseMode, InMemoryRecorder, MetricsReport, RetrievalConfig,
+    Retriever,
 };
 use hmmm_media::EventKind;
 use hmmm_query::QueryTranslator;
@@ -104,6 +105,31 @@ struct ServeSample {
     degraded: usize,
 }
 
+/// One cold-path (cache-off, serial) measurement of a coarse retrieval
+/// mode (`--coarse`): how the two-stage candidate index changes the query
+/// whose bound derivation used to be an archive-wide Eq.-14 scan.
+#[derive(Debug, Serialize)]
+struct CoarseSample {
+    /// `off`, `exact`, or `approx` (`RetrievalConfig::coarse`).
+    mode: &'static str,
+    /// Approx candidate cut `C` (0 for `off`/`exact` — no cut).
+    candidate_cut: usize,
+    /// Candidate videos the coarse stage admitted, per query.
+    candidates_per_query: u64,
+    /// Wall time inside the coarse stage (`retrieve/coarse` span), total
+    /// nanoseconds across the repeats (0 for `off` — no stage runs).
+    coarse_stage_ns: u64,
+    /// Summary-table reads spent deriving coarse bounds, per query.
+    bound_lookups_per_query: u64,
+    /// Archive-wide Eq.-14 bound-scan evaluations, per query — the work
+    /// the index replaces (0 whenever a coarse mode is on).
+    bound_evaluations_per_query: u64,
+    /// Best-of-N wall clock, seconds.
+    seconds: f64,
+    /// Cold-query speedup vs the `off` row (archive-wide scan baseline).
+    speedup_vs_off: f64,
+}
+
 /// Crash-safe persistence counters from one save+load round trip of the
 /// bench catalog, so `BENCH_retrieval.json` tracks the storage path's
 /// health alongside retrieval.
@@ -141,6 +167,11 @@ struct Report {
     kernel: Vec<KernelSample>,
     /// QueryServer throughput/tail-latency sweep across client counts.
     serve: Vec<ServeSample>,
+    /// Cold-path coarse-mode measurements (`--coarse`; empty otherwise).
+    coarse: Vec<CoarseSample>,
+    /// Serial cold-query speedup from the coarse index alone (`off`
+    /// seconds / `exact` seconds; absent without `--coarse`).
+    coarse_cold_speedup_serial: Option<f64>,
 }
 
 fn arg(name: &str) -> Option<String> {
@@ -241,8 +272,12 @@ fn main() {
         }
     };
 
+    let run_coarse = std::env::args().any(|a| a == "--coarse");
     if std::env::args().any(|a| a == "--check") {
         check_pruning_exactness(&model, &catalog, &pattern);
+        if run_coarse {
+            check_coarse_exactness(&model, &catalog, &pattern);
+        }
     }
 
     // Serial cached runs, pruned (the default) and unpruned, anchor the two
@@ -305,6 +340,56 @@ fn main() {
         }
     };
 
+    // Coarse-mode cold-path rows (`--coarse`): the uncached serial query
+    // is where the archive-wide bound scan lives, so it is the row the
+    // ingest-time index must beat. `off` reuses the uncached measurement
+    // above; `exact` and `approx` re-run it with the two-stage path on.
+    let mut coarse_cold_speedup_serial = None;
+    let coarse = if run_coarse {
+        let cold_cfg = RetrievalConfig {
+            use_sim_cache: false,
+            threads: Some(1),
+            ..RetrievalConfig::content_only()
+        };
+        let coarse_row = |mode: CoarseMode, cut: usize, metrics: &MetricsReport| {
+            let secs = best_seconds(metrics);
+            CoarseSample {
+                mode: mode.as_str(),
+                candidate_cut: cut,
+                candidates_per_query: metrics.counter(m::CTR_COARSE_CANDIDATES)
+                    / u64::from(REPEATS),
+                coarse_stage_ns: metrics
+                    .stages
+                    .iter()
+                    .find(|s| s.path == m::SPAN_COARSE)
+                    .map(|s| s.total_ns)
+                    .unwrap_or(0),
+                bound_lookups_per_query: metrics.counter(m::CTR_COARSE_LOOKUPS)
+                    / u64::from(REPEATS),
+                bound_evaluations_per_query: metrics.counter(m::CTR_BOUND_EVALS)
+                    / u64::from(REPEATS),
+                seconds: secs,
+                speedup_vs_off: uncached_secs / secs,
+            }
+        };
+        eprintln!("coarse cold-path rows…");
+        let exact_metrics = time(cold_cfg.clone().with_coarse(CoarseMode::Exact));
+        let approx_metrics = time(RetrievalConfig {
+            coarse: CoarseMode::Approx,
+            coarse_candidates: 16,
+            ..cold_cfg
+        });
+        let exact_row = coarse_row(CoarseMode::Exact, 0, &exact_metrics);
+        coarse_cold_speedup_serial = Some(exact_row.speedup_vs_off);
+        vec![
+            coarse_row(CoarseMode::Off, 0, &uncached_metrics),
+            exact_row,
+            coarse_row(CoarseMode::Approx, 16, &approx_metrics),
+        ]
+    } else {
+        Vec::new()
+    };
+
     let kernel = kernel_microbench(&model);
     let serve = serve_sweep(&model, &catalog);
     let report = Report {
@@ -320,6 +405,8 @@ fn main() {
         kernel,
         serve,
         samples,
+        coarse,
+        coarse_cold_speedup_serial,
     };
 
     for s in &report.samples {
@@ -360,6 +447,22 @@ fn main() {
         "top-k prune alone (serial): {:.2}x",
         report.prune_speedup_serial
     );
+    for s in &report.coarse {
+        println!(
+            "coarse {:<6}: {:>8.2} ms, {:>5} candidates/query, stage {:>8} ns, \
+             {:>6} lookups/query, {:>8} bound-evals/query, {:.2}x vs off",
+            s.mode,
+            s.seconds * 1e3,
+            s.candidates_per_query,
+            s.coarse_stage_ns,
+            s.bound_lookups_per_query,
+            s.bound_evaluations_per_query,
+            s.speedup_vs_off,
+        );
+    }
+    if let Some(speedup) = report.coarse_cold_speedup_serial {
+        println!("coarse index alone (cold serial): {speedup:.2}x");
+    }
     println!(
         "persistence round trip: {:.2} ms, {} retries, {} bak fallbacks",
         report.persistence.seconds * 1e3,
@@ -615,4 +718,79 @@ fn check_pruning_exactness(
         std::process::exit(1);
     }
     eprintln!("pruning exactness check passed");
+}
+
+/// CI smoke for the two-stage path (`--coarse --check`): `CoarseMode::
+/// Exact` rankings must be byte-identical to single-stage rankings on this
+/// fixture across threads × cache × prune × regime, and the exact cold run
+/// must show the archive-wide bound scan gone (zero `bound_evaluations`,
+/// nonzero coarse lookups). Aborts the process with exit code 1 on any
+/// violation.
+fn check_coarse_exactness(
+    model: &hmmm_core::Hmmm,
+    catalog: &hmmm_storage::Catalog,
+    pattern: &hmmm_query::CompiledPattern,
+) {
+    eprintln!("checking coarse-exact vs single-stage rankings…");
+    let mut failures = 0usize;
+    for content_only in [true, false] {
+        for (threads, cache, prune) in
+            [(1usize, true, true), (1, false, true), (1, false, false), (4, true, true)]
+        {
+            let base = if content_only {
+                RetrievalConfig::content_only()
+            } else {
+                RetrievalConfig::default()
+            };
+            let off_cfg = RetrievalConfig {
+                threads: Some(threads),
+                use_sim_cache: cache,
+                prune,
+                ..base
+            };
+            let exact_cfg = off_cfg.clone().with_coarse(CoarseMode::Exact);
+            let (off, _) = Retriever::new(model, catalog, off_cfg)
+                .expect("consistent")
+                .retrieve(pattern, 10)
+                .expect("valid");
+            let (exact, x_stats) = Retriever::new(model, catalog, exact_cfg)
+                .expect("consistent")
+                .retrieve(pattern, 10)
+                .expect("valid");
+            if off != exact {
+                eprintln!(
+                    "FAIL: coarse-exact ranking differs (content_only={content_only} \
+                     threads={threads} cache={cache} prune={prune})"
+                );
+                failures += 1;
+            }
+            if x_stats.bound_evaluations != 0 {
+                eprintln!(
+                    "FAIL: coarse run still paid {} archive bound evaluations \
+                     (content_only={content_only} threads={threads} cache={cache} \
+                     prune={prune})",
+                    x_stats.bound_evaluations
+                );
+                failures += 1;
+            }
+            if content_only && threads == 1 && !cache && prune {
+                if x_stats.coarse_bound_lookups == 0 {
+                    eprintln!("FAIL: cold coarse run did zero bound lookups (stage off?)");
+                    failures += 1;
+                } else {
+                    eprintln!(
+                        "  cold coarse work: {} candidates, {} lookups, {} zero-ub skips",
+                        x_stats.coarse_candidates,
+                        x_stats.coarse_bound_lookups,
+                        x_stats.coarse_skipped_zero_ub
+                    );
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("coarse exactness check FAILED ({failures} violations)");
+        std::process::exit(1);
+    }
+    eprintln!("coarse exactness check passed");
 }

@@ -73,6 +73,10 @@ pub struct AuditSummary {
     /// view (the rest fall back to the dense row scan because their forward
     /// density exceeds [`crate::model::A1_CSR_DENSITY_THRESHOLD`]).
     pub a1_sparse_videos: usize,
+    /// Total event → video postings proven to mirror the `B_2` signature
+    /// bitwise, with every stored coarse bound summary re-folded equal
+    /// (the [`crate::coarse::CoarseIndex`] consistency check).
+    pub coarse_postings: usize,
 }
 
 impl fmt::Display for AuditSummary {
@@ -81,7 +85,7 @@ impl fmt::Display for AuditSummary {
             f,
             "{} videos / {} shots; rows unit-mass: A1={} A2={} P12={} Π={}; \
              L12 links 0/1: {}; events with usable B1' denominators: {}/{}; \
-             A1 sparse views: {}/{}",
+             A1 sparse views: {}/{}; coarse postings: {}",
             self.videos,
             self.shots,
             self.a1_rows,
@@ -92,7 +96,8 @@ impl fmt::Display for AuditSummary {
             self.events_with_usable_centroid,
             EventKind::COUNT,
             self.a1_sparse_videos,
-            self.videos
+            self.videos,
+            self.coarse_postings
         )
     }
 }
@@ -232,6 +237,12 @@ impl Hmmm {
         self.validate_against(catalog)?;
         audit_numeric(self)?;
         let links = audit_links(self, catalog)?;
+        // Coarse-index consistency, full half: the postings must equal the
+        // B_2 signature (which `audit_links` just proved equal to the
+        // catalog's annotation counts, so signatures == catalog counts by
+        // transitivity) and every stored bound summary must re-fold
+        // bitwise from the live matrices (stored bounds == fresh bounds).
+        self.coarse.audit(self)?;
         let usable = (0..EventKind::COUNT)
             .filter(|&e| {
                 self.b1_prime[e]
@@ -256,6 +267,7 @@ impl Hmmm {
             links,
             events_with_usable_centroid: usable,
             a1_sparse_videos,
+            coarse_postings: self.coarse.postings_len(),
         })
     }
 }
@@ -362,7 +374,32 @@ mod tests {
         let err = m.deep_audit(&c).unwrap_err();
         assert!(matches!(err, CoreError::Inconsistent(ref s) if s.contains("event terms")));
         m.refresh_event_terms();
+        // The coarse index folds calibrated Eq.-14 scores off the packed
+        // terms, so it went stale with them and must be refreshed too.
+        let err = m.deep_audit(&c).unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(ref s) if s.contains("coarse")));
+        m.refresh_coarse();
         assert!(m.deep_audit(&c).is_ok());
+    }
+
+    #[test]
+    fn deep_audit_rejects_stale_coarse_index() {
+        let c = catalog();
+        let mut m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        // A poked bound summary passes the cheap postings predicate in
+        // `validate_against` but must fail the deep audit's bitwise
+        // re-fold (stored bounds == freshly folded bounds).
+        m.coarse.sim_max[EventKind::Goal.index()] += 0.5;
+        assert!(m.validate_against(&c).is_ok());
+        let err = m.deep_audit(&c).unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(ref s) if s.contains("coarse sim_max")));
+        m.refresh_coarse();
+        assert!(m.deep_audit(&c).is_ok());
+        // Postings drift, by contrast, is caught by every
+        // `validate_against` (and thus every `Retriever::new`).
+        m.coarse.postings[EventKind::Goal.index()].clear();
+        let err = m.validate_against(&c).unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(ref s) if s.contains("coarse index")));
     }
 
     /// A catalog whose lone video has mostly-unannotated shots, so the

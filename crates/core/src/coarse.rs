@@ -1,0 +1,476 @@
+//! The ingest-time coarse index behind two-stage coarse-to-fine retrieval.
+//!
+//! The paper's level-2 structure (Definition 1: `B_2` event counts and the
+//! `Π_2` prior over videos) already answers the Step-2 eligibility question
+//! — "which videos exhibit this event at all?" — without touching a single
+//! shot. [`CoarseIndex`] materializes that answer at build time as an
+//! inverted event → video index ([`CoarseIndex::postings`]) and pairs it
+//! with **precomputed per-video bound summaries**: for every
+//! `(video, event)` cell, the largest calibrated Eq.-14 similarity any of
+//! the video's shots attains, and the largest Eq.-12 start weight
+//! (`Π_1(s) · sim(s, e)`, with and without the shot's forward `A_1` row
+//! maximum folded in). A query then derives an *admissible* per-video upper
+//! bound on any Eq.-15 score the video can produce from
+//! `O(steps × alternatives)` table lookups ([`CoarseIndex::video_bounds`])
+//! — no Eq.-14 work, no archive scan — which is exactly what the cold
+//! (cache-off) retrieval path used to pay
+//! ([`crate::sim::max_calibrated_similarity`] over every shot, per unique
+//! query event).
+//!
+//! The index is a **derived cache** of the model, like the `B_1` SoA slab
+//! and the packed event terms: [`crate::Hmmm::refresh_coarse`] rebuilds it
+//! whenever the source matrices move (construction, every feedback round),
+//! `validate_against` checks its shape and the postings ↔ `B_2` agreement
+//! on every [`crate::Retriever::new`], and `deep_audit` re-folds every
+//! stored bound bitwise from the live matrices.
+//!
+//! # Why the bounds are admissible
+//!
+//! For a fixed video `v` and event `e`:
+//!
+//! * every Eq.-13 edge into a shot matching `e` multiplies by at most
+//!   `sim_max(v, e)` (the max is over *all* of `v`'s shots);
+//! * every Eq.-12 start weight `Π_1(s) · sim(s, e)` is at most
+//!   `start_max(v, e)`;
+//! * a start entry's first hop multiplies by its own shot's forward row
+//!   maximum, so `Π_1(s) · sim(s, e) · a1_row_max[s] ≤ start_joint(v, e)`.
+//!
+//! The whole-video bound folds these as `max_e [start_max(v, e) +
+//! chain_0 · start_joint(v, e)]` over the first step's alternatives, where
+//! `chain_0` is the [`QueryBounds`] completion chain built from the
+//! *per-video* step maxima. Per start shot, the true quantity is
+//! `w_0(s) · (1 + row_max(s) · chain_0)`; bounding the sum by the sum of
+//! per-term maxima (`max_s a + max_s b ≥ max_s (a + b)`) keeps it
+//! admissible. It is looser than the joint per-shot fold the query-scoped
+//! [`crate::simcache::SimCache`] affords (`per_video_bounds`), which is why
+//! the cached path keeps its own bounds — but it costs two table reads
+//! instead of a shot scan, which is why the cold path wins.
+
+use crate::bounds::{QueryBounds, VideoBounds};
+use crate::error::CoreError;
+use crate::model::{Hmmm, LocalMmm};
+use hmmm_media::EventKind;
+use hmmm_query::CompiledPattern;
+use serde::{Deserialize, Serialize};
+
+/// The ingest-time candidate index + per-video bound summaries (see the
+/// module docs). Flat `f64` tables are indexed `[video × EventKind::COUNT
+/// + event]`; postings lists hold ascending video indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarseIndex {
+    /// Inverted `B_2` signature: `postings[e]` lists (ascending) every
+    /// video whose `B_2[v][e] > 0` — the videos that pass the paper's
+    /// Step-2 first-event check for `e`.
+    pub postings: Vec<Vec<u32>>,
+    /// `sim_max[v·C + e]` — largest calibrated Eq.-14 similarity any shot
+    /// of video `v` attains against event `e` (the per-video per-step
+    /// similarity ceiling `sm_j` of [`QueryBounds`]).
+    pub sim_max: Vec<f64>,
+    /// `start_max[v·C + e] = max_s Π_1(s) · sim(s, e)` — the largest
+    /// Eq.-12 start weight video `v` can admit for event `e`.
+    pub start_max: Vec<f64>,
+    /// `start_joint[v·C + e] = max_s Π_1(s) · sim(s, e) · a1_row_max[s]` —
+    /// the start weight with the shot's own forward `A_1` row maximum
+    /// (first Eq.-13 hop) folded in.
+    pub start_joint: Vec<f64>,
+}
+
+impl CoarseIndex {
+    /// The empty index (no videos, no events indexed) — the construction
+    /// placeholder before [`crate::Hmmm::refresh_coarse`] runs, mirroring
+    /// the other Definition-1 derived caches (`B_1` slab, event terms).
+    pub fn empty() -> Self {
+        CoarseIndex {
+            postings: Vec::new(),
+            sim_max: Vec::new(),
+            start_max: Vec::new(),
+            start_joint: Vec::new(),
+        }
+    }
+
+    /// Builds the index from a model: one blocked calibrated Eq.-14 pass
+    /// over the archive per event, folded per video into the
+    /// `sim_max`/`start_max`/`start_joint` summaries (Eqs. 12–14 maxima),
+    /// plus the inverted `B_2` postings (Step 2's eligibility signature).
+    ///
+    /// The per-video `sim_max` folds walk shots in ascending order with
+    /// `f64::max`, so the union over all videos reproduces
+    /// [`crate::sim::max_calibrated_similarity`]'s archive fold bitwise
+    /// (`f64::max` is associative over the non-NaN scores and always
+    /// returns one of its inputs).
+    pub fn build(model: &Hmmm) -> Self {
+        let videos = model.video_count();
+        let shots = model.shot_count();
+        let cells = videos * EventKind::COUNT;
+        let mut index = CoarseIndex {
+            postings: vec![Vec::new(); EventKind::COUNT],
+            sim_max: vec![0.0; cells],
+            start_max: vec![0.0; cells],
+            start_joint: vec![0.0; cells],
+        };
+        let mut scores = vec![0.0; shots];
+        for e in 0..EventKind::COUNT {
+            // Calibrated Eq.-14 scores of every archive shot against `e`:
+            // the blocked kernel plus the same single division by the
+            // memoized self-similarity denominator the scalar path uses.
+            let denom = model.event_terms[e].self_sim;
+            if denom > 0.0 {
+                crate::sim::similarity_into(model, 0..shots, e, &mut scores);
+                for s in scores.iter_mut() {
+                    *s /= denom;
+                }
+            } else {
+                scores.fill(0.0);
+            }
+            // L_{1,2} is dense and implicit: each video's shots are the
+            // next `local.len()` global ids, in order.
+            let mut offset = 0usize;
+            for (v, local) in model.locals.iter().enumerate() {
+                let cell = v * EventKind::COUNT + e;
+                let mut sim_max = 0.0f64;
+                let mut start_max = 0.0f64;
+                let mut start_joint = 0.0f64;
+                for (s, &sim) in scores[offset..offset + local.len()].iter().enumerate() {
+                    sim_max = sim_max.max(sim);
+                    let w = local.pi1.get(s) * sim;
+                    start_max = start_max.max(w);
+                    start_joint = start_joint.max(w * local.a1_row_max[s]);
+                }
+                index.sim_max[cell] = sim_max;
+                index.start_max[cell] = start_max;
+                index.start_joint[cell] = start_joint;
+                offset += local.len();
+            }
+            index.postings[e] = (0..videos)
+                .filter(|&v| model.b2[v][e] > 0)
+                .map(|v| v as u32)
+                .collect();
+        }
+        index
+    }
+
+    /// `B_2`-eligible videos for `event` (ascending indices) — the
+    /// inverted form of the paper's Step-2 first-event check, so candidate
+    /// enumeration reads one postings list instead of scanning every
+    /// video's `B_2` row.
+    pub fn postings(&self, event: usize) -> &[u32] {
+        &self.postings[event]
+    }
+
+    /// Largest calibrated Eq.-14 similarity any shot of `video` attains
+    /// against `event` — the table-lookup replacement for the per-query
+    /// archive scan of [`crate::sim::max_calibrated_similarity`].
+    pub fn sim_max(&self, video: usize, event: usize) -> f64 {
+        self.sim_max[video * EventKind::COUNT + event]
+    }
+
+    /// Admissible per-video bounds for one query, from table lookups only
+    /// (see the module docs for the admissibility argument): per-step
+    /// similarity maxima feed the [`QueryBounds`] completion chain
+    /// (Eq. 13's per-hop ceiling), and the whole-video bound folds the
+    /// Eq.-12 start summaries `max_e [start_max + chain_0 · start_joint]`
+    /// over the first step's alternatives. Costs
+    /// `Σ_j |alternatives_j| + 2 · |alternatives_0|` table reads — see
+    /// [`CoarseIndex::bound_lookups`].
+    pub fn video_bounds(
+        &self,
+        video: usize,
+        local: &LocalMmm,
+        pattern: &CompiledPattern,
+    ) -> VideoBounds {
+        let step_max: Vec<f64> = pattern
+            .steps
+            .iter()
+            .map(|step| {
+                step.alternatives
+                    .iter()
+                    .map(|&e| self.sim_max(video, e))
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        let vb = QueryBounds::new(step_max).for_video(local);
+        let chain0 = vb.chain0();
+        let base = video * EventKind::COUNT;
+        let raw_ub = pattern.steps[0]
+            .alternatives
+            .iter()
+            .map(|&e| self.start_max[base + e] + chain0 * self.start_joint[base + e])
+            .fold(0.0, f64::max);
+        vb.with_video_ub(raw_ub)
+    }
+
+    /// Table reads one [`CoarseIndex::video_bounds`] call performs for
+    /// `pattern` (the Step-2-to-fine admission cost the coarse counters
+    /// report): one `sim_max` read per step alternative plus the two start
+    /// summaries per first-step alternative.
+    pub fn bound_lookups(pattern: &CompiledPattern) -> u64 {
+        let step_reads: usize = pattern.steps.iter().map(|s| s.alternatives.len()).sum();
+        (step_reads + 2 * pattern.steps[0].alternatives.len()) as u64
+    }
+
+    /// Cheap freshness predicate for `validate_against` (every
+    /// [`crate::Retriever::new`] runs it): shapes match the model and the
+    /// postings agree with the `B_2` signature (Step 2's eligibility
+    /// predicate) — `O(videos × events)`, no Eq.-14 work. The full bitwise
+    /// re-fold of the stored bound summaries lives in
+    /// [`CoarseIndex::audit`] (run by `deep_audit`).
+    pub fn matches(&self, model: &Hmmm) -> bool {
+        let videos = model.video_count();
+        let cells = videos * EventKind::COUNT;
+        if self.postings.len() != EventKind::COUNT
+            || self.sim_max.len() != cells
+            || self.start_max.len() != cells
+            || self.start_joint.len() != cells
+        {
+            return false;
+        }
+        for e in 0..EventKind::COUNT {
+            let mut k = 0usize;
+            for v in 0..videos {
+                if model.b2[v][e] > 0 {
+                    if k >= self.postings[e].len() || self.postings[e][k] as usize != v {
+                        return false;
+                    }
+                    k += 1;
+                }
+            }
+            if k != self.postings[e].len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Full index-consistency audit: rebuilds the index from the live
+    /// matrices and compares **bitwise** — postings equal to the `B_2`
+    /// signature, every stored `sim_max`/`start_max`/`start_joint` cell
+    /// equal to a fresh Eq.-12/13/14 fold. Run by `deep_audit` (stored
+    /// bounds == freshly folded bounds); a mismatch means a mutation
+    /// bypassed [`crate::Hmmm::refresh_coarse`] and the coarse stage's
+    /// admission bounds can no longer be trusted.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Inconsistent`] naming the first stale table.
+    pub fn audit(&self, model: &Hmmm) -> Result<(), CoreError> {
+        let fresh = CoarseIndex::build(model);
+        if self.postings != fresh.postings {
+            return Err(CoreError::Inconsistent(
+                "stale coarse postings vs B2 signature (refresh_coarse not \
+                 called after mutation?)"
+                    .into(),
+            ));
+        }
+        let bitwise_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        for (name, stored, rebuilt) in [
+            ("sim_max", &self.sim_max, &fresh.sim_max),
+            ("start_max", &self.start_max, &fresh.start_max),
+            ("start_joint", &self.start_joint, &fresh.start_joint),
+        ] {
+            if !bitwise_eq(stored, rebuilt) {
+                return Err(CoreError::Inconsistent(format!(
+                    "stale coarse {name} summaries vs fresh fold \
+                     (refresh_coarse not called after mutation?)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total postings entries across all events (the `B_2` signature
+    /// cardinality reported by the Definition-1 audit summary).
+    pub fn postings_len(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_hmmm, BuildConfig};
+    use crate::sim::{calibrated_similarity, max_calibrated_similarity};
+    use hmmm_features::{FeatureId, FeatureVector};
+    use hmmm_query::QueryTranslator;
+    use hmmm_storage::Catalog;
+
+    fn feat(g: f64, v: f64) -> FeatureVector {
+        let mut f = FeatureVector::zeros();
+        f[FeatureId::GrassRatio] = g;
+        f[FeatureId::VolumeMean] = v;
+        f
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_video(
+            "m1",
+            vec![
+                (vec![EventKind::FreeKick], feat(0.3, 0.2)),
+                (vec![EventKind::FreeKick, EventKind::Goal], feat(0.8, 0.9)),
+                (vec![EventKind::CornerKick], feat(0.5, 0.4)),
+            ],
+        );
+        c.add_video(
+            "m2",
+            vec![
+                (vec![EventKind::Goal], feat(0.9, 0.8)),
+                (vec![], feat(0.1, 0.2)),
+            ],
+        );
+        c
+    }
+
+    fn translator() -> QueryTranslator {
+        QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()))
+    }
+
+    #[test]
+    fn postings_mirror_b2_ascending() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let goal = EventKind::Goal.index();
+        let fk = EventKind::FreeKick.index();
+        let ck = EventKind::CornerKick.index();
+        assert_eq!(m.coarse.postings(goal), &[0, 1]);
+        assert_eq!(m.coarse.postings(fk), &[0]);
+        assert_eq!(m.coarse.postings(ck), &[0]);
+        assert_eq!(m.coarse.postings(EventKind::RedCard.index()), &[] as &[u32]);
+        for e in 0..EventKind::COUNT {
+            for pair in m.coarse.postings(e).windows(2) {
+                assert!(pair[0] < pair[1], "postings not ascending");
+            }
+        }
+    }
+
+    #[test]
+    fn per_video_sim_max_unions_to_archive_max_bitwise() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        for e in 0..EventKind::COUNT {
+            let union = (0..m.video_count())
+                .map(|v| m.coarse.sim_max(v, e))
+                .fold(0.0, f64::max);
+            assert_eq!(
+                union.to_bits(),
+                max_calibrated_similarity(&m, e).to_bits(),
+                "event {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn summaries_match_scalar_folds() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let mut offset = 0usize;
+        for (v, local) in m.locals.iter().enumerate() {
+            for e in 0..EventKind::COUNT {
+                let mut sim_max = 0.0f64;
+                let mut start_max = 0.0f64;
+                let mut start_joint = 0.0f64;
+                for s in 0..local.len() {
+                    let sim = calibrated_similarity(&m, offset + s, e);
+                    sim_max = sim_max.max(sim);
+                    let w = local.pi1.get(s) * sim;
+                    start_max = start_max.max(w);
+                    start_joint = start_joint.max(w * local.a1_row_max[s]);
+                }
+                assert_eq!(m.coarse.sim_max(v, e).to_bits(), sim_max.to_bits());
+                assert_eq!(
+                    m.coarse.start_max[v * EventKind::COUNT + e].to_bits(),
+                    start_max.to_bits()
+                );
+                assert_eq!(
+                    m.coarse.start_joint[v * EventKind::COUNT + e].to_bits(),
+                    start_joint.to_bits()
+                );
+            }
+            offset += local.len();
+        }
+    }
+
+    #[test]
+    fn video_bounds_dominate_retrieved_scores() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("free_kick -> goal").unwrap();
+        let r = crate::Retriever::new(&m, &c, crate::RetrievalConfig::content_only()).unwrap();
+        let (results, _) = r.retrieve(&pattern, 10).unwrap();
+        assert!(!results.is_empty());
+        for p in &results {
+            let v = p.video.index();
+            let vb = m.coarse.video_bounds(v, &m.locals[v], &pattern);
+            assert!(
+                vb.video_ub() >= p.score,
+                "coarse bound {} below retrieved score {} for video {v}",
+                vb.video_ub(),
+                p.score
+            );
+        }
+    }
+
+    #[test]
+    fn bound_lookups_counts_table_reads() {
+        let pattern = translator().compile("free_kick|corner_kick -> goal").unwrap();
+        // 2 + 1 step reads, plus 2 × 2 start reads on the first step.
+        assert_eq!(CoarseIndex::bound_lookups(&pattern), 7);
+    }
+
+    #[test]
+    fn matches_and_audit_accept_fresh_reject_stale() {
+        let c = catalog();
+        let mut m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        assert!(m.coarse.matches(&m));
+        assert!(m.coarse.audit(&m).is_ok());
+        // Postings drift is caught by the cheap predicate.
+        let goal = EventKind::Goal.index();
+        let mut stale = m.coarse.clone();
+        stale.postings[goal].pop();
+        assert!(!stale.matches(&m));
+        assert!(matches!(
+            stale.audit(&m),
+            Err(CoreError::Inconsistent(msg)) if msg.contains("coarse postings")
+        ));
+        // A poked bound cell passes the cheap predicate but fails the
+        // bitwise audit.
+        let cell = goal; // video 0, event goal
+        let mut poked = m.coarse.clone();
+        poked.sim_max[cell] += 0.25;
+        assert!(poked.matches(&m));
+        assert!(matches!(
+            poked.audit(&m),
+            Err(CoreError::Inconsistent(msg)) if msg.contains("sim_max")
+        ));
+        // Mutating Π_1 without a refresh makes the stored start summaries
+        // stale; refresh_coarse repairs them.
+        let old = m.clone();
+        m.locals[0].pi1 = hmmm_matrix::ProbVector::from_counts(&[5.0, 1.0, 1.0]).unwrap();
+        m.locals[0].refresh_bounds();
+        assert!(m.coarse.audit(&m).is_err());
+        m.refresh_coarse();
+        assert!(m.coarse.audit(&m).is_ok());
+        assert_ne!(m.coarse, old.coarse);
+    }
+
+    #[test]
+    fn empty_index_matches_nothing_built() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        assert!(!CoarseIndex::empty().matches(&m));
+        assert_eq!(CoarseIndex::empty().postings_len(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = catalog();
+        let m = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let json = serde_json::to_string(&m.coarse).unwrap();
+        let back: CoarseIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.coarse, back);
+    }
+}

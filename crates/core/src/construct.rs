@@ -266,9 +266,11 @@ pub fn build_hmmm_observed(
         normalizer,
         b1_slab: hmmm_features::FeatureSlab::empty(),
         event_terms: Vec::new(),
+        coarse: crate::coarse::CoarseIndex::empty(),
     };
     // Derive the SoA hot-path caches (feature-major B1 slab, packed Eq.-14
-    // event terms with memoized self-similarity denominators).
+    // event terms with memoized self-similarity denominators, the coarse
+    // retrieval index).
     model.refresh_derived();
     Ok(model)
 }

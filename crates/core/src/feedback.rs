@@ -380,6 +380,12 @@ impl FeedbackLog {
         };
         drop(cross_span);
 
+        // The coarse retrieval index folds Π_1/A_1 row maxima and the
+        // calibrated Eq.-14 scores — all of which just moved (Π_1/A_1
+        // unconditionally above, P_{1,2}/B_1' under `relearn_p12`) — so it
+        // is rebuilt unconditionally, after the event terms it reads.
+        model.refresh_coarse();
+
         if obs.is_enabled() {
             obs.counter(metrics::CTR_FEEDBACK_PATTERNS, patterns.len() as u64);
             obs.counter(metrics::CTR_FEEDBACK_VIDEOS, videos_updated as u64);

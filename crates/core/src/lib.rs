@@ -32,6 +32,10 @@
 //! * [`bounds`] / [`topk`] — the exact top-k pruning machinery: admissible
 //!   Eq.-13 completion bounds and the lock-free shared k-th-best-score
 //!   register the traversal prunes against.
+//! * [`coarse`] — the ingest-time coarse index (inverted `B_2` event →
+//!   video postings + precomputed per-video bound summaries) behind the
+//!   two-stage coarse-to-fine retrieval modes
+//!   ([`retrieve::CoarseMode`]).
 //! * [`feedback`] — positive-pattern logging and the offline learning
 //!   updates (Eqs. 1–2, 4, 5–6, 8–10).
 //! * [`simulate`] — a ground-truth relevance oracle standing in for the
@@ -52,6 +56,7 @@
 pub mod audit;
 pub mod bounds;
 pub mod cluster;
+pub mod coarse;
 pub mod construct;
 pub mod error;
 pub mod fault;
@@ -71,6 +76,7 @@ pub use hmmm_obs::{InMemoryRecorder, MetricsReport, RecorderHandle};
 
 pub use audit::AuditSummary;
 pub use bounds::{QueryBounds, VideoBounds};
+pub use coarse::CoarseIndex;
 pub use order::{cmp_f64, cmp_f64_desc};
 pub use cluster::CategoryLevel;
 pub use construct::{build_hmmm, build_hmmm_observed, BuildConfig};
@@ -80,8 +86,8 @@ pub use feedback::{FeedbackConfig, FeedbackLog, PositivePattern, UpdateReport};
 pub use io::{load_model, load_model_with, save_model, save_model_with};
 pub use model::{Hmmm, LocalMmm, ModelSummary};
 pub use retrieve::{
-    DeadlineConfig, Degraded, DegradedReason, QueryScratch, RankedPattern, RetrievalConfig,
-    RetrievalStats, Retriever,
+    CoarseMode, DeadlineConfig, Degraded, DegradedReason, QueryScratch, RankedPattern,
+    RetrievalConfig, RetrievalStats, Retriever,
 };
 pub use sim::{similarity, similarity_block};
 pub use simcache::SimCache;

@@ -18,6 +18,9 @@ pub const SPAN_RETRIEVE: &str = "retrieve";
 pub const SPAN_SIM_CACHE_BUILD: &str = "retrieve/sim_cache_build";
 /// Step 2/7 video ordering (`Π_2` sort + `B_2` first-event filter).
 pub const SPAN_VIDEO_ORDER: &str = "retrieve/video_order";
+/// Coarse candidate stage (postings union + per-video bound lookups from
+/// the ingest-time [`crate::CoarseIndex`]).
+pub const SPAN_COARSE: &str = "retrieve/coarse";
 /// The whole per-video fan-out (serial loop or scoped worker pool).
 pub const SPAN_TRAVERSE: &str = "retrieve/traverse";
 /// One worker thread's share of the fan-out (label = worker index).
@@ -74,6 +77,20 @@ pub const CTR_VIDEOS_UNVISITED: &str = "retrieve.videos_unvisited";
 pub const CTR_BEAMS_ABANDONED: &str = "retrieve.beams_abandoned";
 /// Queries whose deadline budget elapsed (one per degraded query).
 pub const CTR_DEADLINE_EXPIRED: &str = "retrieve.deadline_expired";
+/// Candidate videos the coarse stage admitted to the fine stage
+/// (`RetrievalStats::coarse_candidates`; emitted only when a coarse mode
+/// is on).
+pub const CTR_COARSE_CANDIDATES: &str = "coarse.candidates";
+/// Candidates dropped by the approx top-`C` cut
+/// (`RetrievalStats::coarse_cut`).
+pub const CTR_COARSE_CUT: &str = "coarse.candidates_cut";
+/// Candidates skipped exactly on a zero coarse upper bound
+/// (`RetrievalStats::coarse_skipped_zero_ub`).
+pub const CTR_COARSE_ZERO_UB: &str = "coarse.zero_ub_skips";
+/// Precomputed-summary table reads spent deriving coarse bounds
+/// (`RetrievalStats::coarse_bound_lookups`) — the lookup cost that
+/// replaces the archive-wide scan behind [`CTR_BOUND_EVALS`].
+pub const CTR_COARSE_LOOKUPS: &str = "coarse.bound_lookups";
 pub use hmmm_storage::{CTR_ATOMIC_WRITE_RETRIES, CTR_BAK_FALLBACKS};
 
 /// Worker threads used by the last retrieve call.

@@ -234,6 +234,13 @@ pub struct Hmmm {
     /// [`Hmmm::refresh_event_terms`] whenever `p12`/`b1_prime` change (the
     /// feedback relearning step does).
     pub event_terms: Vec<EventTerms>,
+    /// The ingest-time coarse index: inverted `B_2` event → video postings
+    /// plus precomputed per-video bound summaries, feeding the two-stage
+    /// coarse-to-fine retrieval ([`crate::coarse::CoarseIndex`]). Derived
+    /// cache: rebuilt by [`Hmmm::refresh_coarse`] whenever any source
+    /// matrix it folds (`Π_1`/`A_1` row maxima, `B_2`, `P_{1,2}`/`B_1'`
+    /// through Eq. 14) changes — construction and every feedback round do.
+    pub coarse: crate::coarse::CoarseIndex,
 }
 
 /// Human-readable summary of a model's dimensions.
@@ -282,6 +289,9 @@ impl Hmmm {
     pub fn refresh_derived(&mut self) {
         self.b1_slab = FeatureSlab::from_rows(&self.b1);
         self.refresh_event_terms();
+        // Last: the coarse index folds calibrated Eq.-14 scores, which read
+        // the packed event terms rebuilt just above.
+        self.refresh_coarse();
     }
 
     /// Rebuilds only the packed event terms (and their memoized
@@ -292,6 +302,19 @@ impl Hmmm {
         self.event_terms = (0..EventKind::COUNT)
             .map(|e| EventTerms::build(&self.p12, &self.b1_prime[e], e))
             .collect();
+    }
+
+    /// Rebuilds only the coarse retrieval index
+    /// ([`crate::coarse::CoarseIndex`]) from the current matrices. Feedback
+    /// calls this unconditionally at the end of every apply — `Π_1`/`A_1`
+    /// always move there, and the stored Eq.-12/14 bound summaries fold
+    /// them — while construction gets it through
+    /// [`Hmmm::refresh_derived`]. Must run *after*
+    /// [`Hmmm::refresh_event_terms`] when both fire: the calibrated
+    /// similarity folds read the packed terms.
+    pub fn refresh_coarse(&mut self) {
+        let fresh = crate::coarse::CoarseIndex::build(self);
+        self.coarse = fresh;
     }
 
     /// Validates the model against the catalog it was built from: per-video
@@ -402,6 +425,18 @@ impl Hmmm {
             return Err(CoreError::Inconsistent(
                 "stale packed event terms (refresh_event_terms not called \
                  after mutation?)"
+                    .into(),
+            ));
+        }
+        // Coarse-index freshness, cheap half: shapes plus the postings ↔
+        // B_2 signature predicate (O(videos × events), no Eq.-14 work).
+        // The full bitwise re-fold of the stored bound summaries is
+        // `deep_audit`'s job — a stale summary would make the coarse
+        // stage's admission bounds inadmissible (silently wrong rankings).
+        if !self.coarse.matches(self) {
+            return Err(CoreError::Inconsistent(
+                "stale coarse index (refresh_coarse not called after \
+                 mutation?)"
                     .into(),
             ));
         }

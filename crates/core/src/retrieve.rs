@@ -154,6 +154,67 @@ pub struct RetrievalConfig {
     /// tests and the fault-matrix CI job. Skipped by serde, like the
     /// recorder (a runtime hook, not data).
     pub fault: FaultHandle,
+    /// Two-stage coarse-to-fine retrieval mode ([`CoarseMode::Off`] by
+    /// default, which reproduces single-stage behavior — counters
+    /// included — exactly). `Exact` and `Approx` run the ingest-time
+    /// [`crate::coarse::CoarseIndex`] stage first: candidate videos come
+    /// from the inverted `B_2` postings (no per-video `B_2` row scan) and
+    /// carry admissible per-video upper bounds derived from table lookups
+    /// (no archive-wide Eq.-14 bound scan on the cold path — the
+    /// [`RetrievalStats::bound_evaluations`] counter drops to zero).
+    pub coarse: CoarseMode,
+    /// Candidate-set cut for [`CoarseMode::Approx`]: only the
+    /// `coarse_candidates` videos with the highest coarse upper bounds
+    /// enter the fine stage (the recall@k-vs-latency knob `C` of the E13
+    /// sweep). Ignored by `Off` and `Exact`.
+    pub coarse_candidates: usize,
+}
+
+/// Which coarse stage [`Retriever::retrieve`] runs before the exact
+/// per-video lattice traversal (see [`crate::coarse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoarseMode {
+    /// Single-stage retrieval (the default): candidate videos come from
+    /// the per-video `B_2` row scan and bounds from the similarity source
+    /// in use. Byte-identical to pre-coarse behavior, counters included.
+    Off,
+    /// Bound-admissible coarse stage: candidates from the inverted `B_2`
+    /// postings, ordered by their admissible coarse upper bound
+    /// (descending), with zero-bound videos skipped. The ranking is
+    /// provably **byte-identical** to `Off` (proptest-pinned): every
+    /// skipped video is either `B_2`-ineligible, admissibly bounded below
+    /// the shared top-k threshold, or structurally unable to admit a
+    /// start entry (`w > 0` is required), and visit order only affects
+    /// counters — the final sort is a total order.
+    Exact,
+    /// `Exact` plus a top-`C` candidate cut
+    /// ([`RetrievalConfig::coarse_candidates`]): only the `C` candidates
+    /// with the highest coarse bounds are traversed. Recall@k is
+    /// deterministically monotone in `C` (the candidate order is total,
+    /// so cuts are nested prefixes) and measured against latency by the
+    /// E13 `exp_coarse_sweep`.
+    Approx,
+}
+
+impl CoarseMode {
+    /// Canonical CLI/config spelling (`off` / `exact` / `approx`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CoarseMode::Off => "off",
+            CoarseMode::Exact => "exact",
+            CoarseMode::Approx => "approx",
+        }
+    }
+
+    /// Parses the canonical spelling (the `--coarse` CLI flag).
+    pub fn parse(s: &str) -> Option<CoarseMode> {
+        match s {
+            "off" => Some(CoarseMode::Off),
+            "exact" => Some(CoarseMode::Exact),
+            "approx" => Some(CoarseMode::Approx),
+            _ => None,
+        }
+    }
 }
 
 /// Wall-clock budget for one retrieve call (anytime retrieval).
@@ -283,6 +344,8 @@ impl Serialize for RetrievalConfig {
             ("use_sim_cache".into(), self.use_sim_cache.to_value()),
             ("prune".into(), self.prune.to_value()),
             ("deadline".into(), self.deadline.to_value()),
+            ("coarse".into(), self.coarse.to_value()),
+            ("coarse_candidates".into(), self.coarse_candidates.to_value()),
         ])
     }
 }
@@ -313,6 +376,16 @@ impl Deserialize for RetrievalConfig {
                 Some((_, v)) => Option::from_value(v)?,
                 None => None,
             },
+            // Tolerant like `prune`: configs persisted before the coarse
+            // PR lack both fields and should keep loading single-stage.
+            coarse: match obj.iter().find(|(k, _)| k == "coarse") {
+                Some((_, v)) => CoarseMode::from_value(v)?,
+                None => CoarseMode::Off,
+            },
+            coarse_candidates: match obj.iter().find(|(k, _)| k == "coarse_candidates") {
+                Some((_, v)) => usize::from_value(v)?,
+                None => 16,
+            },
             recorder: RecorderHandle::noop(),
             fault: FaultHandle::noop(),
         })
@@ -333,6 +406,8 @@ impl Default for RetrievalConfig {
             deadline: None,
             recorder: RecorderHandle::noop(),
             fault: FaultHandle::noop(),
+            coarse: CoarseMode::Off,
+            coarse_candidates: 16,
         }
     }
 }
@@ -374,6 +449,14 @@ impl RetrievalConfig {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.fault = FaultHandle::from_plan(plan);
+        self
+    }
+
+    /// Selects a coarse-to-fine retrieval mode (builder-style). See
+    /// [`CoarseMode`] for the exactness contract of each mode.
+    #[must_use]
+    pub fn with_coarse(mut self, mode: CoarseMode) -> Self {
+        self.coarse = mode;
         self
     }
 }
@@ -463,6 +546,21 @@ pub struct RetrievalStats {
     /// deadline expiry, worker panics, or both. `None` means the ranking
     /// is the complete (exact) answer.
     pub degraded: Option<Degraded>,
+    /// Candidate videos the coarse stage admitted to the fine stage
+    /// (zero with [`CoarseMode::Off`], where candidates come from the
+    /// per-video `B_2` row scan instead).
+    pub coarse_candidates: usize,
+    /// Candidates dropped by the [`CoarseMode::Approx`] top-`C` cut
+    /// (always zero in `Off`/`Exact`).
+    pub coarse_cut: usize,
+    /// Candidates skipped because their coarse upper bound was exactly
+    /// zero — a zero bound proves no start entry can be admitted (`w > 0`
+    /// is required), so the skip is exact even with pruning off.
+    pub coarse_skipped_zero_ub: usize,
+    /// Precomputed-summary table reads the coarse stage spent deriving
+    /// per-video bounds — the quantity that replaces the archive-wide
+    /// Eq.-14 scan charged to [`RetrievalStats::bound_evaluations`].
+    pub coarse_bound_lookups: u64,
 }
 
 /// Degradation summary attached to a partial ranking (see
@@ -526,6 +624,10 @@ impl RetrievalStats {
         self.videos_unvisited += other.videos_unvisited;
         self.beams_abandoned += other.beams_abandoned;
         self.deadline_expired |= other.deadline_expired;
+        self.coarse_candidates += other.coarse_candidates;
+        self.coarse_cut += other.coarse_cut;
+        self.coarse_skipped_zero_ub += other.coarse_skipped_zero_ub;
+        self.coarse_bound_lookups += other.coarse_bound_lookups;
         self.panic_payloads.extend(other.panic_payloads);
         // `degraded` is assembled centrally at the end of the retrieve
         // call (after the sorted-payload pass), never merged piecewise.
@@ -706,6 +808,19 @@ enum PruneBounds {
     /// No cache: one archive-wide [`QueryBounds`] shared by every video
     /// (paid for with [`RetrievalStats::bound_evaluations`] up front).
     Archive(QueryBounds),
+    /// Coarse stage up, no cache: per-video bounds were already derived
+    /// from the ingest-time [`crate::coarse::CoarseIndex`] summaries
+    /// (table lookups, no archive scan — `bound_evaluations` stays zero),
+    /// indexed by video index (`None` = not admitted by the coarse stage).
+    Coarse(Vec<Option<VideoBounds>>),
+}
+
+/// Output of the coarse stage: the candidate videos in coarse-bound order
+/// (the fine stage's visit order) plus their admissible per-video bounds,
+/// indexed by video index for the pruned traversal to look up.
+struct CoarseStage {
+    order: Vec<VideoId>,
+    bounds: Vec<Option<VideoBounds>>,
 }
 
 /// Pruning auto-disables above this `limit`: the [`SharedTopK`] register
@@ -943,17 +1058,30 @@ impl<'a> Retriever<'a> {
             None => Scorer::Direct(self.model),
         };
 
+        // Coarse stage (this PR's tentpole, `CoarseMode::Exact`/`Approx`):
+        // candidate videos from the ingest-time inverted `B_2` postings,
+        // each carrying an admissible upper bound derived from the
+        // precomputed summaries — table lookups, not shot scans. Runs
+        // before the prune context so the bounds can replace the
+        // archive-wide scan on the cold (cache-off) path.
+        let coarse_stage = (self.config.coarse != CoarseMode::Off).then(|| {
+            let _coarse_span = obs.span(m::SPAN_COARSE);
+            self.coarse_stage(pattern, videos, &mut stats)
+        });
+
         // Tentpole layer 3: the exact top-k threshold cut. One shared
         // register holds the running k-th best score; admissible completion
         // bounds feed the three exact prune sites (see the module docs).
         // With the cache up the bounds are derived per video at traversal
-        // time (tighter, free table reads); otherwise one archive scan per
-        // unique event builds a shared set here, charged to
-        // `bound_evaluations`.
+        // time (tighter, free table reads); with the coarse stage up they
+        // were already derived from the index summaries above; otherwise
+        // one archive scan per unique event builds a shared set here,
+        // charged to `bound_evaluations`.
         let prune_ctx = (self.config.prune && limit <= PRUNE_LIMIT_CAP).then(|| {
-            let bounds = match &scorer {
-                Scorer::Cached(_) => PruneBounds::PerVideo,
-                Scorer::Direct(model) => {
+            let bounds = match (&scorer, &coarse_stage) {
+                (Scorer::Cached(_), _) => PruneBounds::PerVideo,
+                (Scorer::Direct(_), Some(stage)) => PruneBounds::Coarse(stage.bounds.clone()),
+                (Scorer::Direct(model), None) => {
                     let mut memo: [Option<f64>; EventKind::COUNT] = [None; EventKind::COUNT];
                     let mut step_max = Vec::with_capacity(pattern.steps.len());
                     for step in &pattern.steps {
@@ -978,9 +1106,15 @@ impl<'a> Retriever<'a> {
             (SharedTopK::new(limit), bounds)
         });
 
-        let order = {
-            let _order_span = obs.span(m::SPAN_VIDEO_ORDER);
-            self.video_order(pattern, videos, &mut stats)
+        let order = match coarse_stage {
+            // Coarse on: candidates already enumerated (postings union) and
+            // ordered (bound desc). Visit order only affects counters — the
+            // final ranking is re-sorted under a total order below.
+            Some(stage) => stage.order,
+            None => {
+                let _order_span = obs.span(m::SPAN_VIDEO_ORDER);
+                self.video_order(pattern, videos, &mut stats)
+            }
         };
         let threads = requested_threads.min(order.len().max(1));
 
@@ -1236,6 +1370,12 @@ impl<'a> Retriever<'a> {
         obs.counter(m::CTR_VIDEOS_FAILED, stats.videos_failed as u64);
         obs.counter(m::CTR_VIDEOS_UNVISITED, stats.videos_unvisited as u64);
         obs.counter(m::CTR_BEAMS_ABANDONED, stats.beams_abandoned);
+        if self.config.coarse != CoarseMode::Off {
+            obs.counter(m::CTR_COARSE_CANDIDATES, stats.coarse_candidates as u64);
+            obs.counter(m::CTR_COARSE_CUT, stats.coarse_cut as u64);
+            obs.counter(m::CTR_COARSE_ZERO_UB, stats.coarse_skipped_zero_ub as u64);
+            obs.counter(m::CTR_COARSE_LOOKUPS, stats.coarse_bound_lookups);
+        }
         if stats.deadline_expired {
             obs.counter(m::CTR_DEADLINE_EXPIRED, 1);
         }
@@ -1317,6 +1457,99 @@ impl<'a> Retriever<'a> {
         order.into_iter().map(VideoId).collect()
     }
 
+    /// The coarse stage ([`CoarseMode::Exact`]/[`CoarseMode::Approx`]):
+    /// Step-2 candidate enumeration from the inverted `B_2` postings and
+    /// admissible per-video bounds from the ingest-time summaries — table
+    /// lookups only, no `B_2` row scan, no archive-wide Eq.-14 scan.
+    ///
+    /// Exactness bookkeeping vs the single-stage path:
+    ///
+    /// * Candidate set: the postings union over the first step's
+    ///   alternatives is *definitionally* the set passing the `B_2`
+    ///   first-event check, so `videos_skipped` is charged the identical
+    ///   count. An explicit `subset` keeps the per-video row check (the
+    ///   postings index the whole archive, not arbitrary subsets).
+    /// * Zero-bound skip: a coarse upper bound of exactly zero proves
+    ///   `Π_1(s) · sim(s, e) = 0` for every shot and first-step
+    ///   alternative, and start admission requires `w > 0` — the video
+    ///   cannot emit a candidate, so skipping it is exact even with
+    ///   pruning off.
+    /// * Order (bound desc, index asc — a total order) only affects
+    ///   scheduling and timing-dependent counters, never the ranking.
+    fn coarse_stage(
+        &self,
+        pattern: &CompiledPattern,
+        subset: Option<&[VideoId]>,
+        stats: &mut RetrievalStats,
+    ) -> CoarseStage {
+        let coarse = &self.model.coarse;
+        let video_count = self.model.video_count();
+        let first_alts = &pattern.steps[0].alternatives;
+        let candidates: Vec<usize> = match subset {
+            Some(videos) => videos
+                .iter()
+                .map(|v| v.index())
+                .filter(|&v| v < video_count)
+                .filter(|&v| {
+                    if !self.config.require_first_event {
+                        return true;
+                    }
+                    let has = first_alts.iter().any(|&e| self.model.b2[v][e] > 0);
+                    if !has {
+                        stats.videos_skipped += 1;
+                    }
+                    has
+                })
+                .collect(),
+            None if self.config.require_first_event => {
+                let mut union: Vec<usize> = first_alts
+                    .iter()
+                    .flat_map(|&e| coarse.postings(e).iter().map(|&v| v as usize))
+                    .collect();
+                union.sort_unstable();
+                union.dedup();
+                stats.videos_skipped += video_count - union.len();
+                union
+            }
+            None => (0..video_count).collect(),
+        };
+
+        let lookups = crate::coarse::CoarseIndex::bound_lookups(pattern);
+        let mut scored: Vec<(usize, VideoBounds)> = Vec::with_capacity(candidates.len());
+        for v in candidates {
+            let local = &self.model.locals[v];
+            stats.coarse_bound_lookups += lookups;
+            let vb = coarse.video_bounds(v, local, pattern);
+            if vb.video_ub() <= 0.0 {
+                stats.coarse_skipped_zero_ub += 1;
+                continue;
+            }
+            scored.push((v, vb));
+        }
+        scored.sort_by(|a, b| {
+            crate::order::cmp_f64_desc(a.1.video_ub(), b.1.video_ub())
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        // Approx cut: the order above is total, so cuts at increasing `C`
+        // are nested prefixes — recall@k is deterministically monotone in
+        // `C` (the E13 frontier).
+        if self.config.coarse == CoarseMode::Approx && scored.len() > self.config.coarse_candidates
+        {
+            stats.coarse_cut = scored.len() - self.config.coarse_candidates;
+            scored.truncate(self.config.coarse_candidates);
+        }
+        stats.coarse_candidates = scored.len();
+        let mut bounds: Vec<Option<VideoBounds>> = vec![None; video_count];
+        let order = scored
+            .into_iter()
+            .map(|(v, vb)| {
+                bounds[v] = Some(vb);
+                VideoId(v)
+            })
+            .collect();
+        CoarseStage { order, bounds }
+    }
+
     /// [`Retriever::traverse_video`] behind the whole-video bound check
     /// (exact prune site 1): a video whose admissible upper bound falls
     /// strictly below the shared threshold cannot contribute to the
@@ -1337,6 +1570,16 @@ impl<'a> Retriever<'a> {
                 let local = &self.model.locals[video.index()];
                 let video_bounds = match (bounds, scorer) {
                     (PruneBounds::Archive(query_bounds), _) => query_bounds.for_video(local),
+                    // Coarse stage already derived this video's admissible
+                    // bound from the index summaries; `None` means the
+                    // stage never admitted it (can only happen if the
+                    // visit order and the bound table disagree — skip).
+                    (PruneBounds::Coarse(table), _) => {
+                        match table.get(video.index()).and_then(Clone::clone) {
+                            Some(vb) => vb,
+                            None => return Vec::new(),
+                        }
+                    }
                     (PruneBounds::PerVideo, Scorer::Cached(cache)) => {
                         match self.per_video_bounds(video, pattern, cache, scratch) {
                             Some(vb) => vb,
@@ -2044,5 +2287,161 @@ mod tests {
             first_shot.events.contains(&EventKind::FreeKick)
                 || first_shot.events.contains(&EventKind::CornerKick)
         );
+    }
+
+    /// All retrieval config knobs that interact with the coarse stage, for
+    /// the exactness tests below.
+    fn coarse_grid_configs() -> Vec<RetrievalConfig> {
+        let mut configs = Vec::new();
+        for &annotated_first in &[true, false] {
+            for &use_sim_cache in &[true, false] {
+                for &prune in &[true, false] {
+                    for &threads in &[1usize, 4] {
+                        configs.push(RetrievalConfig {
+                            annotated_first,
+                            require_first_event: annotated_first,
+                            use_sim_cache,
+                            prune,
+                            threads: Some(threads),
+                            ..RetrievalConfig::default()
+                        });
+                    }
+                }
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn coarse_exact_ranking_matches_coarse_off() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        for query in ["free_kick -> goal", "goal", "free_kick|corner_kick -> goal"] {
+            let pattern = translator().compile(query).unwrap();
+            for base in coarse_grid_configs() {
+                let off = Retriever::new(&model, &c, base.clone()).unwrap();
+                let exact = Retriever::new(
+                    &model,
+                    &c,
+                    base.clone().with_coarse(CoarseMode::Exact),
+                )
+                .unwrap();
+                let (r_off, _) = off.retrieve(&pattern, 10).unwrap();
+                let (r_exact, s_exact) = exact.retrieve(&pattern, 10).unwrap();
+                assert_eq!(r_off, r_exact, "query {query:?} config {base:?}");
+                assert!(s_exact.coarse_candidates > 0);
+                assert_eq!(s_exact.coarse_cut, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_skip_counter_matches_b2_filter() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("corner_kick -> goal").unwrap();
+        let off = Retriever::new(&model, &c, RetrievalConfig::default()).unwrap();
+        let exact = Retriever::new(
+            &model,
+            &c,
+            RetrievalConfig::default().with_coarse(CoarseMode::Exact),
+        )
+        .unwrap();
+        let (_, s_off) = off.retrieve(&pattern, 10).unwrap();
+        let (_, s_exact) = exact.retrieve(&pattern, 10).unwrap();
+        // The postings union is definitionally the B2-eligible set, so the
+        // skip counter is identical to the single-stage row scan's.
+        assert_eq!(s_off.videos_skipped, s_exact.videos_skipped);
+        assert_eq!(s_exact.videos_skipped, 1);
+        assert_eq!(s_exact.coarse_candidates, 1);
+    }
+
+    #[test]
+    fn coarse_replaces_archive_bound_scan_on_cold_path() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        // Cold path: content-driven (cache-eligible) but cache disabled, so
+        // single-stage pruning must pay the archive-wide bound scan...
+        let cold = RetrievalConfig {
+            use_sim_cache: false,
+            ..RetrievalConfig::content_only()
+        };
+        let pattern = translator().compile("free_kick -> goal").unwrap();
+        let off = Retriever::new(&model, &c, cold.clone()).unwrap();
+        let (_, s_off) = off.retrieve(&pattern, 10).unwrap();
+        assert!(s_off.bound_evaluations > 0);
+        // ...while the coarse stage answers every bound from the index.
+        let exact =
+            Retriever::new(&model, &c, cold.with_coarse(CoarseMode::Exact)).unwrap();
+        let (_, s_exact) = exact.retrieve(&pattern, 10).unwrap();
+        assert_eq!(s_exact.bound_evaluations, 0);
+        assert!(s_exact.coarse_bound_lookups > 0);
+    }
+
+    #[test]
+    fn approx_cut_truncates_candidates_and_recall_is_monotone() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("goal").unwrap();
+        let full = Retriever::new(&model, &c, RetrievalConfig::default())
+            .unwrap()
+            .retrieve(&pattern, 10)
+            .unwrap()
+            .0;
+        let mut prev_recall = 0.0f64;
+        for candidates in [1usize, 2, 4] {
+            let cfg = RetrievalConfig {
+                coarse: CoarseMode::Approx,
+                coarse_candidates: candidates,
+                ..RetrievalConfig::default()
+            };
+            let r = Retriever::new(&model, &c, cfg).unwrap();
+            let (results, stats) = r.retrieve(&pattern, 10).unwrap();
+            assert!(stats.coarse_candidates <= candidates);
+            let hit = full
+                .iter()
+                .filter(|p| results.contains(p))
+                .count();
+            let recall = hit as f64 / full.len() as f64;
+            assert!(recall >= prev_recall, "recall dropped at C={candidates}");
+            prev_recall = recall;
+        }
+        // Both videos admit `goal`, so C=2 already recovers everything.
+        assert_eq!(prev_recall, 1.0);
+    }
+
+    #[test]
+    fn coarse_respects_explicit_video_subset() {
+        let c = catalog();
+        let model = build_hmmm(&c, &BuildConfig::default()).unwrap();
+        let pattern = translator().compile("goal").unwrap();
+        let cfg = RetrievalConfig::default().with_coarse(CoarseMode::Exact);
+        let r = Retriever::new(&model, &c, cfg).unwrap();
+        let (results, _) = r
+            .retrieve_within(&pattern, 10, Some(&[VideoId(1)]))
+            .unwrap();
+        assert!(results.iter().all(|p| p.video == VideoId(1)));
+    }
+
+    #[test]
+    fn coarse_config_serde_round_trips_and_tolerates_absence() {
+        let cfg = RetrievalConfig {
+            coarse: CoarseMode::Approx,
+            coarse_candidates: 7,
+            ..RetrievalConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RetrievalConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.coarse, CoarseMode::Approx);
+        assert_eq!(back.coarse_candidates, 7);
+        // Configs persisted before the coarse PR load single-stage.
+        let legacy = serde_json::to_string(&RetrievalConfig::default()).unwrap();
+        let stripped = legacy
+            .replace(",\"coarse\":\"Off\"", "")
+            .replace(",\"coarse_candidates\":16", "");
+        assert!(stripped.len() < legacy.len(), "field strip failed: {legacy}");
+        let back: RetrievalConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.coarse, CoarseMode::Off);
+        assert_eq!(back.coarse_candidates, 16);
     }
 }

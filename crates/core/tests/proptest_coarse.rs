@@ -1,0 +1,197 @@
+//! Properties of the two-stage coarse-to-fine retrieval.
+//!
+//! * `CoarseMode::Exact` is invisible in the rankings: for any archive,
+//!   pattern, and engine configuration (thread count × similarity cache ×
+//!   prune × deadline), the ranked patterns are byte-identical to the
+//!   single-stage (`CoarseMode::Off`) run.
+//! * `Exact` never pays the archive-wide bound scan: `bound_evaluations`
+//!   is zero — the coarse summaries answer every bound by table lookup.
+//! * `CoarseMode::Approx` recall@k against the full ranking is monotone
+//!   non-decreasing in the candidate cut `C` (the E13 frontier is a real
+//!   frontier, not noise).
+
+use std::time::Duration;
+
+use hmmm_core::{
+    build_hmmm, BuildConfig, CoarseMode, DeadlineConfig, RetrievalConfig, Retriever,
+};
+use hmmm_features::{FeatureVector, FEATURE_COUNT};
+use hmmm_media::EventKind;
+use hmmm_query::{CompiledPattern, CompiledStep};
+use hmmm_storage::Catalog;
+use proptest::prelude::*;
+
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(0.0f64..1.0, FEATURE_COUNT)
+        .prop_map(|v| FeatureVector::from_slice(&v).expect("exact length"))
+}
+
+fn events() -> impl Strategy<Value = Vec<EventKind>> {
+    proptest::collection::vec(0usize..EventKind::COUNT, 0..3).prop_map(|idx| {
+        let mut out: Vec<EventKind> = idx.into_iter().filter_map(EventKind::from_index).collect();
+        out.dedup();
+        out
+    })
+}
+
+fn catalog() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec(
+        proptest::collection::vec((events(), feature_vector()), 1..10),
+        2..8,
+    )
+    .prop_map(|videos| {
+        let mut c = Catalog::new();
+        for (i, shots) in videos.into_iter().enumerate() {
+            c.add_video(format!("v{i}"), shots);
+        }
+        c
+    })
+}
+
+fn pattern() -> impl Strategy<Value = CompiledPattern> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..EventKind::COUNT, 1..3),
+            proptest::option::of(0usize..6),
+        ),
+        1..4,
+    )
+    .prop_map(|steps| CompiledPattern {
+        steps: steps
+            .into_iter()
+            .map(|(mut alternatives, max_gap)| {
+                alternatives.dedup();
+                CompiledStep {
+                    alternatives,
+                    max_gap,
+                }
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Exact` coarse rankings equal single-stage rankings across the
+    /// whole configuration grid: thread count × similarity cache × prune
+    /// × annotation regime × deadline presence (a far-future deadline, so
+    /// the clock machinery runs without ever firing).
+    #[test]
+    fn coarse_exact_is_ranking_exact(
+        cat in catalog(),
+        pat in pattern(),
+        limit in 1usize..20,
+        threads in 1usize..5,
+        use_cache in proptest::sample::select(vec![false, true]),
+        prune in proptest::sample::select(vec![false, true]),
+        content_only in proptest::sample::select(vec![false, true]),
+        with_deadline in proptest::sample::select(vec![false, true]),
+    ) {
+        let model = build_hmmm(&cat, &BuildConfig { unannotated_weight: 0.2, ..BuildConfig::default() }).unwrap();
+        let base = if content_only {
+            RetrievalConfig::content_only()
+        } else {
+            RetrievalConfig::default()
+        };
+        let off_cfg = RetrievalConfig {
+            threads: Some(threads),
+            use_sim_cache: use_cache,
+            prune,
+            deadline: with_deadline
+                .then(|| DeadlineConfig::new(Duration::from_secs(3600))),
+            ..base
+        };
+        let exact_cfg = off_cfg.clone().with_coarse(CoarseMode::Exact);
+        let (off_results, off_stats) =
+            Retriever::new(&model, &cat, off_cfg).unwrap().retrieve(&pat, limit).unwrap();
+        let (cx_results, cx_stats) =
+            Retriever::new(&model, &cat, exact_cfg).unwrap().retrieve(&pat, limit).unwrap();
+        prop_assert_eq!(off_results, cx_results);
+        // The single-stage run never touches the coarse machinery...
+        prop_assert_eq!(off_stats.coarse_candidates, 0);
+        prop_assert_eq!(off_stats.coarse_bound_lookups, 0);
+        // ...and the coarse run never pays the archive-wide bound scan.
+        prop_assert_eq!(cx_stats.bound_evaluations, 0);
+        // The postings union is the B_2-eligible set, so the skip counter
+        // is preserved exactly.
+        prop_assert_eq!(cx_stats.videos_skipped, off_stats.videos_skipped);
+        // Every coarse candidate is accounted for: traversed, bound-
+        // skipped, or (deadline grid only — it never fires here) unvisited.
+        prop_assert_eq!(
+            cx_stats.videos_visited
+                + cx_stats.videos_skipped_by_bound
+                + cx_stats.videos_unvisited,
+            cx_stats.coarse_candidates
+        );
+    }
+
+    /// Approx recall@k versus the full ranking is monotone non-decreasing
+    /// in the candidate cut `C`: the coarse candidate order is total, so
+    /// cuts are nested prefixes of one list.
+    #[test]
+    fn approx_recall_is_monotone_in_candidate_cut(
+        cat in catalog(),
+        pat in pattern(),
+        limit in 1usize..10,
+    ) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let full = Retriever::new(&model, &cat, RetrievalConfig::default())
+            .unwrap()
+            .retrieve(&pat, limit)
+            .unwrap()
+            .0;
+        let mut prev_recall = 0.0f64;
+        let mut prev_candidates = 0usize;
+        for c in [1usize, 2, 4, 8, 64] {
+            let cfg = RetrievalConfig {
+                coarse: CoarseMode::Approx,
+                coarse_candidates: c,
+                ..RetrievalConfig::default()
+            };
+            let (results, stats) = Retriever::new(&model, &cat, cfg)
+                .unwrap()
+                .retrieve(&pat, limit)
+                .unwrap();
+            prop_assert!(stats.coarse_candidates <= c);
+            // Larger cuts admit supersets of candidates.
+            prop_assert!(stats.coarse_candidates >= prev_candidates);
+            prev_candidates = stats.coarse_candidates;
+            let recall = if full.is_empty() {
+                1.0
+            } else {
+                full.iter().filter(|p| results.contains(p)).count() as f64
+                    / full.len() as f64
+            };
+            prop_assert!(
+                recall >= prev_recall,
+                "recall dropped from {} to {} at C={}",
+                prev_recall,
+                recall,
+                c
+            );
+            prev_recall = recall;
+        }
+        // A cut wider than the archive is no cut at all: the ranking is
+        // the exact one and recall@k is 1 by construction.
+        prop_assert_eq!(prev_recall, 1.0);
+    }
+
+    /// Serially the coarse stage is fully deterministic: two identical
+    /// `Exact` runs agree on rankings and on every counter.
+    #[test]
+    fn serial_coarse_is_deterministic(cat in catalog(), pat in pattern(), limit in 1usize..20) {
+        let model = build_hmmm(&cat, &BuildConfig::default()).unwrap();
+        let cfg = RetrievalConfig {
+            threads: Some(1),
+            ..RetrievalConfig::default()
+        }
+        .with_coarse(CoarseMode::Exact);
+        let (a_results, a_stats) =
+            Retriever::new(&model, &cat, cfg.clone()).unwrap().retrieve(&pat, limit).unwrap();
+        let (b_results, b_stats) =
+            Retriever::new(&model, &cat, cfg).unwrap().retrieve(&pat, limit).unwrap();
+        prop_assert_eq!(a_results, b_results);
+        prop_assert_eq!(a_stats, b_stats);
+    }
+}

@@ -171,6 +171,11 @@ impl std::fmt::Display for RejectReason {
 }
 
 /// Terminal state of one submitted request.
+// One ServeOutcome lives per in-flight request (inside its one-shot
+// ResponseSlot), never in bulk collections, so the variant size gap
+// costs a few hundred stack bytes per request; boxing the response
+// would instead charge every completion a heap allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ServeOutcome {
     /// The request ran; the ranking (possibly degraded, never wrong) is

@@ -13,9 +13,9 @@
 //! (`.json` paths use the JSON codec instead).
 
 use hmmm_core::{
-    build_hmmm, build_hmmm_observed, metrics, BuildConfig, CategoryLevel, FeedbackConfig,
-    FeedbackLog, FeedbackSimulator, InMemoryRecorder, OracleConfig, PositivePattern,
-    RecorderHandle, RetrievalConfig, Retriever,
+    build_hmmm, build_hmmm_observed, metrics, BuildConfig, CategoryLevel, CoarseMode,
+    FeedbackConfig, FeedbackLog, FeedbackSimulator, InMemoryRecorder, OracleConfig,
+    PositivePattern, RecorderHandle, RetrievalConfig, Retriever,
 };
 use hmmm_media::{ArchiveConfig, EventKind, RenderConfig, SyntheticArchive};
 use hmmm_query::{parse_pattern, Matn, QueryTranslator};
@@ -59,6 +59,7 @@ USAGE:
       print catalog dimensions and per-event counts
   hmmm query <file> <pattern> [--top N] [--threads N] [--content-only]
              [--greedy] [--no-sim-cache] [--no-prune]
+             [--coarse off|exact|approx] [--candidates C]
              [--deadline-ms N] [--deadline-check-interval M]
              [--fault-plan <json|file>]
              [--metrics-json <out>] [--trace]
@@ -66,6 +67,11 @@ USAGE:
       (--threads 0 = all cores, 1 = serial; default all cores)
       (--top-k is accepted as an alias of --top; --no-prune disables the
       exact top-k threshold pruning — rankings are identical either way)
+      --coarse selects the two-stage coarse-to-fine path: `exact` routes
+      candidate selection through the ingest-time index (same ranking,
+      no archive-wide bound scan); `approx` additionally traverses only
+      the --candidates C highest-bound videos (default 16), trading
+      recall for latency; `off` (default) runs single-stage
       --deadline-ms bounds the query wall clock: on expiry the engine
       returns the best-so-far ranking marked DEGRADED (recall may drop,
       exactness of what is returned does not); --deadline-check-interval
@@ -85,6 +91,7 @@ USAGE:
       --feedback-rounds the audit is repeated after N simulated
       feedback/learning updates (exit 1 on any violation)
   hmmm serve <file> [--workers N] [--queue N] [--deadline-ms N]
+             [--coarse off|exact|approx] [--candidates C]
              [--metrics-json <out>]
       start the in-process query server and answer patterns read from
       stdin, one per line; responses carry the snapshot epoch.
@@ -94,6 +101,7 @@ USAGE:
   hmmm loadgen <file> [--clients N] [--requests N] [--zipf F]
              [--think-us N] [--feedback-prob F] [--deadline-ms N]
              [--workers N] [--queue N] [--top N] [--seed N] [--check]
+             [--coarse off|exact|approx] [--candidates C]
              [--metrics-json <out>]
       run the seeded workload generator (Zipf query mix, Poisson
       arrivals, probabilistic feedback installs) against an in-process
@@ -147,6 +155,25 @@ fn positional(args: &[String], index: usize) -> Option<&String> {
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse::<T>().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+/// Applies the shared `--coarse <mode>` / `--candidates <C>` flags to a
+/// retrieval config (used by `query`, `serve`, and `loadgen`).
+fn apply_coarse_flags(args: &[String], config: &mut RetrievalConfig) -> Result<(), String> {
+    if let Some(mode) = flag_value(args, "--coarse") {
+        config.coarse = CoarseMode::parse(&mode)
+            .ok_or_else(|| format!("bad --coarse: {mode:?} (expected off, exact, or approx)"))?;
+    }
+    if let Some(c) = flag_value(args, "--candidates") {
+        let c: usize = parse_num(&c, "--candidates")?;
+        if c == 0 {
+            return Err("--candidates must be ≥ 1".into());
+        }
+        config.coarse_candidates = c;
+    } else if flag_present(args, "--candidates") {
+        return Err("--candidates requires a value".into());
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<Catalog, String> {
@@ -267,6 +294,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if flag_present(args, "--no-prune") {
         config.prune = false;
     }
+    apply_coarse_flags(args, &mut config)?;
     if let Some(ms) = flag_value(args, "--deadline-ms") {
         let ms: u64 = parse_num(&ms, "--deadline-ms")?;
         let mut deadline = hmmm_core::DeadlineConfig::new(std::time::Duration::from_millis(ms));
@@ -295,6 +323,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         config = config.with_fault_plan(plan);
     }
     config.recorder = obs;
+    let config_coarse = config.coarse;
     let retriever = Retriever::new(&model, &catalog, config).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
     let (results, stats) = retriever.retrieve(&pattern, top).map_err(|e| e.to_string())?;
@@ -311,6 +340,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         stats.videos_skipped_by_bound,
         stats.entries_pruned,
     );
+    if config_coarse != CoarseMode::Off {
+        println!(
+            "coarse [{}]: {} candidates ({} cut, {} zero-bound skips), \
+             {} index bound lookups",
+            config_coarse.as_str(),
+            stats.coarse_candidates,
+            stats.coarse_cut,
+            stats.coarse_skipped_zero_ub,
+            stats.coarse_bound_lookups,
+        );
+    }
     if let Some(d) = &stats.degraded {
         let reason = d.reason.as_str();
         println!(
@@ -455,11 +495,13 @@ fn serve_setup(
     let catalog = load_observed(path, obs)?;
     let snapshot = hmmm_serve::ModelSnapshot::build(catalog, &BuildConfig::default())
         .map_err(|e| e.to_string())?;
+    let mut retrieval = RetrievalConfig::content_only();
+    apply_coarse_flags(args, &mut retrieval)?;
     let config = hmmm_serve::ServerConfig {
         workers,
         queue_capacity: queue,
         default_deadline,
-        retrieval: RetrievalConfig::content_only(),
+        retrieval,
         recorder: obs.clone(),
         retain_snapshot_history: retain_history,
     };
@@ -494,11 +536,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let (snapshot, config) = serve_setup(args, &obs, false)?;
     println!(
-        "serving {} videos / {} shots with {} workers (queue {}): {}",
+        "serving {} videos / {} shots with {} workers (queue {}, coarse {}): {}",
         snapshot.catalog.video_count(),
         snapshot.catalog.shot_count(),
         config.workers,
         config.queue_capacity,
+        config.retrieval.coarse.as_str(),
         snapshot.audit,
     );
     println!("enter a pattern per line; :accept <rank>, :learn, :epoch, :quit");
@@ -627,9 +670,10 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let (snapshot, config) = serve_setup(args, &obs, check)?;
     eprintln!(
         "loadgen: {clients} clients × {requests} requests (zipf {zipf}, think {think_us}µs, \
-         feedback p={feedback_prob}) against {} workers / queue {}{}",
+         feedback p={feedback_prob}) against {} workers / queue {} / coarse {}{}",
         config.workers,
         config.queue_capacity,
+        config.retrieval.coarse.as_str(),
         if check { ", exactness check on" } else { "" },
     );
     let server = hmmm_serve::QueryServer::start(snapshot, config).map_err(|e| e.to_string())?;
