@@ -1,39 +1,106 @@
-//! Workspace lint pass. Usage: `hmmm-lint [--root <dir>]`.
+//! Workspace lint pass. Usage: `hmmm-lint [--root <dir>] [--format json]`.
 //!
 //! Scans every first-party `.rs` file for the repo-specific rules in
-//! `hmmm_analyze::lints` and prints one line per violation. Exit code 1
-//! if anything fired — CI treats violations as failures.
+//! `hmmm_analyze::lints` and prints one line per violation (or, with
+//! `--format json`, one machine-readable object for CI artifact
+//! diffing). Exit code 1 if anything fired — CI treats violations as
+//! failures.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
-        [] => hmmm_analyze::walk::default_repo_root(),
-        [flag, dir] if flag == "--root" => PathBuf::from(dir),
-        _ => {
-            eprintln!("usage: hmmm-lint [--root <dir>]");
-            return ExitCode::from(2);
+use hmmm_analyze::lints::Violation;
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
-    };
+    }
+    out.push('"');
+    out
+}
+
+fn print_json(files: usize, violations: &[Violation]) {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"files_scanned\":{files},\"violations\":{},\"verdict\":{},\"findings\":[",
+        violations.len(),
+        json_str(if violations.is_empty() { "ok" } else { "violation" }),
+    ));
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.lint),
+            json_str(&v.message),
+        ));
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("usage: hmmm-lint [--root <dir>] [--format json|text]");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("usage: hmmm-lint [--root <dir>] [--format json|text]");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format=json" => json = true,
+            "--format=text" => json = false,
+            _ => {
+                eprintln!("usage: hmmm-lint [--root <dir>] [--format json|text]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(hmmm_analyze::walk::default_repo_root);
     match hmmm_analyze::lint_workspace(&root) {
         Err(e) => {
             eprintln!("hmmm-lint: {e}");
             ExitCode::from(2)
         }
         Ok((violations, files)) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            if violations.is_empty() {
-                println!("hmmm-lint: {files} files scanned, 0 violations");
-                ExitCode::SUCCESS
+            if json {
+                print_json(files, &violations);
             } else {
+                for v in &violations {
+                    println!("{v}");
+                }
                 println!(
                     "hmmm-lint: {files} files scanned, {} violation(s)",
                     violations.len()
                 );
+            }
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
                 ExitCode::FAILURE
             }
         }

@@ -1,81 +1,21 @@
-//! Deterministic interleaving explorer for `SharedTopK` (a miniature loom).
+//! Deterministic interleaving explorer for `SharedTopK` — PR-4 public
+//! API, now a thin shim over the generalized model-checking engine.
 //!
-//! `crates/core/src/topk.rs` keeps the k-th-best-score prune threshold in a
-//! lock-free register: `offer()` scans the slot array for its minimum,
-//! CASes the new score over it, rescans, and CAS-raises the cached
-//! threshold. Its two safety arguments — the threshold **never decreases**
-//! (prune decisions already taken stay valid) and **no successful offer is
-//! lost** (the final slots are exactly the top-k multiset, so the final
-//! threshold is the exact k-th best) — are statements about *all*
-//! interleavings, which no finite set of stress tests covers.
-//!
-//! This module re-models `offer()` as an explicit state machine that
-//! performs **one shared-memory access per step** (each slot load of the
-//! min-scan, the slot CAS, the threshold load, the threshold CAS), then
-//! exhaustively explores every 2-thread schedule by depth-first search over
-//! scheduler choices. States are memoized, so the search visits every
-//! reachable (shared-memory × program-counter) configuration and every
-//! transition between them — covering the behaviour of every schedule while
-//! counting the distinct schedules separately. The shared state only moves
-//! up a finite lattice (slots and threshold are monotone), so the state
-//! graph is a DAG and the exploration terminates.
-//!
-//! Invariants checked at every transition and every final state:
-//!
-//! 1. **Monotonicity** — the threshold never decreases.
-//! 2. **Admissibility** — the threshold never exceeds the k-th best score
-//!    among offers that have *started* (what the exact-pruning proof
-//!    needs: a prune against the threshold can never cut the true top-k).
-//! 3. **Slot provenance** — non-zero slot values are always a sub-multiset
-//!    of the started offers (no value is invented or duplicated).
-//! 4. **Lost-update freedom** — once all offers complete, the slots are
-//!    exactly the top-k multiset of all offers and the threshold equals
-//!    the exact k-th best.
+//! PR 4 shipped this module as a bespoke memoized DFS over 2-thread
+//! schedules of the `SharedTopK` CAS protocol. That explorer has since
+//! been generalized into [`crate::mc`] — a [`Protocol`](crate::mc::engine::Protocol)
+//! trait, a reduction-capable explorer and minimal-counterexample
+//! replay — and the `SharedTopK` state machine now lives in
+//! [`crate::mc::topk`] as one of four checked models. This module keeps
+//! the original entry points (`Scenario`, [`explore`],
+//! [`standard_scenarios`], [`run_standard_suite`]) so PR-4 callers and
+//! tests are untouched; the regression test in
+//! `crates/analyze/tests/interleave.rs` pins that the ported engine
+//! reproduces PR 4's per-scenario state, transition, final and schedule
+//! counts exactly.
 
-/// Shared memory of the modelled register: slot bit patterns plus the
-/// cached threshold, exactly as in `SharedTopK`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Shared {
-    slots: Vec<u64>,
-    threshold: u64,
-}
-
-/// Program counter inside one `offer(bits)` call. Each variant performs
-/// exactly one shared access when stepped (except `Idle`, the scheduling
-/// point between offers).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-enum Pc {
-    /// Between offers: the next step begins `offers[offer]` (no shared
-    /// access) or, with the queue drained, the thread is done.
-    Idle,
-    /// About to load `slots[i]` in the min-scan. `after_cas` marks the
-    /// post-CAS rescan whose minimum feeds the final raise.
-    Scan {
-        i: usize,
-        min_idx: usize,
-        min: u64,
-        after_cas: bool,
-    },
-    /// About to `compare_exchange(slots[idx], expected → bits)`.
-    SlotCas { idx: usize, expected: u64 },
-    /// About to load the threshold inside `raise_threshold(candidate)`.
-    RaiseLoad { candidate: u64 },
-    /// About to `compare_exchange_weak(threshold, observed → candidate)`.
-    RaiseCas { candidate: u64, observed: u64 },
-}
-
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Thread {
-    /// Index of the next (or in-flight) offer in this thread's queue.
-    offer: usize,
-    pc: Pc,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct State {
-    shared: Shared,
-    threads: [Thread; 2],
-}
+use crate::mc::engine::{self, ExploreConfig};
+use crate::mc::topk::TopK;
 
 /// One explored scenario's statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +28,10 @@ pub struct ExploreReport {
     pub schedules: u128,
     /// Final states reached (all offers complete) — each checked exact.
     pub finals: usize,
+    /// Transitions that landed on an already-memoized state (the sharing
+    /// the memoization exploits; new in the engine port, surfaced by
+    /// `interleave-check --format json`).
+    pub memo_hits: usize,
 }
 
 /// A 2-thread scenario: register capacity and one offer queue per thread
@@ -109,261 +53,13 @@ impl Scenario {
     }
 }
 
-/// The k-th largest value of `values` (counting multiplicity), `0` when
-/// fewer than `k` values exist. Mirrors the register's zero-padding.
-fn kth_best(mut values: Vec<u64>, k: usize) -> u64 {
-    values.sort_unstable_by(|a, b| b.cmp(a));
-    values.get(k.wrapping_sub(1)).copied().unwrap_or(0)
-}
-
-struct Explorer {
-    k: usize,
-    offers: [Vec<u64>; 2],
-    /// Memo: state → number of complete schedules below it. Doubles as the
-    /// visited set; `BTreeMap` keeps exploration order deterministic.
-    memo: std::collections::BTreeMap<State, u128>,
-    transitions: usize,
-    finals: usize,
-}
-
-impl Explorer {
-    /// Multiset of all offer bits whose `offer()` call has started.
-    fn started(&self, threads: &[Thread; 2]) -> Vec<u64> {
-        let mut v = Vec::new();
-        for (t, th) in threads.iter().enumerate() {
-            let upto = match th.pc {
-                Pc::Idle => th.offer,
-                _ => th.offer + 1,
-            };
-            v.extend_from_slice(&self.offers[t][..upto.min(self.offers[t].len())]);
-        }
-        v
-    }
-
-    fn check_invariants(&self, before: &State, after: &State, who: usize) -> Result<(), String> {
-        // 1. Threshold monotonicity.
-        if after.shared.threshold < before.shared.threshold {
-            return Err(format!(
-                "threshold DECREASED {} -> {} on a step of thread {who} \
-                 (before: {before:?})",
-                f64::from_bits(before.shared.threshold),
-                f64::from_bits(after.shared.threshold),
-            ));
-        }
-        let started = self.started(&after.threads);
-        // 2. Admissibility: threshold ≤ k-th best started offer.
-        let bound = kth_best(started.clone(), self.k);
-        if self.k > 0 && after.shared.threshold > bound {
-            return Err(format!(
-                "threshold {} exceeds k-th best started offer {} \
-                 (inadmissible; state: {after:?})",
-                f64::from_bits(after.shared.threshold),
-                f64::from_bits(bound),
-            ));
-        }
-        // 3. Slot provenance: non-zero slots ⊆ started offers (multiset).
-        let mut pool = started;
-        for &s in &after.shared.slots {
-            if s == 0 {
-                continue;
-            }
-            match pool.iter().position(|&p| p == s) {
-                Some(at) => {
-                    pool.swap_remove(at);
-                }
-                None => {
-                    return Err(format!(
-                        "slot holds {} which is not an available started \
-                         offer (duplicated or invented; state: {after:?})",
-                        f64::from_bits(s),
-                    ));
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn check_final(&self, state: &State) -> Result<(), String> {
-        let all: Vec<u64> = self.offers.iter().flatten().copied().collect();
-        if self.k == 0 {
-            if state.shared.threshold != f64::INFINITY.to_bits() {
-                return Err("k = 0 register lost its infinite threshold".into());
-            }
-            return Ok(());
-        }
-        let expect_threshold = kth_best(all.clone(), self.k);
-        if state.shared.threshold != expect_threshold {
-            return Err(format!(
-                "final threshold {} != exact k-th best {} (lost update? \
-                 state: {state:?})",
-                f64::from_bits(state.shared.threshold),
-                f64::from_bits(expect_threshold),
-            ));
-        }
-        let mut got = state.shared.slots.clone();
-        got.sort_unstable_by(|a, b| b.cmp(a));
-        let mut want: Vec<u64> = all;
-        want.sort_unstable_by(|a, b| b.cmp(a));
-        want.resize(self.k, 0);
-        want.truncate(self.k);
-        if got != want {
-            return Err(format!(
-                "final slots are not the top-k multiset: got {:?}, want {:?}",
-                got.iter().map(|&b| f64::from_bits(b)).collect::<Vec<_>>(),
-                want.iter().map(|&b| f64::from_bits(b)).collect::<Vec<_>>(),
-            ));
-        }
-        Ok(())
-    }
-
-    /// Performs thread `who`'s next step. Returns `None` if the thread has
-    /// nothing left to do.
-    fn step(&self, state: &State, who: usize) -> Option<Result<State, String>> {
-        let mut next = state.clone();
-        let th = &mut next.threads[who];
-        let queue = &self.offers[who];
-        let bits = queue.get(th.offer).copied().unwrap_or(0);
-        match th.pc.clone() {
-            Pc::Idle => {
-                if th.offer >= queue.len() {
-                    return None; // thread finished
-                }
-                // Begin the offer: the zero/empty fast path completes
-                // immediately (no shared access either way).
-                if self.k == 0 || bits == 0 {
-                    th.offer += 1;
-                } else {
-                    th.pc = Pc::Scan {
-                        i: 0,
-                        min_idx: 0,
-                        min: u64::MAX,
-                        after_cas: false,
-                    };
-                }
-            }
-            Pc::Scan {
-                i,
-                mut min_idx,
-                mut min,
-                after_cas,
-            } => {
-                let v = next.shared.slots[i];
-                if v < min {
-                    min_idx = i;
-                    min = v;
-                }
-                th.pc = if i + 1 < self.k {
-                    Pc::Scan {
-                        i: i + 1,
-                        min_idx,
-                        min,
-                        after_cas,
-                    }
-                } else if after_cas || bits <= min {
-                    // Post-CAS rescan publishes the new minimum; a
-                    // non-improving offer publishes the observed minimum.
-                    Pc::RaiseLoad { candidate: min }
-                } else {
-                    Pc::SlotCas {
-                        idx: min_idx,
-                        expected: min,
-                    }
-                };
-            }
-            Pc::SlotCas { idx, expected } => {
-                if next.shared.slots[idx] == expected {
-                    next.shared.slots[idx] = bits;
-                    th.pc = Pc::Scan {
-                        i: 0,
-                        min_idx: 0,
-                        min: u64::MAX,
-                        after_cas: true,
-                    };
-                } else {
-                    // Lost the race — full retry, exactly like the loop in
-                    // `offer()`.
-                    th.pc = Pc::Scan {
-                        i: 0,
-                        min_idx: 0,
-                        min: u64::MAX,
-                        after_cas: false,
-                    };
-                }
-            }
-            Pc::RaiseLoad { candidate } => {
-                let observed = next.shared.threshold;
-                if candidate > observed {
-                    th.pc = Pc::RaiseCas {
-                        candidate,
-                        observed,
-                    };
-                } else {
-                    th.offer += 1;
-                    th.pc = Pc::Idle;
-                }
-            }
-            Pc::RaiseCas {
-                candidate,
-                observed,
-            } => {
-                if next.shared.threshold == observed {
-                    next.shared.threshold = candidate;
-                    th.offer += 1;
-                    th.pc = Pc::Idle;
-                } else {
-                    // `compare_exchange_weak` failure hands back the value
-                    // it saw; the while-loop retries only if still below.
-                    let seen = next.shared.threshold;
-                    if candidate > seen {
-                        th.pc = Pc::RaiseCas {
-                            candidate,
-                            observed: seen,
-                        };
-                    } else {
-                        th.offer += 1;
-                        th.pc = Pc::Idle;
-                    }
-                }
-            }
-        }
-        Some(self.check_invariants(state, &next, who).map(|()| next))
-    }
-
-    fn dfs(&mut self, state: &State) -> Result<u128, String> {
-        if let Some(&n) = self.memo.get(state) {
-            return Ok(n);
-        }
-        let mut schedules = 0u128;
-        let mut ran_any = false;
-        for who in 0..2 {
-            match self.step(state, who) {
-                None => {}
-                Some(Err(e)) => return Err(e),
-                Some(Ok(next)) => {
-                    ran_any = true;
-                    self.transitions += 1;
-                    schedules = schedules.saturating_add(self.dfs(&next)?);
-                }
-            }
-        }
-        if !ran_any {
-            // Terminal: both threads drained their queues.
-            self.check_final(state)?;
-            self.finals += 1;
-            schedules = 1;
-        }
-        self.memo.insert(state.clone(), schedules);
-        Ok(schedules)
-    }
-}
-
 /// Exhaustively explores every 2-thread schedule of `scenario`.
 ///
 /// # Errors
 ///
 /// A description of the first invariant violation found, including the
-/// offending state — any `Err` here means the `SharedTopK` algorithm (as
-/// modelled) is broken.
+/// minimal violating schedule — any `Err` here means the `SharedTopK`
+/// algorithm (as modelled) is broken.
 pub fn explore(scenario: &Scenario) -> Result<ExploreReport, String> {
     let offers = scenario.bits();
     for q in &offers {
@@ -374,39 +70,15 @@ pub fn explore(scenario: &Scenario) -> Result<ExploreReport, String> {
             }
         }
     }
-    let mut ex = Explorer {
-        k: scenario.k,
-        offers,
-        memo: std::collections::BTreeMap::new(),
-        transitions: 0,
-        finals: 0,
-    };
-    let start = State {
-        shared: Shared {
-            slots: vec![0; scenario.k],
-            threshold: if scenario.k == 0 {
-                f64::INFINITY.to_bits()
-            } else {
-                0
-            },
-        },
-        threads: [
-            Thread {
-                offer: 0,
-                pc: Pc::Idle,
-            },
-            Thread {
-                offer: 0,
-                pc: Pc::Idle,
-            },
-        ],
-    };
-    let schedules = ex.dfs(&start)?;
+    let protocol = TopK::new(scenario.k, offers);
+    let report = engine::explore(&protocol, &ExploreConfig::exhaustive())
+        .map_err(|cx| cx.to_string())?;
     Ok(ExploreReport {
-        states: ex.memo.len(),
-        transitions: ex.transitions,
-        schedules,
-        finals: ex.finals,
+        states: report.states,
+        transitions: report.transitions,
+        schedules: report.schedules,
+        finals: report.finals,
+        memo_hits: report.memo_hits,
     })
 }
 

@@ -20,17 +20,22 @@
 //!   `naked-persist-write`, `no-alloc-in-traversal`) and their
 //!   allow-markers.
 //! * [`walk`] — deterministic workspace file discovery.
-//! * [`interleave`] — the `SharedTopK` interleaving explorer: a
-//!   step-driven mock of the CAS-raise loop, exhaustively scheduled over
-//!   two threads, asserting threshold monotonicity, admissibility and
-//!   lost-update freedom (a miniature loom, since loom cannot be
-//!   vendored).
+//! * [`mc`] — the protocol model checker (a miniature loom, since loom
+//!   cannot be vendored): a `Protocol` trait, a memoized DFS explorer
+//!   with sleep-set reduction and minimal-counterexample replay, and
+//!   step-faithful models of every hand-rolled concurrent protocol in
+//!   the repo — the `SharedTopK` CAS register, the `SnapshotCell` RCU
+//!   install, the admission queue + worker-pool lifecycle, and a
+//!   crash-state enumeration of the atomic writer.
+//! * [`interleave`] — the PR-4 `SharedTopK` explorer API, now a shim
+//!   over [`mc`] (same scenarios, same counts, bespoke DFS deleted).
 //!
 //! Binaries: `hmmm-lint` (workspace lint pass; violations exit non-zero)
-//! and `interleave-check` (the scenario suite). Both run in CI's
-//! `analyze` job; `cargo test -p hmmm-analyze` additionally proves every
-//! lint fires on seeded violations and that the interleaving model stays
-//! faithful to the real register.
+//! and `interleave-check` (all four model suites). Both run in CI's
+//! `analyze` job and speak `--format json`; `cargo test -p hmmm-analyze`
+//! additionally proves every lint fires on seeded violations, that every
+//! seeded protocol mutation is caught with a replayable counterexample,
+//! and that the models stay faithful to the real implementations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@
 pub mod interleave;
 pub mod lexer;
 pub mod lints;
+pub mod mc;
 pub mod walk;
 
 use std::path::Path;

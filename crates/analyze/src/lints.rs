@@ -27,6 +27,8 @@ pub const LINT_EQUATION_DOC: &str = "equation-doc";
 pub const LINT_NAKED_PERSIST_WRITE: &str = "naked-persist-write";
 /// Heap-allocating construct inside a declared per-video traversal region.
 pub const LINT_NO_ALLOC_TRAVERSAL: &str = "no-alloc-in-traversal";
+/// `Ordering::Relaxed` on an atomic not in the pure-counter allowlist.
+pub const LINT_RELAXED_ORDERING: &str = "relaxed-ordering-justification";
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +118,50 @@ const ATOMIC_ORDERINGS: &[&str] = &[
 /// atomic access (multi-line `compare_exchange` calls push the variant a
 /// few lines below the comment).
 const ORDERING_COMMENT_WINDOW: usize = 8;
+
+/// Every first-party file that performs atomic operations. The
+/// atomic-ordering-comment lint applies *everywhere* (any file using an
+/// `Ordering::` variant must justify it), but this registry adds the
+/// reverse direction: a registered file in which no atomic ordering
+/// appears any more means atomics moved and the registry — and with it
+/// the reviewer's map of where the weak-memory reasoning lives — went
+/// stale. Same two-way idiom as [`EQUATION_FNS`].
+pub const ATOMIC_FILES: &[&str] = &[
+    "crates/core/src/fault.rs",
+    "crates/core/src/topk.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/snapshot.rs",
+    "crates/serve/src/workload.rs",
+    "crates/storage/src/atomic.rs",
+];
+
+/// Atomics allowed to use `Ordering::Relaxed`, by file. Relaxed is legal
+/// exactly when the atomic is a pure counter or id/ticket source: the
+/// value itself is the entire payload and no other memory is published
+/// through it. Everything else (flags, epochs, pointers, anything a
+/// reader dereferences or orders against) must use Acquire/Release or
+/// stronger — the `mc::snapshot` model's `DropRelease` mutation shows
+/// concretely what a reader can observe when an install is relaxed.
+///
+/// Two-way, like [`EQUATION_FNS`]: a Relaxed access on an atomic not
+/// named here fires [`LINT_RELAXED_ORDERING`]; a name registered here
+/// that no longer has any Relaxed access in its file means the registry
+/// is stale and fires on line 1.
+pub const RELAXED_ALLOWLIST: &[(&str, &[&str])] = &[
+    // io_ops: fault-injection op ticket; the plan lookup keys on the
+    // drawn value alone.
+    ("crates/core/src/fault.rs", &["io_ops"]),
+    // next_id: request span/debug label.
+    ("crates/serve/src/server.rs", &["next_id"]),
+    // installs: feedback-install count, read only after thread join;
+    // next_query_session: session-grouping label.
+    (
+        "crates/serve/src/workload.rs",
+        &["installs", "next_query_session"],
+    ),
+    // NEXT: temp-file uniqueness ticket.
+    ("crates/storage/src/atomic.rs", &["NEXT"]),
+];
 
 /// Registry of public fns that implement numbered paper equations and must
 /// say so in their rustdoc. Matching is `pub fn <name>(`, so sibling names
@@ -307,6 +353,7 @@ pub fn lint_file(rel: &str, scan: &ScannedFile) -> Vec<Violation> {
     lint_raw_float_cmp(rel, scan, &mut out);
     lint_hash_iteration(rel, scan, &mut out);
     lint_atomic_ordering(rel, scan, &mut out);
+    lint_relaxed_ordering(rel, scan, &mut out);
     lint_metric_literal(rel, scan, &mut out);
     lint_equation_doc(rel, scan, &mut out);
     lint_naked_persist_write(rel, scan, &mut out);
@@ -359,10 +406,12 @@ fn lint_hash_iteration(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) 
 }
 
 fn lint_atomic_ordering(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    let mut saw_ordering = false;
     for (idx, line) in scan.code.iter().enumerate() {
         if !ATOMIC_ORDERINGS.iter().any(|o| line.contains(o)) {
             continue;
         }
+        saw_ordering = true;
         let lo = idx.saturating_sub(ORDERING_COMMENT_WINDOW);
         let justified = (lo..=idx).any(|j| {
             scan.comments
@@ -378,6 +427,66 @@ fn lint_atomic_ordering(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>)
                           comment within the preceding lines — state why this \
                           memory ordering is sufficient"
                     .to_string(),
+            });
+        }
+    }
+    if ATOMIC_FILES.contains(&rel) && !saw_ordering {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            lint: LINT_ATOMIC_ORDERING,
+            message: "file is registered in ATOMIC_FILES but no atomic \
+                      `Ordering::` variant appears — the atomics moved; \
+                      update the registry in hmmm-analyze"
+                .to_string(),
+        });
+    }
+}
+
+fn lint_relaxed_ordering(rel: &str, scan: &ScannedFile, out: &mut Vec<Violation>) {
+    let allowed: &[&str] = RELAXED_ALLOWLIST
+        .iter()
+        .find(|(f, _)| rel == *f)
+        .map_or(&[], |(_, names)| names);
+    let mut seen = vec![false; allowed.len()];
+    for (idx, line) in scan.code.iter().enumerate() {
+        if !line.contains("Ordering::Relaxed") {
+            continue;
+        }
+        let mut hit = false;
+        for (name, flag) in allowed.iter().zip(seen.iter_mut()) {
+            if contains_word(line, name) {
+                *flag = true;
+                hit = true;
+            }
+        }
+        if !hit && !has_allow(scan, idx, LINT_RELAXED_ORDERING) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                lint: LINT_RELAXED_ORDERING,
+                message: "`Ordering::Relaxed` on an atomic not in the \
+                          RELAXED_ALLOWLIST — relaxed is reserved for pure \
+                          counters/tickets whose value is the whole payload; \
+                          anything that publishes memory needs \
+                          Acquire/Release (see mc::snapshot's DropRelease \
+                          counterexample), or register the atomic with a \
+                          rationale"
+                    .to_string(),
+            });
+        }
+    }
+    for (name, flag) in allowed.iter().zip(seen.iter()) {
+        if !flag {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: 1,
+                lint: LINT_RELAXED_ORDERING,
+                message: format!(
+                    "atomic `{name}` is registered in RELAXED_ALLOWLIST but \
+                     has no `Ordering::Relaxed` access in this file — the \
+                     allowlist went stale; update it in hmmm-analyze"
+                ),
             });
         }
     }

@@ -1,0 +1,453 @@
+//! Step-faithful model of `hmmm_serve::server::QueryServer`'s admission
+//! queue and worker-pool lifecycle.
+//!
+//! The real server guards `{queue, open}` with one mutex + condvar:
+//! `submit()` rejects `Shutdown` after `close()`, rejects `QueueFull` at
+//! capacity, otherwise enqueues; workers pop under the lock, check the
+//! request deadline *before* doing any retrieval work (shed-before-work
+//! QoS), and fulfill exactly one outcome per job; `close()` flips `open`
+//! and wakes everyone, after which workers drain the backlog and exit.
+//! The model gives every job a write-once outcome slot and checks:
+//!
+//! 1. **Exactly-once** — no job's outcome is ever written twice
+//!    (per step), and at quiescence every submitted job has exactly one
+//!    outcome: `Completed` or `Rejected{Full | Deadline | Shutdown}`.
+//! 2. **Shed-before-work** — retrieval work never starts on a job whose
+//!    deadline already expired, and full-queue/shutdown sheds happen
+//!    without the job ever being dequeued by a worker.
+//! 3. **Bounded queue** — the queue never exceeds capacity.
+//! 4. **Close drains** — `open` is sticky-off, and once closed every
+//!    worker exits with the queue empty (no abandoned backlog).
+//!
+//! A closer thread is always part of the scenario, scheduled at every
+//! possible point, so "close() races submit() races workers" is covered
+//! exhaustively and every terminal state is a fully drained shutdown.
+//!
+//! Condvar abstraction: a waiting worker is modeled as *disabled until
+//! its wake predicate (`!queue.is_empty() || !open`) holds*, i.e. an
+//! ideal condvar with no lost or spurious wakeups. Lost-wakeup freedom
+//! of `std::sync::Condvar` + `notify_all` under a held lock is assumed
+//! from the standard library contract, not re-proven here; spurious
+//! wakeups are harmless because the real loop re-checks under the lock,
+//! which the model's post-wake recheck mirrors.
+
+use super::engine::{Access, Protocol};
+
+/// Why a job was rejected (mirrors `hmmm_serve::server::RejectReason`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Reject {
+    /// Admission queue at capacity.
+    Full,
+    /// Deadline expired before any service work started.
+    Deadline,
+    /// Server already closed.
+    Shutdown,
+}
+
+/// A job's write-once outcome slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Not yet fulfilled.
+    Pending,
+    /// Serviced successfully.
+    Completed,
+    /// Shed with a reason.
+    Rejected(Reject),
+}
+
+/// Per-job shared bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Job {
+    /// The write-once outcome.
+    pub outcome: Outcome,
+    /// Times the outcome slot has been written (invariant: ≤ 1).
+    pub fulfills: u8,
+    /// Whether retrieval work started (invariant: never on expired jobs).
+    pub work_started: bool,
+}
+
+/// Program counter of one modelled thread. `S*` = submitter (one job
+/// each), `W*` = worker, `C*` = closer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pc {
+    /// Submitter: acquire the queue mutex (enabled only when free).
+    SLock,
+    /// Submitter: decide under the lock — shutdown-reject, full-reject,
+    /// or enqueue — then unlock.
+    SDecide,
+    /// Submitter: write the rejection outcome (after the lock dropped,
+    /// as the real `submit()` returns `Rejected` to the caller).
+    SReject(Reject),
+    /// Worker: acquire the queue mutex.
+    WLock,
+    /// Worker: under the lock — pop a job, or exit (closed + empty), or
+    /// go wait (open + empty); then unlock.
+    WHolding,
+    /// Worker: parked on the condvar; disabled until the wake predicate
+    /// holds, then reacquires the lock (→ [`Pc::WHolding`]).
+    WWaiting,
+    /// Worker: deadline check for the popped job — *before* any work.
+    WDeadline(u8),
+    /// Worker: retrieval work on the job (deadline already cleared).
+    WWork(u8),
+    /// Worker: write the job's `Completed` outcome.
+    WComplete(u8),
+    /// Worker (mutation): second half of the split dequeue — re-lock and
+    /// blindly remove the current front, which may no longer be the
+    /// peeked job.
+    WRemove(u8),
+    /// Closer: acquire the queue mutex.
+    CLock,
+    /// Closer: flip `open` off + wake everyone, then unlock.
+    CClose,
+    /// Thread finished (workers reach it only via a drained shutdown).
+    Done,
+}
+
+/// One modelled thread.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ThreadState {
+    /// Where the thread is.
+    pub pc: Pc,
+}
+
+/// Global state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct State {
+    /// Mutex holder (`None` = free).
+    pub lock: Option<usize>,
+    /// Admission flag (sticky: set off once by the closer).
+    pub open: bool,
+    /// FIFO of job ids, bounded by capacity.
+    pub queue: Vec<u8>,
+    /// Per-job outcome slots (index = job id = submitter index).
+    pub jobs: Vec<Job>,
+    /// All threads: submitters, then workers, then the closer.
+    pub threads: Vec<ThreadState>,
+}
+
+/// Seeded defects for the mutation-testing suite (`None` = faithful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The dequeue is split into peek-then-remove with the lock dropped
+    /// in between (a "queue slot reused before drain" bug): two workers
+    /// can peek the same front job, then each remove *something* — one
+    /// job is serviced twice (invariant 1 fires) and another is lost.
+    UnlockedDequeue,
+}
+
+/// The admission-lifecycle protocol instance.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    /// One submitter thread per job; `expired[j]` marks jobs whose
+    /// deadline has already passed when a worker picks them up.
+    pub expired: Vec<bool>,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue capacity (the real server's `queue_capacity`).
+    pub capacity: usize,
+    /// Seeded defect, `None` for the faithful model.
+    pub mutation: Option<Mutation>,
+}
+
+/// The single mutex-guarded shared object (`{queue, open}`); per-job
+/// outcome slots are `1 + job id`.
+const OBJ_QUEUE: usize = 0;
+
+impl Admission {
+    /// A faithful model: one submitter per entry of `expired`.
+    pub fn new(expired: Vec<bool>, workers: usize, capacity: usize) -> Self {
+        Admission {
+            expired,
+            workers,
+            capacity,
+            mutation: None,
+        }
+    }
+
+    fn submitters(&self) -> usize {
+        self.expired.len()
+    }
+
+    fn fulfill(job: &mut Job, outcome: Outcome) {
+        job.outcome = outcome;
+        job.fulfills += 1;
+    }
+}
+
+impl Protocol for Admission {
+    type State = State;
+
+    fn threads(&self) -> usize {
+        self.submitters() + self.workers + 1
+    }
+
+    fn initial(&self) -> State {
+        let mut threads = Vec::new();
+        for _ in 0..self.submitters() {
+            threads.push(ThreadState { pc: Pc::SLock });
+        }
+        for _ in 0..self.workers {
+            threads.push(ThreadState { pc: Pc::WLock });
+        }
+        threads.push(ThreadState { pc: Pc::CLock });
+        State {
+            lock: None,
+            open: true,
+            queue: Vec::new(),
+            jobs: vec![
+                Job {
+                    outcome: Outcome::Pending,
+                    fulfills: 0,
+                    work_started: false,
+                };
+                self.submitters()
+            ],
+            threads,
+        }
+    }
+
+    fn step(&self, state: &State, tid: usize) -> Vec<State> {
+        let mut next = state.clone();
+        let pc = next.threads[tid].pc.clone();
+        let job_id = tid as u8; // submitters: job id == thread id
+        match pc {
+            Pc::Done => Vec::new(),
+            Pc::SLock | Pc::WLock | Pc::CLock => {
+                if next.lock.is_some() {
+                    return Vec::new();
+                }
+                next.lock = Some(tid);
+                next.threads[tid].pc = match pc {
+                    Pc::SLock => Pc::SDecide,
+                    Pc::WLock => Pc::WHolding,
+                    _ => Pc::CClose,
+                };
+                vec![next]
+            }
+            Pc::SDecide => {
+                // Mirrors submit(): shutdown shed, then capacity shed,
+                // then enqueue; all decided under the one lock hold.
+                next.lock = None;
+                next.threads[tid].pc = if !next.open {
+                    Pc::SReject(Reject::Shutdown)
+                } else if next.queue.len() >= self.capacity {
+                    Pc::SReject(Reject::Full)
+                } else {
+                    next.queue.push(job_id);
+                    Pc::Done
+                };
+                vec![next]
+            }
+            Pc::SReject(reason) => {
+                Self::fulfill(&mut next.jobs[job_id as usize], Outcome::Rejected(reason));
+                next.threads[tid].pc = Pc::Done;
+                vec![next]
+            }
+            Pc::WWaiting => {
+                // Ideal condvar: runnable only once the wake predicate
+                // holds AND the lock is free to reacquire.
+                if next.lock.is_some() || (next.queue.is_empty() && next.open) {
+                    return Vec::new();
+                }
+                next.lock = Some(tid);
+                next.threads[tid].pc = Pc::WHolding;
+                vec![next]
+            }
+            Pc::WHolding => {
+                if next.queue.is_empty() {
+                    next.lock = None;
+                    next.threads[tid].pc = if next.open {
+                        Pc::WWaiting
+                    } else {
+                        Pc::Done // closed + drained: worker exits
+                    };
+                } else if self.mutation == Some(Mutation::UnlockedDequeue) {
+                    // MUTATION: peek the front and drop the lock without
+                    // removing it — the "slot" stays visible to peers.
+                    let j = next.queue[0];
+                    next.lock = None;
+                    next.threads[tid].pc = Pc::WRemove(j);
+                } else {
+                    let j = next.queue.remove(0);
+                    next.lock = None;
+                    next.threads[tid].pc = Pc::WDeadline(j);
+                }
+                vec![next]
+            }
+            Pc::WRemove(j) => {
+                // MUTATION (second half): re-lock and blindly remove the
+                // current front, which may be a *different* job by now.
+                if next.lock.is_some() {
+                    return Vec::new();
+                }
+                if !next.queue.is_empty() {
+                    next.queue.remove(0);
+                }
+                next.threads[tid].pc = Pc::WDeadline(j);
+                vec![next]
+            }
+            Pc::WDeadline(j) => {
+                // Shed-before-work: the deadline check precedes any
+                // retrieval work, exactly as serve_one() orders it.
+                next.threads[tid].pc = if self.expired[j as usize] {
+                    Self::fulfill(
+                        &mut next.jobs[j as usize],
+                        Outcome::Rejected(Reject::Deadline),
+                    );
+                    Pc::WLock
+                } else {
+                    next.jobs[j as usize].work_started = true;
+                    Pc::WWork(j)
+                };
+                vec![next]
+            }
+            Pc::WWork(j) => {
+                // The retrieval itself (model-snapshot refresh + beam
+                // search); no admission-relevant shared access.
+                next.threads[tid].pc = Pc::WComplete(j);
+                vec![next]
+            }
+            Pc::WComplete(j) => {
+                Self::fulfill(&mut next.jobs[j as usize], Outcome::Completed);
+                next.threads[tid].pc = Pc::WLock;
+                vec![next]
+            }
+            Pc::CClose => {
+                next.open = false; // + notify_all: WWaiting predicates re-arm
+                next.lock = None;
+                next.threads[tid].pc = Pc::Done;
+                vec![next]
+            }
+        }
+    }
+
+    fn access(&self, state: &State, tid: usize) -> Option<Access> {
+        match state.threads[tid].pc {
+            Pc::Done | Pc::WWork(_) => None,
+            Pc::SReject(_) => Some(Access::write(1 + tid)),
+            Pc::WDeadline(j) | Pc::WComplete(j) => Some(Access::write(1 + j as usize)),
+            _ => Some(Access::write(OBJ_QUEUE)),
+        }
+    }
+
+    fn check_step(&self, before: &State, after: &State, tid: usize) -> Result<(), String> {
+        // 3. Bounded queue.
+        if after.queue.len() > self.capacity {
+            return Err(format!(
+                "queue grew past capacity {} on a step of thread {tid}: {:?}",
+                self.capacity, after.queue
+            ));
+        }
+        // 4a. open is sticky-off.
+        if !before.open && after.open {
+            return Err(format!("server REOPENED after close (thread {tid})"));
+        }
+        for (j, (jb, ja)) in before.jobs.iter().zip(after.jobs.iter()).enumerate() {
+            // 1. Exactly-once: the outcome slot is write-once.
+            if ja.fulfills > 1 {
+                return Err(format!(
+                    "job {j} fulfilled {} times (latest outcome {:?}, was {:?}) \
+                     — double service (thread {tid})",
+                    ja.fulfills, ja.outcome, jb.outcome
+                ));
+            }
+            // 2. Shed-before-work: no work on expired jobs.
+            if ja.work_started && self.expired[j] {
+                return Err(format!(
+                    "retrieval work started on job {j} whose deadline had \
+                     already expired (shed-before-work violated, thread {tid})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, state: &State) -> Result<(), String> {
+        if state.lock.is_some() {
+            return Err(format!("mutex still held by {:?} at quiescence", state.lock));
+        }
+        if state.open {
+            return Err("terminal state with the server still open \
+                        (closer never ran?)"
+                .into());
+        }
+        // 4b. Close drains: no abandoned backlog, every worker exited.
+        if !state.queue.is_empty() {
+            return Err(format!(
+                "queue not drained at shutdown: {:?} left behind",
+                state.queue
+            ));
+        }
+        for (tid, th) in state.threads.iter().enumerate() {
+            if th.pc != Pc::Done {
+                return Err(format!("thread {tid} stuck at {:?} at shutdown", th.pc));
+            }
+        }
+        // 1. Exactly-once, final half: every job has exactly one outcome.
+        for (j, job) in state.jobs.iter().enumerate() {
+            if job.fulfills != 1 || job.outcome == Outcome::Pending {
+                return Err(format!(
+                    "job {j} ended with {} fulfills, outcome {:?} — \
+                     not exactly-once serviced-or-rejected",
+                    job.fulfills, job.outcome
+                ));
+            }
+            if self.expired[j] && job.outcome == Outcome::Completed {
+                return Err(format!(
+                    "job {j} expired but was Completed (deadline shed skipped)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn describe_step(&self, state: &State, tid: usize) -> String {
+        match &state.threads[tid].pc {
+            Pc::SLock => format!("submitter {tid}: lock queue"),
+            Pc::SDecide => format!("submitter {tid}: admit/shed job {tid} + unlock"),
+            Pc::SReject(r) => format!("submitter {tid}: reject job {tid} ({r:?})"),
+            Pc::WLock => format!("worker {tid}: lock queue"),
+            Pc::WHolding => format!("worker {tid}: pop/park/exit + unlock"),
+            Pc::WWaiting => format!("worker {tid}: wake + relock"),
+            Pc::WRemove(j) => format!("worker {tid}: remove front (peeked job {j})"),
+            Pc::WDeadline(j) => format!("worker {tid}: deadline check job {j}"),
+            Pc::WWork(j) => format!("worker {tid}: retrieval work job {j}"),
+            Pc::WComplete(j) => format!("worker {tid}: complete job {j}"),
+            Pc::CLock => "closer: lock queue".into(),
+            Pc::CClose => "closer: open=false + notify_all + unlock".into(),
+            Pc::Done => format!("thread {tid}: done"),
+        }
+    }
+}
+
+/// The scenario suite `interleave-check` runs for this model. Every
+/// entry must verify clean; `extended` adds the larger configurations
+/// reserved for `--exhaustive`.
+pub fn standard_scenarios(extended: bool) -> Vec<(String, Admission)> {
+    let mut v = vec![
+        (
+            "adm_accept_complete".to_string(),
+            Admission::new(vec![false], 1, 1),
+        ),
+        (
+            "adm_queue_full_shed".to_string(),
+            Admission::new(vec![false, false], 1, 1),
+        ),
+        (
+            "adm_deadline_shed".to_string(),
+            Admission::new(vec![true], 1, 1),
+        ),
+        (
+            "adm_close_drains".to_string(),
+            Admission::new(vec![false, true], 2, 2),
+        ),
+    ];
+    if extended {
+        v.push((
+            "adm_mixed_3s2w".to_string(),
+            Admission::new(vec![false, true, false], 2, 2),
+        ));
+    }
+    v
+}

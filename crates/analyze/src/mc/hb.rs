@@ -1,0 +1,215 @@
+//! Happens-before bookkeeping for weak-memory protocol models.
+//!
+//! Real `AtomicU64` Acquire/Release pairs are modeled as message passing
+//! (the standard operational reading of release/acquire): a release store
+//! attaches the writer's *view* — everything the writer has observed — to
+//! the atomic word; an acquire load joins that view into the reader's.
+//! Plain (non-atomic but mutex-guarded) cells record a version stamp per
+//! write; a reader whose view does not cover the latest version may read
+//! the previous value, which the engine explores as a genuine
+//! nondeterministic successor. This is how the SnapshotCell model can
+//! *detect* a dropped `Release`: without the release message the reader's
+//! view never covers the slot write, the stale branch stays enabled, and
+//! the stale-vs-loaded-epoch invariant fires.
+//!
+//! The abstraction is deliberately small:
+//!
+//! * Views cover *plain-cell versions*, one counter per cell
+//!   ([`View`] index = cell id). Atomic words themselves are always
+//!   coherent (a load sees the latest store) — matching real hardware,
+//!   where the interesting weakness is the *ordering between* the atomic
+//!   flag and the plain data it publishes, not the flag's own value.
+//! * Plain cells remember one previous value ([`PlainCell::prev`]). That
+//!   bounds the stale-read branch to "latest or immediately preceding",
+//!   which is exact when writes to the cell are serialized by a mutex and
+//!   each is published (release-stored) before the next begins — true for
+//!   every protocol modeled here, and asserted in the models' comments.
+
+/// A thread's knowledge of plain-cell versions: `view[cell] = highest
+/// version of `cell` whose write happens-before this thread's next step`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct View(pub Vec<u32>);
+
+impl View {
+    /// A view over `cells` plain cells, covering only version 0 (the
+    /// initial value of each).
+    pub fn new(cells: usize) -> Self {
+        View(vec![0; cells])
+    }
+
+    /// Pointwise maximum — the happens-before join of two views.
+    pub fn join(&mut self, other: &View) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether this view covers version `version` of `cell`.
+    pub fn covers(&self, cell: usize, version: u32) -> bool {
+        self.0.get(cell).copied().unwrap_or(0) >= version
+    }
+
+    /// Record that this thread wrote version `version` of `cell`.
+    pub fn bump(&mut self, cell: usize, version: u32) {
+        if let Some(v) = self.0.get_mut(cell) {
+            *v = (*v).max(version);
+        }
+    }
+}
+
+/// An atomic word with a release message: the value is always coherent,
+/// and a release store additionally publishes the writer's view.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AtomicWord {
+    /// Current value (latest store in modification order).
+    pub value: u64,
+    /// View attached by the latest *release* store; empty after a relaxed
+    /// store (a relaxed store publishes nothing — this is exactly the
+    /// difference the `DropRelease` mutation exercises).
+    pub msg: View,
+}
+
+impl AtomicWord {
+    /// A word holding `value` with no release message, in a model with
+    /// `cells` plain cells.
+    pub fn new(value: u64, cells: usize) -> Self {
+        AtomicWord {
+            value,
+            msg: View::new(cells),
+        }
+    }
+
+    /// `store(v, Release)`: the writer's whole view rides along.
+    pub fn store_release(&mut self, value: u64, writer_view: &View) {
+        self.value = value;
+        self.msg = writer_view.clone();
+    }
+
+    /// `store(v, Relaxed)`: value only; the message is cleared, so
+    /// readers learn nothing about the writer's plain-cell writes.
+    pub fn store_relaxed(&mut self, value: u64) {
+        self.value = value;
+        self.msg = View(vec![0; self.msg.0.len()]);
+    }
+
+    /// `load(Acquire)`: returns the value and joins the release message
+    /// into the reader's view.
+    pub fn load_acquire(&self, reader_view: &mut View) -> u64 {
+        reader_view.join(&self.msg);
+        self.value
+    }
+
+    /// `load(Relaxed)`: value only, no synchronization.
+    pub fn load_relaxed(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A non-atomic cell written under external serialization (a mutex).
+/// Reads *outside* that serialization are only safe when ordered through
+/// an acquire edge; [`PlainCell::read`] makes the unsafe case visible as
+/// a two-valued nondeterministic read.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlainCell {
+    /// Latest value (version `version`).
+    pub value: u64,
+    /// Version counter; 0 is the initial value, bumped per write.
+    pub version: u32,
+    /// The value at `version - 1`, offered to readers whose view does not
+    /// cover `version`.
+    pub prev: u64,
+}
+
+impl PlainCell {
+    /// A cell initialized to `value` at version 0.
+    pub fn new(value: u64) -> Self {
+        PlainCell {
+            value,
+            version: 0,
+            prev: value,
+        }
+    }
+
+    /// Serialized write: bumps the version and records it in the
+    /// writer's view (`cell` is this cell's id in the view).
+    pub fn write(&mut self, value: u64, cell: usize, writer_view: &mut View) {
+        self.prev = self.value;
+        self.value = value;
+        self.version += 1;
+        writer_view.bump(cell, self.version);
+    }
+
+    /// All `(value, version)` pairs a reader with `view` may observe:
+    /// just the latest when the view covers the latest version (the
+    /// write happens-before the read), otherwise latest *or* previous —
+    /// the engine branches on both. Reads by the serializing writer
+    /// itself always cover.
+    ///
+    /// Callers MUST `view.bump(cell, version)` with the observed
+    /// version: per-location coherence means a thread that has read
+    /// version `v` can never later read an older one, and the bump is
+    /// what encodes that (without it the model invents regressions real
+    /// hardware forbids).
+    pub fn read(&self, cell: usize, view: &View) -> Vec<(u64, u32)> {
+        // `prev == value` folds the stale read into the fresh one: the
+        // two observations are indistinguishable, so branching would
+        // only double equivalent states.
+        if view.covers(cell, self.version) || self.version == 0 || self.prev == self.value {
+            vec![(self.value, self.version)]
+        } else {
+            vec![(self.value, self.version), (self.prev, self.version - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_acquire_transfers_view() {
+        let mut writer = View::new(1);
+        let mut cell = PlainCell::new(10);
+        cell.write(20, 0, &mut writer);
+        let mut word = AtomicWord::new(0, 1);
+        word.store_release(1, &writer);
+
+        let mut reader = View::new(1);
+        // Before the acquire load the reader may see the stale value.
+        assert_eq!(cell.read(0, &reader), vec![(20, 1), (10, 0)]);
+        let flag = word.load_acquire(&mut reader);
+        assert_eq!(flag, 1);
+        // After it, the write happens-before the read: latest only.
+        assert_eq!(cell.read(0, &reader), vec![(20, 1)]);
+    }
+
+    #[test]
+    fn relaxed_store_publishes_nothing() {
+        let mut writer = View::new(1);
+        let mut cell = PlainCell::new(10);
+        cell.write(20, 0, &mut writer);
+        let mut word = AtomicWord::new(0, 1);
+        word.store_relaxed(1);
+
+        let mut reader = View::new(1);
+        word.load_acquire(&mut reader);
+        // The flag flipped but carried no message: stale branch remains.
+        assert_eq!(cell.read(0, &reader), vec![(20, 1), (10, 0)]);
+    }
+
+    #[test]
+    fn read_read_coherence_via_bump() {
+        let mut writer = View::new(1);
+        let mut cell = PlainCell::new(10);
+        cell.write(20, 0, &mut writer);
+
+        let mut reader = View::new(1);
+        // First read races ahead and observes the fresh value...
+        let (v, ver) = cell.read(0, &reader)[0];
+        assert_eq!((v, ver), (20, 1));
+        reader.bump(0, ver);
+        // ...after which coherence pins every later read to ≥ that
+        // version: the stale branch is gone.
+        assert_eq!(cell.read(0, &reader), vec![(20, 1)]);
+    }
+}

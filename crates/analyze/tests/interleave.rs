@@ -16,6 +16,47 @@ fn standard_suite_upholds_all_invariants() {
     }
 }
 
+/// Port regression gate: the PR-4 bespoke DFS was replaced by the generic
+/// `mc` engine, and this table pins every scenario's state, transition,
+/// final-state, and exact schedule count to the values the original
+/// checker produced. Identical verdicts are necessary but not sufficient
+/// — identical *path counts* prove the explored graph is the same graph,
+/// i.e. the port neither dropped interleavings nor invented states.
+#[test]
+fn engine_port_reproduces_pr4_counts_exactly() {
+    const PINNED: &[(&str, usize, usize, usize, u128)] = &[
+        ("k1_distinct", 65, 109, 1, 1061),
+        ("k1_duplicate", 48, 82, 1, 610),
+        ("k1_two_each", 229, 421, 1, 968_008),
+        ("k2_basic_race", 392, 702, 2, 6_296_767),
+        ("k2_duplicates", 207, 378, 1, 1_536_944),
+        ("k2_descending", 733, 1364, 2, 217_633_681),
+        ("k2_with_zero", 162, 279, 2, 70_900),
+        ("k3_partial_fill", 165, 292, 2, 217_500),
+        ("k3_overflow", 1583, 2938, 5, 3_381_075_517_743),
+        ("k0_ignores_all", 4, 4, 1, 2),
+    ];
+    let reports = run_standard_suite().expect("suite verifies");
+    assert_eq!(reports.len(), PINNED.len());
+    for ((name, r), &(pname, states, transitions, finals, schedules)) in
+        reports.iter().zip(PINNED)
+    {
+        assert_eq!(name, pname, "scenario order changed");
+        assert_eq!(r.states, states, "{name}: state count drifted from PR 4");
+        assert_eq!(
+            r.transitions, transitions,
+            "{name}: transition count drifted from PR 4"
+        );
+        assert_eq!(r.finals, finals, "{name}: final-state count drifted from PR 4");
+        assert_eq!(
+            r.schedules, schedules,
+            "{name}: schedule count drifted from PR 4"
+        );
+    }
+    let total: u128 = reports.iter().map(|(_, r)| r.schedules).sum();
+    assert_eq!(total, 3_381_302_243_216, "suite-wide schedule total drifted");
+}
+
 #[test]
 fn schedule_count_matches_closed_form_for_tiny_case() {
     // k=1, one offer each. Per thread: Idle-start, scan slot0, CAS (or

@@ -8,6 +8,7 @@ use hmmm_analyze::lexer::scan;
 use hmmm_analyze::lints::{
     lint_file, LINT_ATOMIC_ORDERING, LINT_EQUATION_DOC, LINT_HASH_ITERATION, LINT_METRIC_LITERAL,
     LINT_NAKED_PERSIST_WRITE, LINT_NO_ALLOC_TRAVERSAL, LINT_RAW_FLOAT_CMP,
+    LINT_RELAXED_ORDERING,
 };
 
 fn fired(rel: &str, src: &str, lint: &str) -> usize {
@@ -85,6 +86,63 @@ fn atomic_ordering_not_confused_by_cmp_ordering() {
     // ones; ranking code must not need rationale comments.
     let good = "fn f(a: u32, b: u32) -> Ordering {\n    a.cmp(&b).then(Ordering::Equal)\n}\n";
     assert_eq!(fired("crates/core/src/retrieve.rs", good, LINT_ATOMIC_ORDERING), 0);
+}
+
+#[test]
+fn relaxed_ordering_fires_on_unregistered_atomic() {
+    // A Relaxed access with a rationale comment still fires the allowlist
+    // lint: the comment satisfies atomic-ordering-comment, but Relaxed on
+    // an atomic nobody registered as a pure counter is its own finding.
+    let bad = "fn f(flag: &AtomicU64) {\n    // ordering: Relaxed — (wrongly) claimed harmless\n    flag.store(1, Ordering::Relaxed);\n}\n";
+    assert_eq!(fired("crates/core/src/somefile.rs", bad, LINT_RELAXED_ORDERING), 1);
+    // Even in a file WITH registered atomics, an unregistered one fires.
+    let mixed = "fn f(io_ops: &AtomicU64, flag: &AtomicU64) {\n    // ordering: Relaxed — ticket\n    io_ops.fetch_add(1, Ordering::Relaxed);\n    // ordering: Relaxed — oops\n    flag.store(1, Ordering::Relaxed);\n}\n";
+    assert_eq!(fired("crates/core/src/fault.rs", mixed, LINT_RELAXED_ORDERING), 1);
+}
+
+#[test]
+fn relaxed_ordering_quiet_on_allowlisted_counter() {
+    let good = "fn f(io_ops: &AtomicU64) -> u64 {\n    // ordering: Relaxed — ticket\n    io_ops.fetch_add(1, Ordering::Relaxed)\n}\n";
+    assert_eq!(fired("crates/core/src/fault.rs", good, LINT_RELAXED_ORDERING), 0);
+}
+
+#[test]
+fn relaxed_ordering_acquire_release_out_of_scope() {
+    // Non-Relaxed orderings are the atomic-ordering-comment lint's
+    // business, not this one's.
+    let good = "fn f(e: &AtomicU64) -> u64 {\n    // ordering: Acquire pairs with install's Release\n    e.load(Ordering::Acquire)\n}\n";
+    assert_eq!(fired("crates/serve/src/snapshot.rs", good, LINT_RELAXED_ORDERING), 0);
+}
+
+#[test]
+fn relaxed_ordering_flags_stale_allowlist_entry() {
+    // fault.rs registers `io_ops`; a fault.rs with no Relaxed access on
+    // it any more means the allowlist went stale and must fire on line 1.
+    let empty = "fn f() {}\n";
+    let violations = lint_file("crates/core/src/fault.rs", &scan(empty));
+    assert!(violations
+        .iter()
+        .any(|v| v.lint == LINT_RELAXED_ORDERING && v.line == 1 && v.message.contains("stale")));
+}
+
+#[test]
+fn relaxed_ordering_respects_allow_marker() {
+    let allowed = "// hmmm-lint: allow(relaxed-ordering-justification) — fixture\nx.store(1, Ordering::Relaxed);\n";
+    assert_eq!(fired("crates/core/src/somefile.rs", allowed, LINT_RELAXED_ORDERING), 0);
+}
+
+#[test]
+fn atomic_ordering_flags_stale_atomic_files_entry() {
+    // topk.rs is registered in ATOMIC_FILES; a topk.rs with no atomic
+    // orderings left means the registry lost track of where the
+    // weak-memory reasoning lives.
+    let empty = "fn f() {}\n";
+    let violations = lint_file("crates/core/src/topk.rs", &scan(empty));
+    assert!(violations
+        .iter()
+        .any(|v| v.lint == LINT_ATOMIC_ORDERING && v.line == 1 && v.message.contains("ATOMIC_FILES")));
+    // Unregistered files carry no such obligation.
+    assert_eq!(fired("crates/core/src/sim.rs", empty, LINT_ATOMIC_ORDERING), 0);
 }
 
 #[test]

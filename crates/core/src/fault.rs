@@ -227,7 +227,8 @@ impl FaultHandle {
         }
         // ordering: Relaxed — the ticket is a uniqueness/sequence draw, not
         // a synchronization point; fetch_add is atomic at any ordering and
-        // no other memory access depends on it.
+        // no other memory access depends on it. Registered in
+        // RELAXED_ALLOWLIST (hmmm-analyze).
         let ticket = state.io_ops.fetch_add(1, Ordering::Relaxed);
         state.plan.io_error_on_ops.contains(&ticket).then(|| {
             std::io::Error::new(

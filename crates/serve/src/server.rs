@@ -382,7 +382,8 @@ impl QueryServer {
         }
         let slot = ResponseSlot::new();
         // ordering: Relaxed — the id is a label for spans/debugging, no
-        // other memory is published through it.
+        // other memory is published through it. Registered in
+        // RELAXED_ALLOWLIST (hmmm-analyze) as an id/ticket source.
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         queue.jobs.push_back(Job {
             request,

@@ -342,6 +342,7 @@ pub fn run_workload(
     };
     // ordering: Relaxed — the counter is read after every client thread
     // was joined, so all increments already happened-before this load.
+    // `installs` is a pure counter, registered in RELAXED_ALLOWLIST.
     let feedback_installs = installs.load(Ordering::Relaxed) as usize;
     Ok(LoadReport {
         clients: config.clients,
@@ -464,7 +465,8 @@ fn maybe_feed_back(
 ) {
     let mut log = feedback_log.lock().expect("feedback log poisoned");
     // ordering: Relaxed — the session id is a label grouping co-confirmed
-    // videos; no memory is published through it.
+    // videos; no memory is published through it. Registered in
+    // RELAXED_ALLOWLIST (hmmm-analyze) as an id/ticket source.
     let query = next_query_session.fetch_add(1, Ordering::Relaxed);
     let recorded = log.record(PositivePattern {
         query,
@@ -479,7 +481,8 @@ fn maybe_feed_back(
     if log.should_update(&config.feedback)
         && server.apply_feedback(&mut log, &config.feedback).is_ok()
     {
-        // ordering: Relaxed — install count is reported after join.
+        // ordering: Relaxed — install count is reported after join; pure
+        // counter, registered in RELAXED_ALLOWLIST (hmmm-analyze).
         installs.fetch_add(1, Ordering::Relaxed);
     }
 }

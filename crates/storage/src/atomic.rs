@@ -100,7 +100,7 @@ fn next_tmp_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     // ordering: Relaxed — a uniqueness ticket, not a synchronization point;
     // fetch_add is atomic regardless of ordering, and no other memory
-    // depends on it.
+    // depends on it. Registered in RELAXED_ALLOWLIST (hmmm-analyze).
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
