@@ -1,12 +1,13 @@
 //! Protocol model-checker driver. Usage:
 //! `interleave-check [--exhaustive] [--format json]`.
 //!
-//! Runs all four model suites from `hmmm_analyze::mc` — the `SharedTopK`
+//! Runs all five model suites from `hmmm_analyze::mc` — the `SharedTopK`
 //! CAS register (the PR-4 scenarios, exact schedule counts pinned), the
 //! `SnapshotCell` RCU install, the admission queue + worker-pool
-//! lifecycle, and the crash-state enumeration of the atomic writer —
-//! asserting every per-step and final-state invariant over every
-//! explored interleaving. Exit code 1 on the first violation, with the
+//! lifecycle, the crash-state enumeration of the atomic writer, and the
+//! TCP front-end's per-connection request/response lifecycle — asserting
+//! every per-step and final-state invariant over every explored
+//! interleaving. Exit code 1 on the first violation, with the
 //! minimal counterexample schedule printed.
 //!
 //! Two modes, mirrored by CI's analyze job:
@@ -27,7 +28,7 @@
 use std::process::ExitCode;
 
 use hmmm_analyze::mc::engine::{explore, Counterexample, ExploreConfig, Protocol};
-use hmmm_analyze::mc::{admission, crashwrite, snapshot};
+use hmmm_analyze::mc::{admission, connection, crashwrite, snapshot};
 
 /// Per-scenario state budget for quick mode (see module docs).
 const QUICK_STATE_BUDGET: usize = 100_000;
@@ -274,6 +275,14 @@ fn main() -> ExitCode {
         run_suite(
             "crashwrite",
             crashwrite::standard_scenarios(exhaustive),
+            &config,
+            &mut rows,
+        )
+    })
+    .and_then(|()| {
+        run_suite(
+            "connection",
+            connection::standard_scenarios(exhaustive),
             &config,
             &mut rows,
         )

@@ -129,6 +129,7 @@ const ORDERING_COMMENT_WINDOW: usize = 8;
 pub const ATOMIC_FILES: &[&str] = &[
     "crates/core/src/fault.rs",
     "crates/core/src/topk.rs",
+    "crates/serve/src/net.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/snapshot.rs",
     "crates/serve/src/workload.rs",
@@ -148,9 +149,15 @@ pub const ATOMIC_FILES: &[&str] = &[
 /// that no longer has any Relaxed access in its file means the registry
 /// is stale and fires on line 1.
 pub const RELAXED_ALLOWLIST: &[(&str, &[&str])] = &[
-    // io_ops: fault-injection op ticket; the plan lookup keys on the
-    // drawn value alone.
-    ("crates/core/src/fault.rs", &["io_ops"]),
+    // io_ops: fault-injection op ticket; net_conns doubles as the
+    // network plane's connection-ticket source and its wrap tally; the
+    // plan lookups key on the drawn values alone. net_torn /
+    // net_corrupted / net_stalled / net_closed: monotonic injection
+    // tallies read only for after-the-fact reporting (NetFaultStats).
+    (
+        "crates/core/src/fault.rs",
+        &["io_ops", "net_conns", "net_torn", "net_corrupted", "net_stalled", "net_closed"],
+    ),
     // next_id: request span/debug label.
     ("crates/serve/src/server.rs", &["next_id"]),
     // installs: feedback-install count, read only after thread join;

@@ -1,0 +1,542 @@
+//! Step-faithful model of one `hmmm_serve::net` connection: the
+//! request/response lifecycle accept → read frame → admit → respond (or
+//! reject) → close, under graceful drain and injected network faults.
+//!
+//! The modeled threads are the synchronous wire client, the server's
+//! per-connection handler, an optional drainer (`NetServer::shutdown`
+//! flipping the draining flag at an arbitrary point), and an optional
+//! fault injector (the `FaultyStream` plane: a mid-request disconnect or
+//! a torn response write, scheduled at every possible point). Checked:
+//!
+//! 1. **Answered-exactly-once-or-dropped** — a request's response write
+//!    *starts* at most once: after a torn write the peer may hold any
+//!    prefix of the frame, so the only sound continuation is dropping the
+//!    connection, never re-serializing (per step); at quiescence every
+//!    request is exactly one of `Answered` (one complete response frame)
+//!    or `Dropped` (connection gone before its response completed).
+//! 2. **Drain leaves no half-written frame** — a half-written response
+//!    frame can only exist on a connection that is already closed and
+//!    whose request ended `Dropped`; an `Answered` outcome with the frame
+//!    still half-open is a torn success, and terminal states never hold a
+//!    live connection with a dangling half frame.
+//! 3. **Outcomes are sticky** — `Answered`/`Dropped` never change once
+//!    written (the wire cannot take a response back).
+//! 4. **Drain terminates the connection** — once draining, the handler
+//!    finishes the in-flight request (or sheds a mid-frame read, the
+//!    frame-timeout path), sends the final notice, and closes; no thread
+//!    is left mid-protocol at quiescence.
+//!
+//! The client is synchronous (send → await outcome → next), mirroring
+//! `NetClient`; its request frame write is split into two steps so the
+//! drain and fault threads can land *mid-frame*, which is where the
+//! shed-vs-serve choice and the torn-read paths live in the real
+//! `read_frame` loop.
+
+use super::engine::{Access, Protocol};
+
+/// A request's write-once outcome slot, as seen by the wire client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// No outcome yet.
+    Pending,
+    /// Exactly one complete response frame arrived.
+    Answered,
+    /// The connection died before a complete response (the client may
+    /// retry on a fresh connection; this model covers one connection).
+    Dropped,
+}
+
+/// Per-request shared bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RequestSlot {
+    /// Whether the request frame fully reached the server.
+    pub sent: bool,
+    /// The write-once outcome.
+    pub outcome: Outcome,
+    /// Times a response write for this request has *started*
+    /// (invariant: ≤ 1 — a torn write must drop, never rewrite).
+    pub answer_writes: u8,
+}
+
+/// Program counter of one modeled thread. `C*` = client, `H*` = handler,
+/// `D*` = drainer, `F*` = fault injector.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pc {
+    /// Client: begin writing request `r`'s frame (first byte on the wire).
+    CSend(u8),
+    /// Client: finish request `r`'s frame (server has it whole).
+    CFin(u8),
+    /// Client: synchronously await request `r`'s outcome; disabled until
+    /// the slot leaves `Pending`.
+    CAwait(u8),
+    /// Client: all requests have outcomes — close the connection.
+    CClose,
+    /// Handler: wait for a whole request frame / the drain flag / EOF.
+    HWait,
+    /// Handler: admit + execute request `r` (the in-process admission
+    /// queue from the PR-7 model; atomic here, it has its own checker).
+    HServe(u8),
+    /// Handler: begin writing request `r`'s response frame.
+    HWriteStart(u8),
+    /// Handler: finish request `r`'s response frame.
+    HWriteFin(u8),
+    /// Drainer: flip the draining flag (shutdown started).
+    DDrain,
+    /// Fault injector: choose a network fault (or none).
+    FInject,
+    /// Thread finished.
+    Done,
+}
+
+/// Global state: the connection plus every thread's program counter.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct State {
+    /// Whether the TCP connection is still up.
+    pub conn_open: bool,
+    /// Whether `NetServer::shutdown` has started draining.
+    pub draining: bool,
+    /// Whether the client is mid-request-frame (bytes written, frame not
+    /// complete) — the window where drain must either wait the frame out
+    /// or shed via the frame timeout.
+    pub client_mid_frame: bool,
+    /// Armed torn-write fault: the next response write fails partway.
+    pub torn_pending: bool,
+    /// A response frame currently half-written on the wire (request id).
+    pub half_frame: Option<u8>,
+    /// Per-request slots (index = request id).
+    pub requests: Vec<RequestSlot>,
+    /// All threads: client, handler, then optional drainer and injector.
+    pub pcs: Vec<Pc>,
+}
+
+/// Seeded defects for the mutation-testing suite (`None` = faithful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// After a torn response write the handler re-serializes and writes
+    /// the response again on the same connection instead of dropping it —
+    /// the peer, already holding a prefix of the first attempt, would
+    /// parse garbage (and with framing luck, the same answer twice). The
+    /// answered-exactly-once step invariant counts the second write start.
+    DoubleRespond,
+}
+
+/// The connection-lifecycle protocol instance.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    /// Requests the client issues on this connection, in order.
+    pub requests: u8,
+    /// Include the drainer thread (graceful shutdown at any point).
+    pub with_drain: bool,
+    /// Include the fault-injector thread (disconnect / torn write).
+    pub with_fault: bool,
+    /// Seeded defect, `None` for the faithful model.
+    pub mutation: Option<Mutation>,
+}
+
+/// Everything here is one shared object (the connection + its stream):
+/// every step reads or writes connection state, so the model runs
+/// without reduction — the state spaces are tiny.
+const OBJ_CONN: usize = 0;
+
+const TID_CLIENT: usize = 0;
+const TID_HANDLER: usize = 1;
+
+impl Connection {
+    /// A faithful model of `requests` sequential requests.
+    pub fn new(requests: u8, with_drain: bool, with_fault: bool) -> Self {
+        Connection {
+            requests,
+            with_drain,
+            with_fault,
+            mutation: None,
+        }
+    }
+
+    /// The client's next pc after request `r` reaches a terminal state.
+    fn client_next(&self, r: u8) -> Pc {
+        if r + 1 < self.requests {
+            Pc::CSend(r + 1)
+        } else {
+            Pc::CClose
+        }
+    }
+
+    /// The lowest request the server holds whole but has not served.
+    fn unserved(state: &State) -> Option<u8> {
+        state
+            .requests
+            .iter()
+            .position(|s| s.sent && s.outcome == Outcome::Pending && s.answer_writes == 0)
+            .map(|i| i as u8)
+    }
+
+    /// Mark every sent-but-unanswered request dropped: the connection is
+    /// gone, so no response frame can ever complete for them.
+    fn drop_in_flight(state: &mut State) {
+        for slot in &mut state.requests {
+            if slot.sent && slot.outcome == Outcome::Pending {
+                slot.outcome = Outcome::Dropped;
+            }
+        }
+    }
+}
+
+impl Protocol for Connection {
+    type State = State;
+
+    fn threads(&self) -> usize {
+        2 + usize::from(self.with_drain) + usize::from(self.with_fault)
+    }
+
+    fn initial(&self) -> State {
+        let mut pcs = vec![
+            if self.requests == 0 {
+                Pc::CClose
+            } else {
+                Pc::CSend(0)
+            },
+            Pc::HWait,
+        ];
+        if self.with_drain {
+            pcs.push(Pc::DDrain);
+        }
+        if self.with_fault {
+            pcs.push(Pc::FInject);
+        }
+        State {
+            conn_open: true,
+            draining: false,
+            client_mid_frame: false,
+            torn_pending: false,
+            half_frame: None,
+            requests: vec![
+                RequestSlot {
+                    sent: false,
+                    outcome: Outcome::Pending,
+                    answer_writes: 0,
+                };
+                self.requests as usize
+            ],
+            pcs,
+        }
+    }
+
+    fn step(&self, state: &State, tid: usize) -> Vec<State> {
+        let mut next = state.clone();
+        let pc = next.pcs[tid].clone();
+        match pc {
+            Pc::Done => Vec::new(),
+            Pc::CSend(r) => {
+                if !next.conn_open {
+                    // connect() side already dead: the request never
+                    // reaches the server (the real client would retry on
+                    // a fresh connection — out of this model's scope).
+                    next.requests[r as usize].outcome = Outcome::Dropped;
+                    next.pcs[tid] = self.client_next(r);
+                } else {
+                    next.client_mid_frame = true;
+                    next.pcs[tid] = Pc::CFin(r);
+                }
+                vec![next]
+            }
+            Pc::CFin(r) => {
+                next.client_mid_frame = false;
+                if !next.conn_open {
+                    // Write failed partway: the server never holds the
+                    // whole frame, so the request cannot be answered.
+                    next.requests[r as usize].outcome = Outcome::Dropped;
+                    next.pcs[tid] = self.client_next(r);
+                } else {
+                    next.requests[r as usize].sent = true;
+                    next.pcs[tid] = Pc::CAwait(r);
+                }
+                vec![next]
+            }
+            Pc::CAwait(r) => {
+                // Synchronous client: disabled until the outcome lands
+                // (a response frame, or the connection dying under it).
+                if next.requests[r as usize].outcome == Outcome::Pending {
+                    return Vec::new();
+                }
+                next.pcs[tid] = self.client_next(r);
+                vec![next]
+            }
+            Pc::CClose => {
+                next.conn_open = false;
+                next.client_mid_frame = false;
+                next.pcs[tid] = Pc::Done;
+                vec![next]
+            }
+            Pc::HWait => {
+                if !next.conn_open {
+                    next.pcs[tid] = Pc::Done; // EOF/reset: handler exits
+                    return vec![next];
+                }
+                if let Some(r) = Self::unserved(&next) {
+                    // A whole request frame is in hand: serve it even
+                    // when draining (the drain contract finishes
+                    // admitted in-flight work).
+                    next.pcs[tid] = Pc::HServe(r);
+                    return vec![next];
+                }
+                if next.draining {
+                    if next.client_mid_frame {
+                        // Mid-frame during drain: the real read loop
+                        // either completes the frame (handler waits —
+                        // modeled by this step being a shed *choice*,
+                        // with waiting covered by scheduling the client
+                        // first) or the frame timeout sheds the slow
+                        // client. Model the shed branch explicitly.
+                        next.conn_open = false;
+                        Self::drop_in_flight(&mut next);
+                        next.pcs[tid] = Pc::Done;
+                        return vec![next];
+                    }
+                    // Idle connection during drain: final notice + close.
+                    next.conn_open = false;
+                    next.pcs[tid] = Pc::Done;
+                    return vec![next];
+                }
+                Vec::new() // blocked in read_frame waiting for input
+            }
+            Pc::HServe(r) => {
+                if !next.conn_open {
+                    // Disconnect raced the admit: the injector already
+                    // marked the request dropped; bail out to EOF.
+                    next.pcs[tid] = Pc::HWait;
+                    return vec![next];
+                }
+                // Admission + retrieval, atomic here (the PR-7 admission
+                // model owns that machinery's interleavings).
+                next.pcs[tid] = Pc::HWriteStart(r);
+                vec![next]
+            }
+            Pc::HWriteStart(r) => {
+                if !next.conn_open {
+                    next.pcs[tid] = Pc::HWait;
+                    return vec![next];
+                }
+                let slot = &mut next.requests[r as usize];
+                slot.answer_writes += 1;
+                next.half_frame = Some(r);
+                if next.torn_pending {
+                    // The stream tears this write partway through.
+                    next.torn_pending = false;
+                    if self.mutation == Some(Mutation::DoubleRespond) {
+                        // MUTATION: treat the torn write as retryable and
+                        // re-serialize on the same connection; the next
+                        // HWriteStart is the second write start the
+                        // exactly-once invariant counts.
+                        next.pcs[tid] = Pc::HWriteStart(r);
+                    } else {
+                        // Faithful: the peer holds an unknowable prefix —
+                        // drop the connection, leaving the half frame as
+                        // wire garbage on a dead socket.
+                        next.requests[r as usize].outcome = Outcome::Dropped;
+                        next.conn_open = false;
+                        next.pcs[tid] = Pc::HWait;
+                    }
+                } else {
+                    next.pcs[tid] = Pc::HWriteFin(r);
+                }
+                vec![next]
+            }
+            Pc::HWriteFin(r) => {
+                if !next.conn_open {
+                    // Disconnect landed mid-response-write: the frame
+                    // stays half-written on a dead connection and the
+                    // injector already dropped the request.
+                    next.pcs[tid] = Pc::HWait;
+                    return vec![next];
+                }
+                next.half_frame = None;
+                next.requests[r as usize].outcome = Outcome::Answered;
+                next.pcs[tid] = Pc::HWait;
+                vec![next]
+            }
+            Pc::DDrain => {
+                next.draining = true;
+                next.pcs[tid] = Pc::Done;
+                vec![next]
+            }
+            Pc::FInject => {
+                next.pcs[tid] = Pc::Done;
+                let mut succs = vec![next.clone()]; // choice 0: no fault
+                if state.conn_open {
+                    // choice 1: hard disconnect right now.
+                    let mut cut = next.clone();
+                    cut.conn_open = false;
+                    Self::drop_in_flight(&mut cut);
+                    succs.push(cut);
+                    // choice 2: arm a torn write for the next response.
+                    let mut tear = next;
+                    tear.torn_pending = true;
+                    succs.push(tear);
+                }
+                succs
+            }
+        }
+    }
+
+    fn access(&self, state: &State, tid: usize) -> Option<Access> {
+        match state.pcs[tid] {
+            Pc::Done => None,
+            // Every live step touches the one connection object; the
+            // model is small enough that forgoing reduction is free.
+            _ => Some(Access::write(OBJ_CONN)),
+        }
+    }
+
+    fn check_step(&self, before: &State, after: &State, tid: usize) -> Result<(), String> {
+        for (r, (sb, sa)) in before.requests.iter().zip(after.requests.iter()).enumerate() {
+            // 1. Answered-exactly-once: a response write starts at most
+            //    once — a torn write must drop the connection, never
+            //    re-serialize onto a peer that holds a frame prefix.
+            if sa.answer_writes > 1 {
+                return Err(format!(
+                    "request {r}: response write started {} times — a torn \
+                     write must drop the connection, not rewrite (thread {tid})",
+                    sa.answer_writes
+                ));
+            }
+            // 3. Outcomes are sticky.
+            if sb.outcome != Outcome::Pending && sa.outcome != sb.outcome {
+                return Err(format!(
+                    "request {r}: outcome rewritten {:?} -> {:?} (thread {tid})",
+                    sb.outcome, sa.outcome
+                ));
+            }
+            // 1b. An answer requires the whole request and a live wire.
+            if sa.outcome == Outcome::Answered && sb.outcome != Outcome::Answered {
+                if !sa.sent {
+                    return Err(format!(
+                        "request {r} answered without the server holding \
+                         the whole request frame (thread {tid})"
+                    ));
+                }
+                if !after.conn_open {
+                    return Err(format!(
+                        "request {r} answered on a closed connection \
+                         (thread {tid})"
+                    ));
+                }
+            }
+        }
+        // 2. A half-written frame on a *live* connection is only the
+        //    in-progress write itself (handler mid `HWriteFin`); once the
+        //    connection closes, the half frame's request must be Dropped.
+        if let Some(r) = after.half_frame {
+            let slot = &after.requests[r as usize];
+            if !after.conn_open && slot.outcome == Outcome::Answered {
+                return Err(format!(
+                    "request {r} marked Answered with its response frame \
+                     half-written on a closed connection (thread {tid})"
+                ));
+            }
+        }
+        // Draining is sticky.
+        if before.draining && !after.draining {
+            return Err(format!("draining flag cleared (thread {tid})"));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, state: &State) -> Result<(), String> {
+        // 4. Quiescence means the connection is fully torn down and no
+        //    thread is stuck mid-protocol.
+        if state.conn_open {
+            return Err("terminal state with the connection still open".into());
+        }
+        for (tid, pc) in state.pcs.iter().enumerate() {
+            if *pc != Pc::Done {
+                return Err(format!("thread {tid} stuck at {pc:?} at quiescence"));
+            }
+        }
+        for (r, slot) in state.requests.iter().enumerate() {
+            // 1. Every request ends answered-exactly-once or dropped.
+            match slot.outcome {
+                Outcome::Pending => {
+                    return Err(format!(
+                        "request {r} ended Pending — neither answered nor \
+                         dropped with the connection"
+                    ));
+                }
+                Outcome::Answered => {
+                    if slot.answer_writes != 1 {
+                        return Err(format!(
+                            "request {r} Answered with {} response write \
+                             starts (want exactly 1)",
+                            slot.answer_writes
+                        ));
+                    }
+                    if state.half_frame == Some(r as u8) {
+                        return Err(format!(
+                            "request {r} Answered but its response frame is \
+                             still half-written (drain left a torn frame)"
+                        ));
+                    }
+                }
+                Outcome::Dropped => {
+                    if slot.answer_writes > 1 {
+                        return Err(format!(
+                            "request {r} Dropped after {} response write \
+                             starts (want ≤ 1)",
+                            slot.answer_writes
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn describe_step(&self, state: &State, tid: usize) -> String {
+        let who = match tid {
+            TID_CLIENT => "client",
+            TID_HANDLER => "handler",
+            _ => {
+                if self.with_drain && tid == 2 {
+                    "drainer"
+                } else {
+                    "fault"
+                }
+            }
+        };
+        match &state.pcs[tid] {
+            Pc::CSend(r) => format!("{who}: start request {r} frame"),
+            Pc::CFin(r) => format!("{who}: finish request {r} frame"),
+            Pc::CAwait(r) => format!("{who}: observe request {r} outcome"),
+            Pc::CClose => format!("{who}: close connection"),
+            Pc::HWait => format!("{who}: read frame / drain notice / EOF"),
+            Pc::HServe(r) => format!("{who}: admit + execute request {r}"),
+            Pc::HWriteStart(r) => format!("{who}: start response {r} write"),
+            Pc::HWriteFin(r) => format!("{who}: finish response {r} write"),
+            Pc::DDrain => format!("{who}: set draining"),
+            Pc::FInject => format!("{who}: inject disconnect/tear (or not)"),
+            Pc::Done => format!("{who}: done"),
+        }
+    }
+}
+
+/// The scenario suite `interleave-check` runs for this model. Every
+/// entry must verify clean; `extended` adds the larger configurations
+/// reserved for `--exhaustive`.
+pub fn standard_scenarios(extended: bool) -> Vec<(String, Connection)> {
+    let mut v = vec![
+        ("conn_1req".to_string(), Connection::new(1, false, false)),
+        ("conn_1req_drain".to_string(), Connection::new(1, true, false)),
+        ("conn_1req_fault".to_string(), Connection::new(1, false, true)),
+        (
+            "conn_1req_drain_fault".to_string(),
+            Connection::new(1, true, true),
+        ),
+    ];
+    if extended {
+        v.push(("conn_2req_fault".to_string(), Connection::new(2, false, true)));
+        v.push((
+            "conn_2req_drain_fault".to_string(),
+            Connection::new(2, true, true),
+        ));
+    }
+    v
+}

@@ -8,8 +8,26 @@ use hmmm_analyze::lexer::scan;
 use hmmm_analyze::lints::{
     lint_file, LINT_ATOMIC_ORDERING, LINT_EQUATION_DOC, LINT_HASH_ITERATION, LINT_METRIC_LITERAL,
     LINT_NAKED_PERSIST_WRITE, LINT_NO_ALLOC_TRAVERSAL, LINT_RAW_FLOAT_CMP,
-    LINT_RELAXED_ORDERING,
+    LINT_RELAXED_ORDERING, RELAXED_ALLOWLIST,
 };
+
+/// A fixture body for `rel` that touches every atomic registered for it,
+/// so the stale-allowlist check stays quiet and the fixtures keep passing
+/// when a counter is added to the registry.
+fn all_registered_relaxed(rel: &str) -> String {
+    let names = RELAXED_ALLOWLIST
+        .iter()
+        .find(|(f, _)| *f == rel)
+        .map(|(_, names)| *names)
+        .expect("fixture file must be in RELAXED_ALLOWLIST");
+    let mut body = String::new();
+    for n in names {
+        body.push_str(&format!(
+            "    // ordering: Relaxed — ticket\n    {n}.fetch_add(1, Ordering::Relaxed);\n"
+        ));
+    }
+    body
+}
 
 fn fired(rel: &str, src: &str, lint: &str) -> usize {
     lint_file(rel, &scan(src))
@@ -96,14 +114,20 @@ fn relaxed_ordering_fires_on_unregistered_atomic() {
     let bad = "fn f(flag: &AtomicU64) {\n    // ordering: Relaxed — (wrongly) claimed harmless\n    flag.store(1, Ordering::Relaxed);\n}\n";
     assert_eq!(fired("crates/core/src/somefile.rs", bad, LINT_RELAXED_ORDERING), 1);
     // Even in a file WITH registered atomics, an unregistered one fires.
-    let mixed = "fn f(io_ops: &AtomicU64, flag: &AtomicU64) {\n    // ordering: Relaxed — ticket\n    io_ops.fetch_add(1, Ordering::Relaxed);\n    // ordering: Relaxed — oops\n    flag.store(1, Ordering::Relaxed);\n}\n";
-    assert_eq!(fired("crates/core/src/fault.rs", mixed, LINT_RELAXED_ORDERING), 1);
+    let mixed = format!(
+        "fn f() {{\n{}    // ordering: Relaxed — oops\n    flag.store(1, Ordering::Relaxed);\n}}\n",
+        all_registered_relaxed("crates/core/src/fault.rs")
+    );
+    assert_eq!(fired("crates/core/src/fault.rs", &mixed, LINT_RELAXED_ORDERING), 1);
 }
 
 #[test]
 fn relaxed_ordering_quiet_on_allowlisted_counter() {
-    let good = "fn f(io_ops: &AtomicU64) -> u64 {\n    // ordering: Relaxed — ticket\n    io_ops.fetch_add(1, Ordering::Relaxed)\n}\n";
-    assert_eq!(fired("crates/core/src/fault.rs", good, LINT_RELAXED_ORDERING), 0);
+    let good = format!(
+        "fn f() {{\n{}}}\n",
+        all_registered_relaxed("crates/core/src/fault.rs")
+    );
+    assert_eq!(fired("crates/core/src/fault.rs", &good, LINT_RELAXED_ORDERING), 0);
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! The three protocol models' own gates, plus model-faithfulness tests
+//! The protocol models' own gates, plus model-faithfulness tests
 //! pinning each model to the real implementation it abstracts.
 //!
 //! The verification half asserts every standard scenario (extended set
@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hmmm_analyze::mc::engine::{explore, ExploreConfig, Protocol, Reduction};
-use hmmm_analyze::mc::{admission, crashwrite, snapshot};
+use hmmm_analyze::mc::{admission, connection, crashwrite, snapshot};
 use hmmm_core::BuildConfig;
 use hmmm_features::FeatureVector;
 use hmmm_media::EventKind;
@@ -80,6 +80,11 @@ fn admission_scenarios_verify_clean() {
 #[test]
 fn crashwrite_scenarios_verify_clean() {
     assert_suite_clean("crashwrite", crashwrite::standard_scenarios(true));
+}
+
+#[test]
+fn connection_scenarios_verify_clean() {
+    assert_suite_clean("connection", connection::standard_scenarios(true));
 }
 
 fn tiny_catalog() -> Catalog {

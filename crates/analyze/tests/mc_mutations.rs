@@ -11,9 +11,10 @@
 //! | `LostCasRetry`    | topk       | failed threshold CAS gives up, no retry  |
 //! | `SkipFsync`       | crashwrite | data rename without the preceding fsync  |
 //! | `UnlockedDequeue` | admission  | queue slot read outside the lock, then removed blindly |
+//! | `DoubleRespond`   | connection | torn response write retried on the same connection |
 
 use hmmm_analyze::mc::engine::{explore, replay, Counterexample, ExploreConfig, Protocol};
-use hmmm_analyze::mc::{admission, crashwrite, snapshot, topk};
+use hmmm_analyze::mc::{admission, connection, crashwrite, snapshot, topk};
 
 /// The shared contract every caught mutation must satisfy.
 fn assert_caught<P: Protocol>(p: &P, what: &str) -> Counterexample {
@@ -133,4 +134,35 @@ fn queue_slot_reused_before_drain_is_caught() {
 
     let clean = admission::Admission::new(vec![false, false], 2, 2);
     explore(&clean, &ExploreConfig::exhaustive()).expect("unmutated lifecycle is exactly-once");
+}
+
+#[test]
+fn double_respond_after_torn_write_is_caught() {
+    // The fault injector arms a torn write; the mutated handler treats
+    // the failed response write as retryable and re-serializes onto the
+    // same connection. The answered-exactly-once invariant counts the
+    // second write start — the peer already holds a prefix of the first
+    // frame, so anything after it is wire garbage.
+    let mut p = connection::Connection::new(1, false, true);
+    p.mutation = Some(connection::Mutation::DoubleRespond);
+    let cx = assert_caught(&p, "DoubleRespond");
+    assert!(
+        cx.message.contains("response write started 2 times"),
+        "unexpected violation: {}",
+        cx.message
+    );
+    // The minimal schedule is pinned: client sends the request (2 steps),
+    // the injector arms the tear, the handler admits and starts the write
+    // twice — 7 steps, nothing shorter reaches a second write start.
+    assert_eq!(
+        cx.schedule.len(),
+        7,
+        "minimal counterexample drifted: {:?}\n{}",
+        cx.schedule,
+        cx
+    );
+
+    let clean = connection::Connection::new(1, false, true);
+    explore(&clean, &ExploreConfig::exhaustive())
+        .expect("unmutated connection loop is answered-exactly-once-or-dropped");
 }

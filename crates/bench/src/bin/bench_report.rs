@@ -105,6 +105,35 @@ struct ServeSample {
     degraded: usize,
 }
 
+/// One concurrency level of the network sweep: the same workload shape as
+/// [`ServeSample`], but through the TCP front-end over a real loopback
+/// socket — so the snapshot separates the wire's cost (framing, JSON,
+/// syscalls, connection handling) from the in-process serving numbers.
+#[derive(Debug, Serialize)]
+struct NetSample {
+    /// Concurrent closed-loop clients (one connection each).
+    clients: usize,
+    /// Completed queries per wall-clock second.
+    qps: f64,
+    /// Median end-to-end latency (including the wire), milliseconds.
+    p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    p99_ms: f64,
+    /// Requests that produced a ranking.
+    completed: usize,
+    /// Requests refused with a terminal status.
+    rejected: usize,
+    /// Wire attempts beyond the first (0 on a clean loopback run).
+    retries: u64,
+    /// Requests whose outcome arrived on a retry attempt.
+    retry_successes: u64,
+    /// Requests that exhausted every attempt — must be 0 on a healthy
+    /// bench (no fault plan attached).
+    give_ups: u64,
+}
+
 /// One cold-path (cache-off, serial) measurement of a coarse retrieval
 /// mode (`--coarse`): how the two-stage candidate index changes the query
 /// whose bound derivation used to be an archive-wide Eq.-14 scan.
@@ -167,6 +196,8 @@ struct Report {
     kernel: Vec<KernelSample>,
     /// QueryServer throughput/tail-latency sweep across client counts.
     serve: Vec<ServeSample>,
+    /// The same sweep through the TCP front-end over loopback.
+    net: Vec<NetSample>,
     /// Cold-path coarse-mode measurements (`--coarse`; empty otherwise).
     coarse: Vec<CoarseSample>,
     /// Serial cold-query speedup from the coarse index alone (`off`
@@ -392,6 +423,7 @@ fn main() {
 
     let kernel = kernel_microbench(&model);
     let serve = serve_sweep(&model, &catalog);
+    let net = net_sweep(&model, &catalog);
     let report = Report {
         videos,
         shots: total_shots,
@@ -404,6 +436,7 @@ fn main() {
         persistence,
         kernel,
         serve,
+        net,
         samples,
         coarse,
         coarse_cold_speedup_serial,
@@ -437,6 +470,14 @@ fn main() {
             "serve {:>2} clients: {:>8.1} qps, p50 {:>7.3} ms, p95 {:>7.3} ms, \
              p99 {:>7.3} ms ({} completed, {} rejected)",
             s.clients, s.qps, s.p50_ms, s.p95_ms, s.p99_ms, s.completed, s.rejected,
+        );
+    }
+    for s in &report.net {
+        println!(
+            "net   {:>2} clients: {:>8.1} qps, p50 {:>7.3} ms, p95 {:>7.3} ms, \
+             p99 {:>7.3} ms ({} completed, {} rejected, {} retries, {} give-ups)",
+            s.clients, s.qps, s.p50_ms, s.p95_ms, s.p99_ms, s.completed, s.rejected, s.retries,
+            s.give_ups,
         );
     }
     println!(
@@ -529,6 +570,64 @@ fn serve_sweep(model: &hmmm_core::Hmmm, catalog: &hmmm_storage::Catalog) -> Vec<
             completed: report.completed,
             rejected,
             degraded: report.degraded,
+        });
+    }
+    out
+}
+
+/// The serving sweep again, but through the TCP front-end on a loopback
+/// socket: same model, same Zipf workload, real framing + JSON + syscalls
+/// in the path. Retries and give-ups must stay 0 — no fault plan is
+/// attached, so any nonzero value flags a front-end bug, not load.
+fn net_sweep(model: &hmmm_core::Hmmm, catalog: &hmmm_storage::Catalog) -> Vec<NetSample> {
+    use hmmm_serve::{
+        ModelSnapshot, NetConfig, NetServer, NetWorkloadConfig, QueryServer, ServerConfig,
+    };
+    const REQUESTS_PER_CLIENT: usize = 24;
+    let mut out = Vec::new();
+    for clients in [1usize, 4] {
+        eprintln!("network sweep: {clients} clients…");
+        let snapshot = ModelSnapshot::from_model(model.clone(), catalog.clone())
+            .expect("bench model audits clean");
+        let server = QueryServer::start(
+            snapshot,
+            ServerConfig {
+                workers: 4,
+                queue_capacity: 128,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("valid server config");
+        let net = NetServer::start(
+            std::sync::Arc::new(server),
+            "127.0.0.1:0",
+            NetConfig::default(),
+        )
+        .expect("front-end binds loopback");
+        let report = hmmm_serve::run_net_workload(
+            net.local_addr(),
+            &NetWorkloadConfig {
+                clients,
+                requests_per_client: REQUESTS_PER_CLIENT,
+                mean_interarrival: std::time::Duration::ZERO,
+                seed: 0xBE7C,
+                ..NetWorkloadConfig::default()
+            },
+        )
+        .expect("network workload runs");
+        net.shutdown();
+        let rejected: usize = report.rejections.values().sum();
+        out.push(NetSample {
+            clients,
+            qps: report.qps,
+            p50_ms: report.p50_ms,
+            p95_ms: report.p95_ms,
+            p99_ms: report.p99_ms,
+            completed: report.completed,
+            rejected,
+            retries: report.retries,
+            retry_successes: report.retry_successes,
+            give_ups: report.give_ups,
         });
     }
     out

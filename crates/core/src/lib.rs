@@ -81,7 +81,7 @@ pub use order::{cmp_f64, cmp_f64_desc};
 pub use cluster::CategoryLevel;
 pub use construct::{build_hmmm, build_hmmm_observed, BuildConfig};
 pub use error::CoreError;
-pub use fault::{FaultHandle, FaultPlan};
+pub use fault::{FaultHandle, FaultPlan, FaultyStream, NetFaultStats};
 pub use feedback::{FeedbackConfig, FeedbackLog, PositivePattern, UpdateReport};
 pub use io::{load_model, load_model_with, save_model, save_model_with};
 pub use model::{Hmmm, LocalMmm, ModelSummary};

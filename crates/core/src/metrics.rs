@@ -158,6 +158,49 @@ pub const GAUGE_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 /// Worker threads the server was started with.
 pub const GAUGE_SERVE_WORKERS: &str = "serve.workers";
 
+// --- TCP front-end (crates/serve net + client) ------------------------------
+//
+// The network layer records through the same registry: server-side
+// connection QoS counters (`net.accepted` …), fault-injection tallies
+// surfaced from the core `FaultPlan` network plane, and the built-in
+// client's retry/backoff accounting — so loadgen's network report rows and
+// `bench_report`'s net sweep key off one vocabulary.
+
+/// One served connection, accept through close (label = connection id).
+pub const SPAN_NET_CONN: &str = "net/conn";
+/// Connections accepted by the TCP front-end.
+pub const CTR_NET_ACCEPTED: &str = "net.accepted";
+/// Connections refused at accept because the per-server cap was reached.
+pub const CTR_NET_REJECTED_CONN_LIMIT: &str = "net.rejected_conn_limit";
+/// Connections shed because a started frame did not complete within the
+/// per-connection read deadline (slow-loris defense).
+pub const CTR_NET_SHED_SLOW_CLIENT: &str = "net.shed_slow_client";
+/// Request frames fully parsed off the wire.
+pub const CTR_NET_REQUESTS: &str = "net.requests";
+/// Response frames fully written back (success or degraded).
+pub const CTR_NET_RESPONSES: &str = "net.responses";
+/// Frames refused before admission: bad version byte, over-cap length,
+/// unparseable payload.
+pub const CTR_NET_BAD_FRAMES: &str = "net.bad_frames";
+/// Response/status writes that failed (peer gone, torn stream).
+pub const CTR_NET_WRITE_FAILURES: &str = "net.write_failures";
+/// `Draining` statuses sent to idle connections during graceful shutdown.
+pub const CTR_NET_DRAINING_NOTICES: &str = "net.draining_notices";
+/// Writes torn by the injected network fault plane
+/// ([`crate::NetFaultStats::torn_writes`]).
+pub const CTR_NET_TORN_FRAMES_INJECTED: &str = "net.torn_frames_injected";
+/// Client-side: attempts beyond the first, across all requests.
+pub const CTR_NET_RETRIES: &str = "net.retries";
+/// Client-side: requests that succeeded on a retry attempt (> 0).
+pub const CTR_NET_RETRY_SUCCESSES: &str = "net.retry_successes";
+/// Client-side: requests that exhausted every attempt without a terminal
+/// response.
+pub const CTR_NET_GIVE_UPS: &str = "net.give_ups";
+/// Client-side backoff sleeps between attempts, ns (histogram).
+pub const HIST_NET_BACKOFF: &str = "net.backoff_ns";
+/// Open connections after the most recent accept/close.
+pub const GAUGE_NET_OPEN_CONNS: &str = "net.open_connections";
+
 // --- §4.2 model construction ----------------------------------------------
 
 /// Root span of one [`crate::build_hmmm`] call.
@@ -233,4 +276,19 @@ pub fn derive_serve_metrics(report: &mut hmmm_obs::MetricsReport) {
         &[CTR_SERVE_DEGRADED],
         &[CTR_SERVE_COMPLETED],
     );
+}
+
+/// Adds the standard network-derived quantities to a report:
+///
+/// * `net_shed_ratio` — connections shed or refused over connections
+///   accepted (QoS pressure at the front door);
+/// * `net_retry_ratio` — client retries over responses delivered (how hard
+///   the fault plane made the client work).
+pub fn derive_net_metrics(report: &mut hmmm_obs::MetricsReport) {
+    report.derive_ratio(
+        "net_shed_ratio",
+        &[CTR_NET_SHED_SLOW_CLIENT, CTR_NET_REJECTED_CONN_LIMIT],
+        &[CTR_NET_ACCEPTED],
+    );
+    report.derive_ratio("net_retry_ratio", &[CTR_NET_RETRIES], &[CTR_NET_RESPONSES]);
 }

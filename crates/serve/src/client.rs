@@ -1,0 +1,406 @@
+//! The built-in wire client: one connection, blocking queries, and a
+//! seeded retry policy that is **safe by construction**.
+//!
+//! The retry rule is the whole design: an attempt is retried only when
+//! the failure proves the server cannot have *delivered* a response —
+//! connect failures, request-write failures, read failures/EOF before any
+//! response byte, and the explicitly transient [`STATUS_REJECTED_QUEUE_FULL`]
+//! refusal. The moment a single response byte has arrived, a failure is
+//! surfaced as [`NetError::MidResponse`] instead of retried: the client
+//! cannot know how much of the response (or any side effect a future
+//! protocol revision might carry) already landed, so the re-issue decision
+//! belongs to a caller who knows the request is idempotent.
+//!
+//! Backoff between attempts is capped exponential with seeded jitter
+//! (deterministic per [`RetryPolicy::seed`]), recorded in the
+//! `net.backoff_ns` histogram. Every retry opens a *fresh* connection,
+//! which is also what makes the core fault plane's per-connection tickets
+//! compose with it: a plan targeting connection ticket 0 breaks the first
+//! attempt and deterministically spares the retry.
+
+use crate::net::{
+    read_frame, status_name, write_frame, FrameError, WireRequest, WireResponse, WireStatus,
+    FRAME_REQUEST, FRAME_RESPONSE, FRAME_STATUS, STATUS_REJECTED_QUEUE_FULL,
+};
+use hmmm_core::metrics as m;
+use hmmm_core::{FaultHandle, FaultyStream};
+use hmmm_obs::RecorderHandle;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Retry/backoff knobs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per query, including the first (`≥ 1`).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base × 2^(n-1)`, capped and jittered.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// How long to wait for the *first* byte of a reply before treating
+    /// the attempt as failed-before-response (retryable).
+    pub response_timeout: Duration,
+    /// Budget from a reply's first byte to its last; a stall past it is a
+    /// mid-response failure (not retryable).
+    pub frame_timeout: Duration,
+    /// Seed for the backoff jitter (deterministic sleeps per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(250),
+            response_timeout: Duration::from_secs(10),
+            frame_timeout: Duration::from_secs(10),
+            seed: 0x0b5e_55ed,
+        }
+    }
+}
+
+/// What one query ultimately came to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetOutcome {
+    /// A ranking arrived ([`crate::net::STATUS_OK`] or degraded).
+    Response(WireResponse),
+    /// The server refused with a terminal status (shutdown, invalid,
+    /// deadline, draining, bad frame, connection limit).
+    Rejected(WireStatus),
+}
+
+impl NetOutcome {
+    /// The response, when one arrived.
+    pub fn response(&self) -> Option<&WireResponse> {
+        match self {
+            NetOutcome::Response(r) => Some(r),
+            NetOutcome::Rejected(_) => None,
+        }
+    }
+}
+
+/// Why a query produced no outcome.
+#[derive(Debug)]
+pub enum NetError {
+    /// The stream failed after at least one response byte arrived. Not
+    /// retried automatically (see the module docs); the caller may
+    /// re-issue if it knows the request is idempotent.
+    MidResponse(String),
+    /// Every attempt failed before a response byte; the last failure is
+    /// carried for diagnosis.
+    Exhausted {
+        /// Attempts made (== the policy's `max_attempts`).
+        attempts: u32,
+        /// The last attempt's failure, rendered.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::MidResponse(detail) => write!(f, "failed mid-response: {detail}"),
+            NetError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Per-client tallies (also mirrored into the recorder's `net.*`
+/// counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Queries issued through [`NetClient::query`].
+    pub requests: u64,
+    /// Attempts beyond the first, across all queries.
+    pub retries: u64,
+    /// Queries that reached an outcome on a retry attempt.
+    pub retry_successes: u64,
+    /// Queries that exhausted every attempt.
+    pub give_ups: u64,
+    /// Connect failures observed (each one consumed an attempt).
+    pub connect_errors: u64,
+}
+
+/// A blocking wire client over one (lazily re-established) connection.
+pub struct NetClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    fault: FaultHandle,
+    obs: RecorderHandle,
+    counters: ClientCounters,
+    jitter: u64,
+    conn: Option<FaultyStream<TcpStream>>,
+}
+
+/// Read poll tick for client streams (bounds how late a timeout check
+/// can fire; the real budgets live in [`RetryPolicy`]).
+const CLIENT_POLL: Duration = Duration::from_millis(10);
+
+impl NetClient {
+    /// A client for `addr` with the given retry policy. `fault` is the
+    /// client-side network fault plane (use [`FaultHandle::noop`] for
+    /// none); `obs` receives the `net.*` client counters.
+    pub fn connect(
+        addr: SocketAddr,
+        policy: RetryPolicy,
+        fault: FaultHandle,
+        obs: RecorderHandle,
+    ) -> NetClient {
+        let jitter = policy.seed;
+        NetClient {
+            addr,
+            policy,
+            fault,
+            obs,
+            counters: ClientCounters::default(),
+            jitter,
+            conn: None,
+        }
+    }
+
+    /// The tallies so far.
+    pub fn counters(&self) -> ClientCounters {
+        self.counters
+    }
+
+    /// One query end to end: ensure a connection, send the request frame,
+    /// read exactly one reply frame, retrying failed-before-response
+    /// attempts per the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::MidResponse`] when a reply broke after its first byte
+    /// (never auto-retried), [`NetError::Exhausted`] when every attempt
+    /// failed before one.
+    pub fn query(
+        &mut self,
+        pattern: &str,
+        limit: usize,
+        deadline: Option<Duration>,
+    ) -> Result<NetOutcome, NetError> {
+        self.counters.requests += 1;
+        let payload = serde_json::to_vec(&WireRequest {
+            pattern: pattern.to_string(),
+            limit,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+        })
+        .expect("wire request serializes");
+        let mut last = String::from("no attempt ran");
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.counters.retries += 1;
+                self.obs.counter(m::CTR_NET_RETRIES, 1);
+                let sleep = self.backoff(attempt);
+                self.obs.observe_ns(m::HIST_NET_BACKOFF, sleep.as_nanos() as u64);
+                std::thread::sleep(sleep);
+            }
+            match self.attempt(&payload) {
+                Ok(outcome) => {
+                    if attempt > 0 {
+                        self.counters.retry_successes += 1;
+                        self.obs.counter(m::CTR_NET_RETRY_SUCCESSES, 1);
+                    }
+                    return Ok(outcome);
+                }
+                Err(AttemptError::Retryable(detail)) => last = detail,
+                Err(AttemptError::MidResponse(detail)) => {
+                    return Err(NetError::MidResponse(detail));
+                }
+            }
+        }
+        self.counters.give_ups += 1;
+        self.obs.counter(m::CTR_NET_GIVE_UPS, 1);
+        Err(NetError::Exhausted {
+            attempts: self.policy.max_attempts,
+            last,
+        })
+    }
+
+    /// One attempt: write the request, read one reply frame, classify.
+    fn attempt(&mut self, payload: &[u8]) -> Result<NetOutcome, AttemptError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr).map_err(|e| {
+                self.counters.connect_errors += 1;
+                AttemptError::Retryable(format!("connect failed: {e}"))
+            })?;
+            let _ = stream.set_nodelay(true);
+            stream.set_read_timeout(Some(CLIENT_POLL)).map_err(|e| {
+                AttemptError::Retryable(format!("socket setup failed: {e}"))
+            })?;
+            self.conn = Some(self.fault.wrap_stream(stream));
+        }
+        let stream = self.conn.as_mut().expect("connection just ensured");
+        // A request-write failure proves the server saw at most a torn
+        // request it cannot act on: retryable, on a fresh connection.
+        if let Err(e) = write_frame(stream, FRAME_REQUEST, payload) {
+            self.conn = None;
+            return Err(AttemptError::Retryable(format!("request write failed: {e}")));
+        }
+        let frame = match read_frame(
+            stream,
+            || false,
+            self.policy.frame_timeout,
+            Some(self.policy.response_timeout),
+        ) {
+            Ok(frame) => frame,
+            // No response byte arrived: the server never answered this
+            // attempt, so a retry cannot duplicate anything.
+            Err(FrameError::Closed) | Err(FrameError::TimedOut { started: false }) => {
+                self.conn = None;
+                return Err(AttemptError::Retryable("no response before failure".into()));
+            }
+            // Response bytes arrived, then the stream broke, stalled, or
+            // turned to garbage: never retried automatically.
+            Err(e @ FrameError::Torn(_))
+            | Err(e @ FrameError::Malformed(_))
+            | Err(e @ FrameError::TimedOut { started: true }) => {
+                self.conn = None;
+                return Err(AttemptError::MidResponse(e.to_string()));
+            }
+            Err(FrameError::Draining) => unreachable!("client read never probes draining"),
+        };
+        match frame.kind {
+            FRAME_RESPONSE => match serde_json::from_slice::<WireResponse>(&frame.payload) {
+                Ok(response) => Ok(NetOutcome::Response(response)),
+                Err(e) => {
+                    self.conn = None;
+                    Err(AttemptError::MidResponse(format!(
+                        "unparseable response payload: {e}"
+                    )))
+                }
+            },
+            FRAME_STATUS => {
+                let status: WireStatus = match serde_json::from_slice(&frame.payload) {
+                    Ok(status) => status,
+                    Err(e) => {
+                        self.conn = None;
+                        return Err(AttemptError::MidResponse(format!(
+                            "unparseable status payload: {e}"
+                        )));
+                    }
+                };
+                if status.code == STATUS_REJECTED_QUEUE_FULL {
+                    // The one transient refusal: the request was never
+                    // admitted, so retrying (with backoff) is safe and is
+                    // the point of reject-not-block admission.
+                    return Err(AttemptError::Retryable(format!(
+                        "{} ({})",
+                        status_name(status.code),
+                        status.reason
+                    )));
+                }
+                // Terminal refusals close the connection server-side for
+                // framing/drain statuses; reconnect lazily either way.
+                self.conn = None;
+                Ok(NetOutcome::Rejected(status))
+            }
+            other => {
+                self.conn = None;
+                Err(AttemptError::MidResponse(format!(
+                    "unexpected reply frame kind {other}"
+                )))
+            }
+        }
+    }
+
+    /// Capped exponential backoff with seeded jitter in `[0.5, 1.0)×`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .policy
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.backoff_cap);
+        self.jitter = splitmix64(self.jitter);
+        let unit = (self.jitter >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// Attempt-level classification feeding the retry loop.
+enum AttemptError {
+    /// Failed before any response byte (or queue-full): retry on a fresh
+    /// connection after backoff.
+    Retryable(String),
+    /// Failed after a response byte: surface, never retry.
+    MidResponse(String),
+}
+
+/// splitmix64 (Steele et al.) — the jitter stream's mixer, same shape the
+/// core fault plane uses for its Bernoulli draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_jittered_and_deterministic() {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let mut a = NetClient::connect(
+            "127.0.0.1:1".parse().unwrap(),
+            policy.clone(),
+            FaultHandle::noop(),
+            RecorderHandle::noop(),
+        );
+        let mut b = NetClient::connect(
+            "127.0.0.1:1".parse().unwrap(),
+            policy,
+            FaultHandle::noop(),
+            RecorderHandle::noop(),
+        );
+        let sleeps_a: Vec<Duration> = (1..6).map(|n| a.backoff(n)).collect();
+        let sleeps_b: Vec<Duration> = (1..6).map(|n| b.backoff(n)).collect();
+        assert_eq!(sleeps_a, sleeps_b, "same seed, same jitter");
+        for (n, sleep) in sleeps_a.iter().enumerate() {
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << n)
+                .min(Duration::from_millis(40));
+            assert!(*sleep >= exp.mul_f64(0.5) && *sleep < exp, "attempt {n}: {sleep:?}");
+        }
+    }
+
+    #[test]
+    fn connect_failure_exhausts_with_backoff() {
+        // Port 1 on localhost refuses immediately; every attempt fails
+        // before a response byte, so the client gives up cleanly.
+        let mut client = NetClient::connect(
+            "127.0.0.1:1".parse().unwrap(),
+            RetryPolicy {
+                max_attempts: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            },
+            FaultHandle::noop(),
+            RecorderHandle::noop(),
+        );
+        match client.query("goal", 3, None) {
+            Err(NetError::Exhausted { attempts: 2, last }) => {
+                assert!(last.contains("connect failed"), "{last}")
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        let counters = client.counters();
+        assert_eq!(counters.requests, 1);
+        assert_eq!(counters.retries, 1);
+        assert_eq!(counters.give_ups, 1);
+        assert_eq!(counters.connect_errors, 2);
+        assert_eq!(counters.retry_successes, 0);
+    }
+}

@@ -26,6 +26,12 @@
 //!   arrivals, probabilistic feedback) whose `--check` mode re-derives
 //!   every exact response serially on the snapshot generation that
 //!   answered it, byte-for-byte.
+//! * [`NetServer`] / [`NetClient`] — the fault-hardened TCP front door
+//!   over the admission queue: length-prefixed JSON frames with stable
+//!   status codes, slow-loris shedding, deadline propagation across
+//!   network time, graceful drains, and a client whose seeded
+//!   retry/backoff never re-sends after a response byte has arrived
+//!   (see the `net` module docs for the wire format).
 //!
 //! Everything here is `std`-only (threads, `Mutex`, `Condvar`, atomics),
 //! consistent with the workspace's vendored-dependency policy.
@@ -33,13 +39,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod net;
 pub mod server;
 pub mod snapshot;
 pub mod workload;
 
+pub use client::{ClientCounters, NetClient, NetError, NetOutcome, RetryPolicy};
+pub use net::{NetConfig, NetServer, WireRequest, WireResponse, WireStatus};
 pub use server::{
     QueryRequest, QueryResponse, QueryServer, RejectReason, ResponseTicket, ServeOutcome,
     ServerConfig,
 };
 pub use snapshot::{ModelSnapshot, SnapshotCell};
-pub use workload::{run_workload, LoadReport, PatternPool, WorkloadConfig};
+pub use workload::{
+    run_net_workload, run_workload, LoadReport, NetCheck, NetLoadReport, NetWorkloadConfig,
+    PatternPool, WorkloadConfig,
+};

@@ -13,16 +13,24 @@
 //! completed response is re-derived serially against the *exact snapshot
 //! generation that answered it* and compared byte-for-byte.
 
+use crate::client::{NetClient, NetError, NetOutcome, RetryPolicy};
+use crate::net::status_name;
 use crate::server::{QueryRequest, QueryServer, RejectReason, ServeOutcome};
-use hmmm_core::{FeedbackConfig, FeedbackLog, PositivePattern, Retriever};
+use crate::snapshot::ModelSnapshot;
+use hmmm_core::{
+    DegradedReason, FaultHandle, FeedbackConfig, FeedbackLog, PositivePattern, RankedPattern,
+    RetrievalConfig, Retriever,
+};
 use hmmm_media::EventKind;
+use hmmm_obs::RecorderHandle;
 use hmmm_query::{CompiledPattern, QueryTranslator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The query mix: compiled patterns in Zipf rank order (rank 1 = most
@@ -391,11 +399,10 @@ fn run_client(
             ServeOutcome::Completed(response) => {
                 tally.completed += 1;
                 tally.max_epoch = tally.max_epoch.max(response.epoch);
-                let exact = response.stats.degraded.is_none();
-                if !exact {
+                if response.stats.degraded.is_some() {
                     tally.degraded += 1;
                 }
-                if config.check && exact {
+                if config.check && check_eligible(&response) {
                     tally.checked += 1;
                     if !check_response(server, config, compiled, &response) {
                         tally.check_mismatches += 1;
@@ -429,6 +436,55 @@ fn record_rejection(tally: &mut ClientTally, reason: &RejectReason) {
     *tally.rejections.entry(key).or_insert(0) += 1;
 }
 
+/// The serial re-derivation's fault handle: the live config's plan with
+/// its timing-only components (latency stalls) stripped.
+///
+/// The check must re-derive under the *same* coarse mode and fault plan
+/// the server ran with — a panic plan deterministically restricts the
+/// ranking to the surviving videos, so dropping it would diff every
+/// affected response. Latency is the one component that must NOT leak in:
+/// it changes timing, never results, so keeping it could only stall the
+/// rerun (or, combined with a deadline, spuriously flip its `degraded`
+/// flag) without changing what a correct ranking looks like.
+fn check_fault_handle(live: &FaultHandle) -> FaultHandle {
+    match live.plan() {
+        None => FaultHandle::noop(),
+        Some(plan) => {
+            let mut stripped = plan.clone();
+            stripped.latency_step = None;
+            stripped.latency_ns = 0;
+            if stripped.is_empty() {
+                FaultHandle::noop()
+            } else {
+                FaultHandle::from_plan(stripped)
+            }
+        }
+    }
+}
+
+/// The serial reference configuration for `--check`: single-threaded, no
+/// deadline, same coarse mode, latency-stripped fault plan (see
+/// [`check_fault_handle`]).
+fn check_retrieval_config(live: RetrievalConfig) -> RetrievalConfig {
+    let mut serial = live;
+    serial.threads = Some(1);
+    serial.deadline = None;
+    serial.fault = check_fault_handle(&serial.fault);
+    serial
+}
+
+/// Whether a completed response is deterministic enough to re-derive: an
+/// exact response always is; a degraded one only when the sole cause was
+/// worker panics (deterministic per video under a seeded plan). Any
+/// deadline involvement makes the restriction timing-dependent, so those
+/// are checked as prefixes-of-no-lie only (skipped).
+fn check_eligible(response: &crate::server::QueryResponse) -> bool {
+    match &response.stats.degraded {
+        None => true,
+        Some(d) => d.reason == DegradedReason::WorkerPanic,
+    }
+}
+
 /// Serially re-derives `response` on the snapshot generation that
 /// produced it; `true` when the rankings are byte-identical.
 fn check_response(
@@ -440,9 +496,7 @@ fn check_response(
     let Some(snapshot) = server.snapshot_at(response.epoch) else {
         return false; // history gap: count as a mismatch, it is one
     };
-    let mut serial = server.retrieval_config();
-    serial.threads = Some(1);
-    serial.deadline = None;
+    let serial = check_retrieval_config(server.retrieval_config());
     let Ok(retriever) = Retriever::new(&snapshot.model, &snapshot.catalog, serial) else {
         return false;
     };
@@ -485,4 +539,344 @@ fn maybe_feed_back(
         // counter, registered in RELAXED_ALLOWLIST (hmmm-analyze).
         installs.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+// ---------------------------------------------------------------- network
+
+/// The serial reference for network `--check`: the generation the remote
+/// server is serving (epoch 0 — the wire carries no feedback, so a remote
+/// server's epoch only moves through its own REPL) plus a retrieval
+/// configuration matching the server's `--coarse` mode and fault plan.
+#[derive(Clone)]
+pub struct NetCheck {
+    /// The epoch-0 model generation, built locally from the same catalog.
+    pub snapshot: Arc<ModelSnapshot>,
+    /// The server's base retrieval configuration (coarse mode, fault
+    /// plan); normalized through the same latency-stripping path as the
+    /// in-process check.
+    pub retrieval: RetrievalConfig,
+}
+
+/// Knobs for one load run against a remote [`crate::NetServer`].
+#[derive(Clone)]
+pub struct NetWorkloadConfig {
+    /// Concurrent clients, each with its own connection and retry state.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Zipf exponent for the query mix.
+    pub zipf_exponent: f64,
+    /// Mean think time between a client's requests (exponential).
+    pub mean_interarrival: Duration,
+    /// Per-request deadline carried on the wire (network time + queue
+    /// wait + execution all draw from it).
+    pub deadline: Option<Duration>,
+    /// Top-k limit per query.
+    pub limit: usize,
+    /// Master seed (drives per-client RNGs and backoff jitter).
+    pub seed: u64,
+    /// Retry/backoff policy for every client.
+    pub policy: RetryPolicy,
+    /// Client-side network fault plane, shared by all clients so the
+    /// plan's connection tickets are drawn globally.
+    pub fault: FaultHandle,
+    /// Observability sink for the client-side `net.*` counters.
+    pub recorder: RecorderHandle,
+    /// When set, every eligible response is re-derived locally and
+    /// compared byte-for-byte.
+    pub check: Option<NetCheck>,
+}
+
+impl Default for NetWorkloadConfig {
+    fn default() -> Self {
+        NetWorkloadConfig {
+            clients: 4,
+            requests_per_client: 64,
+            zipf_exponent: 1.0,
+            mean_interarrival: Duration::from_micros(200),
+            deadline: None,
+            limit: 10,
+            seed: 0x5eed_f00d,
+            policy: RetryPolicy::default(),
+            fault: FaultHandle::noop(),
+            recorder: RecorderHandle::noop(),
+            check: None,
+        }
+    }
+}
+
+/// Aggregate result of one network load run ([`run_net_workload`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetLoadReport {
+    /// Client count the run used.
+    pub clients: usize,
+    /// Logical requests issued (each may span several wire attempts).
+    pub submitted: usize,
+    /// Requests that produced a ranking.
+    pub completed: usize,
+    /// Completed-but-degraded responses.
+    pub degraded: usize,
+    /// Requests refused with a terminal status, keyed by
+    /// [`status_name`]. Rejections + completions account for every
+    /// request that did not give up.
+    pub rejections: BTreeMap<String, usize>,
+    /// Wire attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Requests whose outcome arrived on a retry attempt.
+    pub retry_successes: u64,
+    /// Requests that exhausted every attempt without an outcome.
+    pub give_ups: u64,
+    /// Replies that broke after their first byte (never auto-retried;
+    /// each is followed by one fresh re-issued request).
+    pub mid_response_errors: u64,
+    /// Fresh requests issued after a mid-response failure (queries are
+    /// idempotent reads, so the harness may safely re-ask).
+    pub reissues: u64,
+    /// Highest epoch observed in any response.
+    pub max_epoch: u64,
+    /// Wall-clock duration of the whole run, nanoseconds.
+    pub wall_ns: u64,
+    /// Completed queries per second of wall-clock.
+    pub qps: f64,
+    /// Median end-to-end latency (including retries), milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Checked responses whose ranking was not byte-identical to the
+    /// local serial re-derivation. Always 0 on a healthy build.
+    pub check_mismatches: usize,
+    /// Responses actually re-derived in check mode.
+    pub checked: usize,
+}
+
+impl NetLoadReport {
+    /// `true` when every request reached a terminal outcome (response or
+    /// reasoned rejection — possibly after retries), nothing gave up, and
+    /// every checked ranking matched its local re-derivation.
+    pub fn healthy(&self) -> bool {
+        let rejected: usize = self.rejections.values().sum();
+        self.completed + rejected == self.submitted
+            && self.give_ups == 0
+            && self.check_mismatches == 0
+    }
+}
+
+/// Per-client network tally merged into the final report.
+#[derive(Default)]
+struct NetTally {
+    submitted: usize,
+    completed: usize,
+    degraded: usize,
+    rejections: BTreeMap<String, usize>,
+    latencies_ns: Vec<u64>,
+    max_epoch: u64,
+    retries: u64,
+    retry_successes: u64,
+    give_ups: u64,
+    mid_response_errors: u64,
+    reissues: u64,
+    check_mismatches: usize,
+    checked: usize,
+}
+
+impl NetTally {
+    fn merge(&mut self, other: NetTally) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.degraded += other.degraded;
+        for (reason, n) in other.rejections {
+            *self.rejections.entry(reason).or_insert(0) += n;
+        }
+        self.latencies_ns.extend(other.latencies_ns);
+        self.max_epoch = self.max_epoch.max(other.max_epoch);
+        self.retries += other.retries;
+        self.retry_successes += other.retry_successes;
+        self.give_ups += other.give_ups;
+        self.mid_response_errors += other.mid_response_errors;
+        self.reissues += other.reissues;
+        self.check_mismatches += other.check_mismatches;
+        self.checked += other.checked;
+    }
+}
+
+/// Cached local re-derivations for network check mode, one entry per
+/// pattern-pool index (the reference is a pure function of pattern +
+/// limit on the fixed epoch-0 snapshot, so clients share it).
+struct NetCheckCache {
+    check: NetCheck,
+    limit: usize,
+    reference: Mutex<BTreeMap<usize, Option<Vec<RankedPattern>>>>,
+}
+
+impl NetCheckCache {
+    /// `true` when `results` matches the serial local re-derivation of
+    /// pattern `index` byte-for-byte.
+    fn matches(&self, index: usize, pattern: &CompiledPattern, results: &[RankedPattern]) -> bool {
+        let mut cache = self.reference.lock().expect("net check cache poisoned");
+        let expected = cache.entry(index).or_insert_with(|| {
+            let serial = check_retrieval_config(self.check.retrieval.clone());
+            let snapshot = &self.check.snapshot;
+            Retriever::new(&snapshot.model, &snapshot.catalog, serial)
+                .and_then(|r| r.retrieve(pattern, self.limit))
+                .ok()
+                .map(|(ranking, _)| ranking)
+        });
+        match expected {
+            Some(expected) => expected.as_slice() == results,
+            None => false, // the reference itself failed: count as mismatch
+        }
+    }
+}
+
+/// Drives the configured workload against a remote server over real
+/// sockets and tallies the outcome. Blocks until every client finishes.
+///
+/// Mid-response failures (a reply torn after its first byte) are *not*
+/// retried by the client — see [`crate::client`] — but queries are
+/// idempotent reads, so the harness re-issues each one once as a fresh
+/// request and counts it under `reissues`.
+///
+/// # Errors
+///
+/// [`hmmm_core::CoreError`] if the built-in pattern pool fails to
+/// compile.
+pub fn run_net_workload(
+    addr: SocketAddr,
+    config: &NetWorkloadConfig,
+) -> Result<NetLoadReport, hmmm_core::CoreError> {
+    let pool = PatternPool::soccer(config.zipf_exponent)?;
+    let check_cache = config.check.clone().map(|check| NetCheckCache {
+        check,
+        limit: config.limit,
+        reference: Mutex::new(BTreeMap::new()),
+    });
+    let started = Instant::now();
+
+    let mut total = NetTally::default();
+    let tallies: Vec<NetTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let pool = &pool;
+                let check_cache = check_cache.as_ref();
+                scope.spawn(move || run_net_client(addr, config, pool, c, check_cache))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("net workload client panicked"))
+            .collect()
+    });
+    for tally in tallies {
+        total.merge(tally);
+    }
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    total.latencies_ns.sort_unstable();
+    let qps = if wall_ns == 0 {
+        0.0
+    } else {
+        total.completed as f64 / (wall_ns as f64 / 1e9)
+    };
+    Ok(NetLoadReport {
+        clients: config.clients,
+        submitted: total.submitted,
+        completed: total.completed,
+        degraded: total.degraded,
+        rejections: total.rejections,
+        retries: total.retries,
+        retry_successes: total.retry_successes,
+        give_ups: total.give_ups,
+        mid_response_errors: total.mid_response_errors,
+        reissues: total.reissues,
+        max_epoch: total.max_epoch,
+        wall_ns,
+        qps,
+        p50_ms: percentile_ms(&total.latencies_ns, 50.0),
+        p95_ms: percentile_ms(&total.latencies_ns, 95.0),
+        p99_ms: percentile_ms(&total.latencies_ns, 99.0),
+        check_mismatches: total.check_mismatches,
+        checked: total.checked,
+    })
+}
+
+/// One network client's closed loop.
+fn run_net_client(
+    addr: SocketAddr,
+    config: &NetWorkloadConfig,
+    pool: &PatternPool,
+    client_idx: usize,
+    check_cache: Option<&NetCheckCache>,
+) -> NetTally {
+    let mut policy = config.policy.clone();
+    // Distinct jitter stream per client, derived from the master seed.
+    policy.seed = client_seed(config.seed ^ 0x6e65_745f_6a69_7474, client_idx);
+    let mut client = NetClient::connect(
+        addr,
+        policy,
+        config.fault.clone(),
+        config.recorder.clone(),
+    );
+    let mut rng = StdRng::seed_from_u64(client_seed(config.seed, client_idx));
+    let mut tally = NetTally::default();
+    for _ in 0..config.requests_per_client {
+        let think = exponential(&mut rng, config.mean_interarrival);
+        if !think.is_zero() {
+            std::thread::sleep(think);
+        }
+        let index = pool.sample(&mut rng);
+        let (text, compiled) = pool.get(index);
+        let submitted_at = Instant::now();
+        let mut result = client.query(text, config.limit, config.deadline);
+        if let Err(NetError::MidResponse(_)) = result {
+            // The client refuses to auto-retry past a response byte; the
+            // harness knows queries are idempotent reads and re-asks once.
+            tally.mid_response_errors += 1;
+            tally.reissues += 1;
+            result = client.query(text, config.limit, config.deadline);
+        }
+        tally.latencies_ns.push(submitted_at.elapsed().as_nanos() as u64);
+        tally.submitted += 1;
+        match result {
+            Ok(NetOutcome::Response(response)) => {
+                tally.completed += 1;
+                tally.max_epoch = tally.max_epoch.max(response.epoch);
+                if response.degraded.is_some() {
+                    tally.degraded += 1;
+                }
+                if let Some(cache) = check_cache {
+                    // The local reference is the epoch-0 generation; a
+                    // response is checkable when it came from that epoch
+                    // and is deterministic (exact, or degraded by panics
+                    // alone — the same eligibility as the in-process
+                    // check).
+                    let deterministic = match &response.degraded {
+                        None => true,
+                        Some(reason) => reason.as_str() == DegradedReason::WorkerPanic.as_str(),
+                    };
+                    if response.epoch == 0 && deterministic {
+                        tally.checked += 1;
+                        if !cache.matches(index, compiled, &response.results) {
+                            tally.check_mismatches += 1;
+                        }
+                    }
+                }
+            }
+            Ok(NetOutcome::Rejected(status)) => {
+                let key = status_name(status.code).to_string();
+                assert!(!key.is_empty(), "rejection without a reason");
+                *tally.rejections.entry(key).or_insert(0) += 1;
+            }
+            Err(_) => {
+                // Exhausted (or a reissue that failed again): the request
+                // reached no outcome. healthy() demands this stays zero.
+                tally.give_ups += 1;
+            }
+        }
+    }
+    let counters = client.counters();
+    tally.retries = counters.retries;
+    tally.retry_successes = counters.retry_successes;
+    tally
 }

@@ -92,22 +92,38 @@ USAGE:
       feedback/learning updates (exit 1 on any violation)
   hmmm serve <file> [--workers N] [--queue N] [--deadline-ms N]
              [--coarse off|exact|approx] [--candidates C]
-             [--metrics-json <out>]
+             [--fault-plan <json|file>] [--metrics-json <out>]
+             [--listen ADDR] [--max-conns N] [--frame-timeout-ms N]
+             [--net-fault-plan <json|file>]
       start the in-process query server and answer patterns read from
       stdin, one per line; responses carry the snapshot epoch.
       REPL commands:  :accept <rank>  confirm a result from the last
       response as positive feedback;  :learn  run the Eqs. 1-10 relearn
       and install the new snapshot (audit-gated);  :epoch ;  :quit
+      --listen additionally opens the TCP front-end (port 0 picks a free
+      port; the resolved address is printed as 'listening on ADDR');
+      :quit drains it gracefully, and stdin EOF keeps serving until the
+      process is killed (for backgrounded use). --net-fault-plan injects
+      seeded network faults (torn frames, corrupted bytes, stalls,
+      forced closes) into accepted connections — see docs/SERVING.md
   hmmm loadgen <file> [--clients N] [--requests N] [--zipf F]
              [--think-us N] [--feedback-prob F] [--deadline-ms N]
              [--workers N] [--queue N] [--top N] [--seed N] [--check]
              [--coarse off|exact|approx] [--candidates C]
-             [--metrics-json <out>]
+             [--fault-plan <json|file>] [--metrics-json <out>]
+             [--connect ADDR] [--retries N]
+             [--net-fault-plan <json|file>]
       run the seeded workload generator (Zipf query mix, Poisson
       arrivals, probabilistic feedback installs) against an in-process
       server and print QPS + p50/p95/p99; --check re-derives every exact
       response serially on the epoch that answered it and exits 1 on any
       mismatch or unaccounted rejection
+      --connect drives the same workload over TCP against a running
+      `hmmm serve --listen` process instead (no in-process server; pass
+      the server's catalog path plus its --coarse/--fault-plan flags so
+      --check can rebuild the reference locally); --retries caps wire
+      attempts per request, --net-fault-plan injects client-side
+      network faults and exercises the retry/backoff path
   hmmm matn <pattern>
       print the MATN view and Graphviz dot of a query
   hmmm help
@@ -174,6 +190,22 @@ fn apply_coarse_flags(args: &[String], config: &mut RetrievalConfig) -> Result<(
         return Err("--candidates requires a value".into());
     }
     Ok(())
+}
+
+/// Parses a `--fault-plan`-style flag: inline JSON when the argument
+/// starts with `{`, else a path to a JSON file.
+fn parse_fault_plan(args: &[String], name: &str) -> Result<Option<hmmm_core::FaultPlan>, String> {
+    let Some(spec) = flag_value(args, name) else {
+        return Ok(None);
+    };
+    let json = if spec.trim_start().starts_with('{') {
+        spec
+    } else {
+        std::fs::read_to_string(&spec).map_err(|e| format!("reading fault plan {spec}: {e}"))?
+    };
+    let plan: hmmm_core::FaultPlan =
+        serde_json::from_str(&json).map_err(|e| format!("parsing fault plan: {e}"))?;
+    Ok(Some(plan))
 }
 
 fn load(path: &str) -> Result<Catalog, String> {
@@ -309,14 +341,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else if flag_present(args, "--deadline-check-interval") {
         return Err("--deadline-check-interval requires --deadline-ms".into());
     }
-    if let Some(spec) = flag_value(args, "--fault-plan") {
-        let json = if spec.trim_start().starts_with('{') {
-            spec
-        } else {
-            std::fs::read_to_string(&spec).map_err(|e| format!("reading fault plan {spec}: {e}"))?
-        };
-        let plan: hmmm_core::FaultPlan =
-            serde_json::from_str(&json).map_err(|e| format!("parsing fault plan: {e}"))?;
+    if let Some(plan) = parse_fault_plan(args, "--fault-plan")? {
         if !plan.is_empty() {
             eprintln!("fault injection active: degraded output is expected");
         }
@@ -497,6 +522,12 @@ fn serve_setup(
         .map_err(|e| e.to_string())?;
     let mut retrieval = RetrievalConfig::content_only();
     apply_coarse_flags(args, &mut retrieval)?;
+    if let Some(plan) = parse_fault_plan(args, "--fault-plan")? {
+        if !plan.is_empty() {
+            eprintln!("fault injection active: degraded output is expected");
+        }
+        retrieval = retrieval.with_fault_plan(plan);
+    }
     let config = hmmm_serve::ServerConfig {
         workers,
         queue_capacity: queue,
@@ -512,6 +543,7 @@ fn write_serve_metrics(recorder: &std::sync::Arc<InMemoryRecorder>, out: &str) -
     let mut report = recorder.report();
     metrics::derive_retrieval_metrics(&mut report);
     metrics::derive_serve_metrics(&mut report);
+    metrics::derive_net_metrics(&mut report);
     let json = report
         .to_json_pretty()
         .map_err(|e| format!("encoding metrics: {e}"))?;
@@ -545,14 +577,43 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         snapshot.audit,
     );
     println!("enter a pattern per line; :accept <rank>, :learn, :epoch, :quit");
-    let server =
-        hmmm_serve::QueryServer::start(snapshot, config).map_err(|e| e.to_string())?;
+    let server = std::sync::Arc::new(
+        hmmm_serve::QueryServer::start(snapshot, config).map_err(|e| e.to_string())?,
+    );
+    let net = match flag_value(args, "--listen") {
+        Some(addr) => {
+            let mut net_cfg = hmmm_serve::NetConfig {
+                recorder: obs.clone(),
+                ..hmmm_serve::NetConfig::default()
+            };
+            if let Some(n) = flag_value(args, "--max-conns") {
+                net_cfg.max_connections = parse_num(&n, "--max-conns")?;
+            }
+            if let Some(ms) = flag_value(args, "--frame-timeout-ms") {
+                net_cfg.frame_timeout =
+                    std::time::Duration::from_millis(parse_num(&ms, "--frame-timeout-ms")?);
+            }
+            if let Some(plan) = parse_fault_plan(args, "--net-fault-plan")? {
+                eprintln!("network fault injection active: accepted streams may be disturbed");
+                net_cfg.fault = hmmm_core::FaultHandle::from_plan(plan);
+            }
+            let net =
+                hmmm_serve::NetServer::start(std::sync::Arc::clone(&server), &addr, net_cfg)
+                    .map_err(|e| format!("binding {addr}: {e}"))?;
+            // The exact line the serve-net-smoke CI job (and any script)
+            // parses to learn the resolved port when --listen used port 0.
+            println!("listening on {}", net.local_addr());
+            Some(net)
+        }
+        None => None,
+    };
     let translator = QueryTranslator::new(EventKind::ALL.iter().map(|k| k.name()));
     let fb_cfg = FeedbackConfig::default();
     let mut log = FeedbackLog::new();
     let mut session = 0u64;
     let mut last: Vec<hmmm_core::RankedPattern> = Vec::new();
 
+    let mut quit = false;
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
         let line = line.trim();
@@ -560,6 +621,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             continue;
         }
         if line == ":quit" {
+            quit = true;
             break;
         }
         if line == ":epoch" {
@@ -638,7 +700,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    server.join();
+    match net {
+        Some(net) => {
+            if !quit {
+                // stdin hit EOF while listening (e.g. backgrounded with
+                // </dev/null under CI): keep serving until killed.
+                loop {
+                    std::thread::park();
+                }
+            }
+            // :quit drains the front-end (idle connections get a final
+            // Draining notice, in-flight requests finish) before the
+            // admission queue closes.
+            net.shutdown();
+        }
+        None => server.close(),
+    }
+    drop(server); // last Arc: joins the worker pool
     if let (Some(recorder), Some(out)) = (recorder, metrics_out) {
         write_serve_metrics(&recorder, &out)?;
     }
@@ -666,6 +744,29 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         .as_ref()
         .map(InMemoryRecorder::handle)
         .unwrap_or_default();
+
+    if let Some(addr) = flag_value(args, "--connect") {
+        let report = run_loadgen_net(
+            args, &addr, clients, requests, zipf, think_us, top, seed, check, &obs,
+        )?;
+        print_net_report(&report, check);
+        if let (Some(recorder), Some(out)) = (recorder, metrics_out) {
+            write_serve_metrics(&recorder, &out)?;
+        }
+        if !report.healthy() {
+            let rejected: usize = report.rejections.values().sum();
+            return Err(format!(
+                "loadgen net check failed: {} mismatches, {} give-ups, {} + {} of {} \
+                 requests unaccounted",
+                report.check_mismatches,
+                report.give_ups,
+                report.completed,
+                rejected,
+                report.submitted
+            ));
+        }
+        return Ok(());
+    }
 
     let (snapshot, config) = serve_setup(args, &obs, check)?;
     eprintln!(
@@ -726,6 +827,122 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// The `loadgen --connect` path: drive the seeded workload over real
+/// sockets against an already-running `hmmm serve --listen` process.
+#[allow(clippy::too_many_arguments)] // a CLI argument bundle, not an API
+fn run_loadgen_net(
+    args: &[String],
+    addr: &str,
+    clients: usize,
+    requests: usize,
+    zipf: f64,
+    think_us: u64,
+    top: usize,
+    seed: u64,
+    check: bool,
+    obs: &RecorderHandle,
+) -> Result<hmmm_serve::NetLoadReport, String> {
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad --connect address {addr:?}: {e}"))?;
+    let deadline = match flag_value(args, "--deadline-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(parse_num(&ms, "--deadline-ms")?)),
+        None => None,
+    };
+    let mut policy = hmmm_serve::RetryPolicy {
+        seed,
+        ..hmmm_serve::RetryPolicy::default()
+    };
+    if let Some(n) = flag_value(args, "--retries") {
+        let n: u32 = parse_num(&n, "--retries")?;
+        if n == 0 {
+            return Err("--retries must be ≥ 1 (it counts attempts, not re-tries)".into());
+        }
+        policy.max_attempts = n;
+    }
+    let fault = match parse_fault_plan(args, "--net-fault-plan")? {
+        Some(plan) => {
+            eprintln!("client-side network fault injection active: retries are expected");
+            hmmm_core::FaultHandle::from_plan(plan)
+        }
+        None => hmmm_core::FaultHandle::noop(),
+    };
+    // --check re-derives responses against a locally built epoch-0
+    // snapshot, so it needs the same catalog file — and the same --coarse
+    // / --fault-plan flags — the server was started with.
+    let net_check = if check {
+        let path = positional(args, 0)
+            .ok_or("loadgen --connect --check requires the server's catalog path")?;
+        let catalog = load_observed(path, obs)?;
+        let snapshot = hmmm_serve::ModelSnapshot::build(catalog, &BuildConfig::default())
+            .map_err(|e| e.to_string())?;
+        let mut retrieval = RetrievalConfig::content_only();
+        apply_coarse_flags(args, &mut retrieval)?;
+        if let Some(plan) = parse_fault_plan(args, "--fault-plan")? {
+            retrieval = retrieval.with_fault_plan(plan);
+        }
+        Some(hmmm_serve::NetCheck {
+            snapshot: std::sync::Arc::new(snapshot),
+            retrieval,
+        })
+    } else {
+        None
+    };
+    eprintln!(
+        "loadgen: {clients} clients × {requests} requests (zipf {zipf}, think {think_us}µs) \
+         over TCP against {addr}{}",
+        if check { ", exactness check on" } else { "" },
+    );
+    let config = hmmm_serve::NetWorkloadConfig {
+        clients,
+        requests_per_client: requests,
+        zipf_exponent: zipf,
+        mean_interarrival: std::time::Duration::from_micros(think_us),
+        deadline,
+        limit: top,
+        seed,
+        policy,
+        fault,
+        recorder: obs.clone(),
+        check: net_check,
+    };
+    hmmm_serve::run_net_workload(addr, &config).map_err(|e| e.to_string())
+}
+
+fn print_net_report(report: &hmmm_serve::NetLoadReport, check: bool) {
+    let rejected: usize = report.rejections.values().sum();
+    println!(
+        "{} submitted: {} completed ({} degraded), {} rejected | max epoch {}",
+        report.submitted, report.completed, report.degraded, rejected, report.max_epoch,
+    );
+    for (reason, n) in &report.rejections {
+        println!("  rejected {n} × {reason}");
+    }
+    println!(
+        "net: {} retries ({} successful), {} give-ups, {} mid-response errors \
+         ({} reissued)",
+        report.retries,
+        report.retry_successes,
+        report.give_ups,
+        report.mid_response_errors,
+        report.reissues,
+    );
+    println!(
+        "wall {:.2?} | {:.1} qps | p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        std::time::Duration::from_nanos(report.wall_ns),
+        report.qps,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+    );
+    if check {
+        println!(
+            "check: {} responses re-derived locally, {} mismatches",
+            report.checked, report.check_mismatches
+        );
+    }
 }
 
 fn cmd_matn(args: &[String]) -> Result<(), String> {
